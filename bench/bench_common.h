@@ -1,0 +1,70 @@
+#ifndef COANE_BENCH_BENCH_COMMON_H_
+#define COANE_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the per-table / per-figure bench binaries. Each binary
+// prints the paper-style table to stdout and writes a CSV with the same rows
+// to bench_out/<name>.csv. By default the synthetic datasets are generated
+// at reduced scale so the whole suite finishes in minutes on one core; pass
+// --full for paper-scale graphs and full training budgets.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "common/logging.h"
+#include "common/table_printer.h"
+
+namespace coane {
+namespace benchutil {
+
+struct BenchOptions {
+  bool full = false;
+  uint64_t seed = 42;
+};
+
+inline BenchOptions ParseArgs(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      opt.full = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = static_cast<uint64_t>(std::stoull(arg.substr(7)));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0] << " [--full] [--seed=N]\n"
+                << "  --full   paper-scale datasets and training budgets\n"
+                << "  --seed=N generator seed (default 42)\n";
+      std::exit(0);
+    }
+  }
+  return opt;
+}
+
+/// Writes the table as CSV under bench_out/, creating the directory.
+inline void WriteCsv(const TablePrinter& table, const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  const std::string path = "bench_out/" + name + ".csv";
+  Status s = table.WriteCsv(path);
+  if (!s.ok()) {
+    COANE_LOG(Warning) << "could not write " << path << ": "
+                       << s.ToString();
+  } else {
+    std::cout << "[csv written to " << path << "]\n";
+  }
+}
+
+/// Aborts with a readable message on unexpected errors inside benches.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    COANE_LOG(Error) << what << " failed: " << result.status().ToString();
+    std::exit(1);
+  }
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace benchutil
+}  // namespace coane
+
+#endif  // COANE_BENCH_BENCH_COMMON_H_

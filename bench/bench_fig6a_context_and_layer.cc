@@ -1,0 +1,103 @@
+// Reproduces Fig. 6a: (solid lines) random-walk contexts vs first-hop
+// neighbor contexts, and (dashed lines) convolutional vs fully-connected
+// feature extraction — link-prediction AUC per training epoch on Cora.
+//
+// "First-hop contexts" are emulated by walks of length 2 repeated many
+// times: every generated context then contains only direct neighbors of
+// the center, while the total number of contexts per node stays comparable
+// to the random-walk case (the paper equalizes context counts the same
+// way, 17.5 vs 22 per node). The FC case shares one weight matrix across
+// all context positions, discarding positional information.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/string_utils.h"
+#include "core/coane_model.h"
+#include "datasets/dataset_registry.h"
+#include "eval/link_prediction.h"
+#include "eval/method_zoo.h"
+#include "graph/edge_split.h"
+
+namespace coane {
+namespace {
+
+void Run(const benchutil::BenchOptions& opt) {
+  const double scale = opt.full ? 1.0 : DefaultBenchScale("cora");
+  AttributedNetwork net = benchutil::Unwrap(
+      MakeDataset("cora", scale, opt.seed), "MakeDataset");
+  Rng split_rng(opt.seed);
+  LinkSplit split = benchutil::Unwrap(
+      SplitEdges(net.graph, EdgeSplitOptions{}, &split_rng), "SplitEdges");
+
+  MethodConfig mcfg;
+  mcfg.fast = !opt.full;
+  mcfg.seed = opt.seed;
+  const int epochs = opt.full ? 10 : 6;
+
+  struct Variant {
+    std::string name;
+    CoaneConfig config;
+  };
+  std::vector<Variant> variants;
+  {
+    CoaneConfig base = DefaultCoaneConfig(mcfg);
+    base.max_epochs = epochs;
+    variants.push_back({"random-walk + conv", base});
+
+    CoaneConfig firsthop = base;
+    // Length-2 walks repeated: contexts contain only direct neighbors.
+    firsthop.walk_length = 2;
+    firsthop.num_walks = base.num_walks * base.walk_length / 4;
+    variants.push_back({"first-hop + conv", firsthop});
+
+    CoaneConfig fc = base;
+    fc.encoder_kind = ContextEncoder::Kind::kFullyConnected;
+    variants.push_back({"random-walk + FC", fc});
+
+    CoaneConfig firsthop_fc = firsthop;
+    firsthop_fc.encoder_kind = ContextEncoder::Kind::kFullyConnected;
+    variants.push_back({"first-hop + FC", firsthop_fc});
+  }
+
+  TablePrinter table(
+      "Fig. 6a: Context source and encoder layer — test AUC per epoch "
+      "(Cora link prediction)");
+  std::vector<std::string> header = {"variant"};
+  for (int e = 1; e <= epochs; ++e) {
+    header.push_back("ep" + std::to_string(e));
+  }
+  table.SetHeader(header);
+
+  for (const Variant& variant : variants) {
+    CoaneModel model(split.train_graph, variant.config);
+    Status st = model.Preprocess();
+    if (!st.ok()) {
+      COANE_LOG(Error) << variant.name << ": " << st.ToString();
+      std::exit(1);
+    }
+    std::vector<std::string> row = {variant.name};
+    for (int e = 0; e < epochs; ++e) {
+      benchutil::Unwrap(model.TrainEpoch(), "TrainEpoch");
+      auto result = benchutil::Unwrap(
+          EvaluateLinkPrediction(model.embeddings(), split, opt.seed),
+          "EvaluateLinkPrediction");
+      row.push_back(FormatDouble(result.test_auc, 3));
+    }
+    table.AddRow(row);
+  }
+  table.ToStdout();
+  benchutil::WriteCsv(table, "fig6a_context_and_layer");
+  std::cout << "Expected shape (paper): random-walk contexts beat "
+               "first-hop contexts, and the convolutional layer beats the "
+               "position-shared FC layer with faster convergence.\n";
+}
+
+}  // namespace
+}  // namespace coane
+
+int main(int argc, char** argv) {
+  coane::Run(coane::benchutil::ParseArgs(argc, argv));
+  return 0;
+}

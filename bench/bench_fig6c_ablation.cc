@@ -1,0 +1,107 @@
+// Reproduces Fig. 6c: ablation of the objective function on Cora link
+// prediction. The paper's eight cases:
+//   WP    — no positive graph likelihood (L_pos = 0)
+//   SG    — plain skip-gram dot products replace the positive likelihood
+//   WN    — no contextually negative sampling (L_neg = 0)
+//   NS    — uniform negative sampling replaces the contextual one
+//   SGNS  — SG + NS together
+//   WF    — no node attributes (identity features)
+//   WAP   — no attribute preservation (L_att = 0)
+//   Full  — complete CoANE
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/string_utils.h"
+#include "core/coane_model.h"
+#include "datasets/dataset_registry.h"
+#include "eval/link_prediction.h"
+#include "eval/method_zoo.h"
+#include "graph/edge_split.h"
+
+namespace coane {
+namespace {
+
+void Run(const benchutil::BenchOptions& opt) {
+  const double scale = opt.full ? 1.0 : DefaultBenchScale("cora");
+  AttributedNetwork net = benchutil::Unwrap(
+      MakeDataset("cora", scale, opt.seed), "MakeDataset");
+  Rng split_rng(opt.seed);
+  LinkSplit split = benchutil::Unwrap(
+      SplitEdges(net.graph, EdgeSplitOptions{}, &split_rng), "SplitEdges");
+
+  MethodConfig mcfg;
+  mcfg.fast = !opt.full;
+  mcfg.seed = opt.seed;
+  const CoaneConfig base = DefaultCoaneConfig(mcfg);
+
+  struct Case {
+    std::string name;
+    CoaneConfig config;
+  };
+  std::vector<Case> cases;
+  {
+    CoaneConfig c = base;
+    c.use_positive_loss = false;
+    cases.push_back({"WP (no positive likelihood)", c});
+  }
+  {
+    CoaneConfig c = base;
+    c.skipgram_positive = true;
+    cases.push_back({"SG (skip-gram positive)", c});
+  }
+  {
+    CoaneConfig c = base;
+    c.use_negative_loss = false;
+    cases.push_back({"WN (no negative sampling)", c});
+  }
+  {
+    CoaneConfig c = base;
+    c.negative_mode = NegativeSamplingMode::kUniform;
+    cases.push_back({"NS (uniform negatives)", c});
+  }
+  {
+    CoaneConfig c = base;
+    c.skipgram_positive = true;
+    c.negative_mode = NegativeSamplingMode::kUniform;
+    cases.push_back({"SGNS (SG + NS)", c});
+  }
+  {
+    CoaneConfig c = base;
+    c.use_attributes = false;
+    cases.push_back({"WF (no attributes)", c});
+  }
+  {
+    CoaneConfig c = base;
+    c.use_attribute_loss = false;
+    cases.push_back({"WAP (no attribute preservation)", c});
+  }
+  cases.push_back({"CoANE (full)", base});
+
+  TablePrinter table("Fig. 6c: Objective ablation (Cora link prediction)");
+  table.SetHeader({"case", "train AUC", "test AUC"});
+  for (const Case& ablation : cases) {
+    DenseMatrix z = benchutil::Unwrap(
+        TrainCoaneEmbeddings(split.train_graph, ablation.config),
+        ablation.name.c_str());
+    auto result = benchutil::Unwrap(
+        EvaluateLinkPrediction(z, split, opt.seed),
+        "EvaluateLinkPrediction");
+    table.AddRow({ablation.name, FormatDouble(result.train_auc, 3),
+                  FormatDouble(result.test_auc, 3)});
+  }
+  table.ToStdout();
+  benchutil::WriteCsv(table, "fig6c_ablation");
+  std::cout << "Expected shape (paper): every ablation loses test AUC "
+               "against full CoANE; WP/WF hurt most, SGNS stays closest "
+               "because the context-convolution encoder is intact.\n";
+}
+
+}  // namespace
+}  // namespace coane
+
+int main(int argc, char** argv) {
+  coane::Run(coane::benchutil::ParseArgs(argc, argv));
+  return 0;
+}

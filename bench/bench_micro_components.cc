@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark) of the computational components on
+// the critical path of CoANE training, backing the paper's complexity
+// analysis (Sec. 3.3.4): the convolution costs O(d * d' * c) per context,
+// co-occurrence handling is sparse, and the attribute decoder is shallow.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "core/coane_model.h"
+#include "datasets/attributed_sbm.h"
+#include "eval/kmeans.h"
+#include "nn/context_conv.h"
+#include "walk/context_generator.h"
+#include "walk/cooccurrence.h"
+#include "walk/random_walk.h"
+
+namespace coane {
+namespace {
+
+const AttributedNetwork& Network() {
+  static const AttributedNetwork& net = *new AttributedNetwork([] {
+    AttributedSbmConfig c;
+    c.num_nodes = 500;
+    c.num_classes = 4;
+    c.num_attributes = 400;
+    c.avg_degree = 8.0;
+    c.seed = 7;
+    return GenerateAttributedSbm(c).ValueOrDie();
+  }());
+  return net;
+}
+
+void BM_RandomWalks(benchmark::State& state) {
+  const Graph& g = Network().graph;
+  RandomWalkConfig cfg;
+  cfg.walk_length = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(1);
+    auto walks = GenerateRandomWalks(g, cfg, &rng);
+    benchmark::DoNotOptimize(walks);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes() *
+                          state.range(0));
+}
+BENCHMARK(BM_RandomWalks)->Arg(40)->Arg(80);
+
+void BM_ContextGeneration(benchmark::State& state) {
+  const Graph& g = Network().graph;
+  Rng rng(2);
+  RandomWalkConfig wcfg;
+  wcfg.walk_length = 80;
+  auto walks = GenerateRandomWalks(g, wcfg, &rng).ValueOrDie();
+  ContextOptions copt;
+  copt.context_size = static_cast<int>(state.range(0));
+  copt.subsample_t = 1e-3;
+  for (auto _ : state) {
+    Rng ctx_rng(3);
+    auto contexts = GenerateContexts(walks, g.num_nodes(), copt, &ctx_rng);
+    benchmark::DoNotOptimize(contexts);
+  }
+}
+BENCHMARK(BM_ContextGeneration)->Arg(3)->Arg(5)->Arg(11);
+
+void BM_Cooccurrence(benchmark::State& state) {
+  const Graph& g = Network().graph;
+  Rng rng(4);
+  RandomWalkConfig wcfg;
+  wcfg.walk_length = 80;
+  auto walks = GenerateRandomWalks(g, wcfg, &rng).ValueOrDie();
+  ContextOptions copt;
+  copt.context_size = 5;
+  copt.subsample_t = 1e-3;
+  auto contexts =
+      GenerateContexts(walks, g.num_nodes(), copt, &rng).ValueOrDie();
+  for (auto _ : state) {
+    auto co = BuildCooccurrence(g, contexts);
+    benchmark::DoNotOptimize(co);
+  }
+}
+BENCHMARK(BM_Cooccurrence);
+
+void BM_ConvEncodeAll(benchmark::State& state) {
+  const Graph& g = Network().graph;
+  Rng rng(5);
+  RandomWalkConfig wcfg;
+  wcfg.walk_length = 80;
+  auto walks = GenerateRandomWalks(g, wcfg, &rng).ValueOrDie();
+  ContextOptions copt;
+  copt.context_size = 5;
+  copt.subsample_t = 1e-3;
+  auto contexts =
+      GenerateContexts(walks, g.num_nodes(), copt, &rng).ValueOrDie();
+  const int64_t dim = state.range(0);
+  ContextEncoder enc(5, g.num_attributes(), dim,
+                     ContextEncoder::Kind::kConvolution, &rng);
+  for (auto _ : state) {
+    DenseMatrix z = enc.EncodeAll(contexts, g.attributes());
+    benchmark::DoNotOptimize(z);
+  }
+  state.SetItemsProcessed(state.iterations() * contexts.TotalContexts());
+}
+BENCHMARK(BM_ConvEncodeAll)->Arg(32)->Arg(128);
+
+void BM_CoaneEpoch(benchmark::State& state) {
+  const Graph& g = Network().graph;
+  CoaneConfig cfg;
+  cfg.embedding_dim = 64;
+  cfg.walk_length = 40;
+  cfg.subsample_t = 1e-3;
+  cfg.decoder_hidden = {128};
+  cfg.max_epochs = 1;
+  CoaneModel model(g, cfg);
+  COANE_CHECK(model.Preprocess().ok());
+  for (auto _ : state) {
+    auto stats = model.TrainEpoch();
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_CoaneEpoch);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng rng(6);
+  DenseMatrix points(500, 64);
+  points.GaussianInit(&rng, 0.0f, 1.0f);
+  KMeansConfig cfg;
+  cfg.num_restarts = 1;
+  for (auto _ : state) {
+    auto result = RunKMeans(points, 7, cfg);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_KMeans);
+
+}  // namespace
+}  // namespace coane
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Substrate sensitivity check (not a paper artifact): is the reproduced
+// ordering — CoANE above the strongest baselines — an artifact of the
+// stochastic-block-model generator? This bench reruns the classification
+// and link-prediction comparison on a *different* topology generator
+// (homophilous preferential attachment, heavy-tailed degrees) with the
+// identical attribute model, for the strongest contenders.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/string_utils.h"
+#include "datasets/attributed_ba.h"
+#include "datasets/attributed_sbm.h"
+#include "eval/link_prediction.h"
+#include "eval/method_zoo.h"
+#include "eval/node_classification.h"
+#include "graph/edge_split.h"
+#include "graph/graph_stats.h"
+
+namespace coane {
+namespace {
+
+void Run(const benchutil::BenchOptions& opt) {
+  const int64_t nodes = opt.full ? 2708 : 600;
+  // Matched configurations: same classes/circles/attribute model; only the
+  // edge process differs.
+  AttributedSbmConfig sbm;
+  sbm.num_nodes = nodes;
+  sbm.num_classes = 7;
+  sbm.num_attributes = opt.full ? 1433 : 320;
+  sbm.avg_degree = 6.0;
+  sbm.seed = opt.seed;
+  AttributedBaConfig ba;
+  ba.num_nodes = nodes;
+  ba.num_classes = 7;
+  ba.num_attributes = sbm.num_attributes;
+  ba.edges_per_node = 3;
+  ba.seed = opt.seed;
+
+  struct Substrate {
+    std::string name;
+    AttributedNetwork net;
+  };
+  std::vector<Substrate> substrates;
+  substrates.push_back(
+      {"SBM (planted circles)",
+       benchutil::Unwrap(GenerateAttributedSbm(sbm), "SBM")});
+  substrates.push_back(
+      {"BA (pref. attachment)",
+       benchutil::Unwrap(GenerateAttributedBa(ba), "BA")});
+
+  MethodConfig mcfg;
+  mcfg.fast = !opt.full;
+  mcfg.seed = opt.seed;
+  const std::vector<std::string> methods = {"node2vec", "gae", "anrl",
+                                            "coane"};
+
+  TablePrinter table(
+      "Substrate sensitivity: method ordering under two topology "
+      "generators");
+  table.SetHeader({"substrate", "method", "Micro-F1@50%", "LP test AUC"});
+  for (Substrate& substrate : substrates) {
+    const GraphStats stats = ComputeGraphStats(substrate.net.graph);
+    std::cout << substrate.name << ": " << stats.num_edges
+              << " edges, max degree " << stats.max_degree
+              << ", homophily " << FormatDouble(stats.label_homophily, 2)
+              << "\n";
+    Rng split_rng(opt.seed);
+    LinkSplit split = benchutil::Unwrap(
+        SplitEdges(substrate.net.graph, EdgeSplitOptions{}, &split_rng),
+        "SplitEdges");
+    for (const std::string& method : methods) {
+      DenseMatrix z = benchutil::Unwrap(
+          TrainMethod(method, substrate.net.graph, mcfg), method.c_str());
+      auto f1 = benchutil::Unwrap(
+          EvaluateNodeClassification(z, substrate.net.graph.labels(),
+                                     substrate.net.graph.num_classes(),
+                                     0.5, opt.seed, 2),
+          "EvaluateNodeClassification");
+      DenseMatrix z_lp = benchutil::Unwrap(
+          TrainMethod(method, split.train_graph, mcfg), method.c_str());
+      auto lp = benchutil::Unwrap(
+          EvaluateLinkPrediction(z_lp, split, opt.seed),
+          "EvaluateLinkPrediction");
+      table.AddRow({substrate.name, method, FormatDouble(f1.micro_f1, 3),
+                    FormatDouble(lp.test_auc, 3)});
+    }
+  }
+  table.ToStdout();
+  benchutil::WriteCsv(table, "substrate_sensitivity");
+  std::cout << "Expected shape: CoANE leads (or ties the best baseline) "
+               "under BOTH generators — the reproduced ordering is not an "
+               "SBM artifact.\n";
+}
+
+}  // namespace
+}  // namespace coane
+
+int main(int argc, char** argv) {
+  coane::Run(coane::benchutil::ParseArgs(argc, argv));
+  return 0;
+}

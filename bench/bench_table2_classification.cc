@@ -1,0 +1,126 @@
+// Reproduces Table 2: Macro/Micro F1 for node label classification on
+// Cora, Citeseer, and Pubmed at training ratios 5% / 20% / 50%.
+//
+// For each dataset every method trains one embedding on the full graph; the
+// one-vs-rest L2 logistic regression protocol of Sec. 4.2 is then applied at
+// each ratio. Paper values (where our roster overlaps the paper's) are
+// printed as reference rows: absolute numbers differ on our synthetic
+// substrate, but the ordering — CoANE >= GAE/VGAE > walk-based > LINE —
+// is the reproduced shape.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/string_utils.h"
+#include "datasets/dataset_registry.h"
+#include "eval/method_zoo.h"
+#include "eval/node_classification.h"
+
+namespace coane {
+namespace {
+
+struct PaperRow {
+  // macro@{5,20,50}, micro@{5,20,50}
+  double values[6];
+};
+
+// Table 2 of the paper, methods we implement.
+const std::map<std::string, std::map<std::string, PaperRow>>& PaperTable() {
+  static const auto& table =
+      *new std::map<std::string, std::map<std::string, PaperRow>>{
+          {"cora",
+           {{"node2vec", {{0.663, 0.714, 0.750, 0.627, 0.677, 0.734}}},
+            {"line", {{0.306, 0.338, 0.363, 0.093, 0.179, 0.243}}},
+            {"gae", {{0.737, 0.771, 0.786, 0.714, 0.744, 0.770}}},
+            {"vgae", {{0.669, 0.782, 0.817, 0.649, 0.762, 0.807}}},
+            {"graphsage", {{0.622, 0.652, 0.657, 0.520, 0.565, 0.592}}},
+            {"arga", {{0.477, 0.784, 0.808, 0.407, 0.761, 0.797}}},
+            {"arvga", {{0.529, 0.808, 0.821, 0.474, 0.783, 0.812}}},
+            {"anrl", {{0.673, 0.747, 0.758, 0.622, 0.709, 0.732}}},
+            {"dane", {{0.309, 0.366, 0.451, 0.086, 0.189, 0.316}}},
+            {"stne", {{0.488, 0.624, 0.673, 0.398, 0.560, 0.638}}},
+            {"asne", {{0.353, 0.395, 0.428, 0.178, 0.280, 0.338}}},
+            {"coane", {{0.767, 0.818, 0.840, 0.737, 0.787, 0.824}}}}},
+          {"citeseer",
+           {{"node2vec", {{0.437, 0.522, 0.555, 0.375, 0.461, 0.487}}},
+            {"line", {{0.216, 0.238, 0.256, 0.115, 0.181, 0.208}}},
+            {"gae", {{0.552, 0.577, 0.585, 0.471, 0.501, 0.500}}},
+            {"vgae", {{0.506, 0.645, 0.684, 0.441, 0.585, 0.620}}},
+            {"graphsage", {{0.608, 0.642, 0.653, 0.526, 0.567, 0.575}}},
+            {"arga", {{0.312, 0.639, 0.675, 0.250, 0.583, 0.605}}},
+            {"arvga", {{0.341, 0.721, 0.736, 0.280, 0.647, 0.660}}},
+            {"anrl", {{0.696, 0.735, 0.746, 0.609, 0.679, 0.684}}},
+            {"dane", {{0.208, 0.281, 0.414, 0.057, 0.155, 0.294}}},
+            {"stne", {{0.319, 0.437, 0.488, 0.248, 0.377, 0.417}}},
+            {"asne", {{0.234, 0.269, 0.310, 0.155, 0.221, 0.258}}},
+            {"coane", {{0.723, 0.744, 0.759, 0.628, 0.680, 0.696}}}}},
+          {"pubmed",
+           {{"node2vec", {{0.760, 0.773, 0.776, 0.739, 0.754, 0.759}}},
+            {"line", {{0.413, 0.433, 0.441, 0.319, 0.332, 0.333}}},
+            {"gae", {{0.751, 0.764, 0.771, 0.749, 0.761, 0.768}}},
+            {"vgae", {{0.819, 0.826, 0.829, 0.812, 0.820, 0.824}}},
+            {"graphsage", {{0.645, 0.651, 0.654, 0.620, 0.625, 0.630}}},
+            {"arga", {{0.407, 0.673, 0.680, 0.306, 0.678, 0.685}}},
+            {"arvga", {{0.400, 0.762, 0.781, 0.221, 0.754, 0.775}}},
+            {"anrl", {{0.707, 0.742, 0.759, 0.705, 0.742, 0.760}}},
+            {"dane", {{0.697, 0.759, 0.786, 0.701, 0.760, 0.787}}},
+            {"stne", {{0.546, 0.575, 0.583, 0.470, 0.517, 0.534}}},
+            {"asne", {{0.676, 0.697, 0.703, 0.663, 0.686, 0.693}}},
+            {"coane", {{0.825, 0.842, 0.851, 0.816, 0.836, 0.847}}}}},
+      };
+  return table;
+}
+
+void Run(const benchutil::BenchOptions& opt) {
+  const std::vector<double> ratios = {0.05, 0.20, 0.50};
+  TablePrinter table(
+      "Table 2: Node label classification F1 (Cora / Citeseer / Pubmed)");
+  table.SetHeader({"Dataset", "Method", "Ma@5%", "Ma@20%", "Ma@50%",
+                   "Mi@5%", "Mi@20%", "Mi@50%", "paper(Ma@50%)"});
+  const std::vector<std::string> datasets = {"cora", "citeseer", "pubmed"};
+  for (const std::string& dataset : datasets) {
+    const double scale = opt.full ? 1.0 : DefaultBenchScale(dataset);
+    AttributedNetwork net = benchutil::Unwrap(
+        MakeDataset(dataset, scale, opt.seed), "MakeDataset");
+    MethodConfig mcfg;
+    mcfg.fast = !opt.full;
+    mcfg.seed = opt.seed;
+    mcfg.coane_negative_mode = NegativeSamplingMode::kBatch;
+    for (const std::string& method : StandardMethods()) {
+      if (method == "deepwalk") continue;  // node2vec(p=q=1) covers it
+      DenseMatrix z = benchutil::Unwrap(
+          TrainMethod(method, net.graph, mcfg), method.c_str());
+      std::vector<std::string> row = {dataset, method};
+      std::vector<double> macros, micros;
+      for (double ratio : ratios) {
+        auto result = benchutil::Unwrap(
+            EvaluateNodeClassification(z, net.graph.labels(),
+                                       net.graph.num_classes(), ratio,
+                                       opt.seed, /*num_trials=*/2),
+            "EvaluateNodeClassification");
+        macros.push_back(result.macro_f1);
+        micros.push_back(result.micro_f1);
+      }
+      for (double m : macros) row.push_back(FormatDouble(m, 3));
+      for (double m : micros) row.push_back(FormatDouble(m, 3));
+      const auto& paper_rows = PaperTable().at(dataset);
+      auto it = paper_rows.find(method);
+      row.push_back(it != paper_rows.end()
+                        ? FormatDouble(it->second.values[2], 3)
+                        : "-");
+      table.AddRow(row);
+    }
+  }
+  table.ToStdout();
+  benchutil::WriteCsv(table, "table2_classification");
+}
+
+}  // namespace
+}  // namespace coane
+
+int main(int argc, char** argv) {
+  coane::Run(coane::benchutil::ParseArgs(argc, argv));
+  return 0;
+}

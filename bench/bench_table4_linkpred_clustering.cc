@@ -1,0 +1,179 @@
+// Reproduces Table 4: link-prediction AUC (left) and node-clustering NMI
+// (right) across the five datasets.
+//
+// Link prediction follows Sec. 4.2: a 70/10/20 train/val/test edge split,
+// embeddings trained on the residual training graph, Hadamard pair features
+// into a logistic-regression classifier, test AUC reported. Clustering runs
+// K-means (K = #labels) on embeddings trained on the full graph, scored by
+// NMI. WebKB columns average the four subnets.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/string_utils.h"
+#include "datasets/dataset_registry.h"
+#include "eval/clustering_task.h"
+#include "eval/link_prediction.h"
+#include "eval/method_zoo.h"
+#include "graph/edge_split.h"
+
+namespace coane {
+namespace {
+
+// Table 4 paper values {AUC, NMI} for the methods we implement.
+const std::map<std::string, std::map<std::string, std::vector<double>>>&
+PaperTable() {
+  static const auto& table =
+      *new std::map<std::string, std::map<std::string, std::vector<double>>>{
+          {"cora",
+           {{"node2vec", {0.896, 0.367}},
+            {"line", {0.632, 0.052}},
+            {"gae", {0.921, 0.374}},
+            {"vgae", {0.923, 0.361}},
+            {"graphsage", {0.757, 0.382}},
+            {"arga", {0.941, 0.452}},
+            {"arvga", {0.927, 0.530}},
+            {"anrl", {0.871, 0.391}},
+            {"dane", {0.663, 0.021}},
+            {"stne", {0.846, 0.207}},
+            {"asne", {0.571, 0.073}},
+            {"coane", {0.947, 0.544}}}},
+          {"citeseer",
+           {{"node2vec", {0.901, 0.149}},
+            {"line", {0.626, 0.005}},
+            {"gae", {0.934, 0.198}},
+            {"vgae", {0.949, 0.157}},
+            {"graphsage", {0.836, 0.305}},
+            {"arga", {0.966, 0.181}},
+            {"arvga", {0.972, 0.381}},
+            {"anrl", {0.965, 0.407}},
+            {"dane", {0.768, 0.032}},
+            {"stne", {0.885, 0.068}},
+            {"asne", {0.586, 0.005}},
+            {"coane", {0.982, 0.435}}}},
+          {"pubmed",
+           {{"node2vec", {0.927, 0.273}},
+            {"line", {0.754, 0.003}},
+            {"gae", {0.947, 0.228}},
+            {"vgae", {0.975, 0.275}},
+            {"graphsage", {0.744, 0.147}},
+            {"arga", {0.920, 0.211}},
+            {"arvga", {0.877, 0.244}},
+            {"anrl", {0.769, 0.099}},
+            {"dane", {0.869, 0.148}},
+            {"stne", {0.880, 0.038}},
+            {"asne", {0.792, 0.165}},
+            {"coane", {0.969, 0.313}}}},
+          {"webkb",
+           {{"node2vec", {0.684, 0.058}},
+            {"line", {0.664, 0.074}},
+            {"gae", {0.507, 0.007}},
+            {"vgae", {0.639, 0.092}},
+            {"graphsage", {0.700, 0.128}},
+            {"arga", {0.614, 0.092}},
+            {"arvga", {0.765, 0.104}},
+            {"anrl", {0.752, 0.132}},
+            {"dane", {0.635, 0.083}},
+            {"stne", {0.670, 0.069}},
+            {"asne", {0.448, 0.078}},
+            {"coane", {0.784, 0.180}}}},
+          {"flickr",
+           {{"node2vec", {0.748, 0.165}},
+            {"line", {0.648, 0.088}},
+            {"gae", {0.903, 0.109}},
+            {"vgae", {0.914, 0.131}},
+            {"graphsage", {0.502, 0.037}},
+            {"arga", {0.925, 0.066}},
+            {"arvga", {0.926, 0.108}},
+            {"anrl", {0.601, 0.014}},
+            {"dane", {0.901, 0.015}},
+            {"stne", {0.913, 0.081}},
+            {"asne", {0.848, 0.111}},
+            {"coane", {0.926, 0.211}}}},
+      };
+  return table;
+}
+
+struct Scores {
+  double auc = 0.0;
+  double nmi = 0.0;
+};
+
+Scores EvaluateOn(const std::string& method, const AttributedNetwork& net,
+                  const MethodConfig& mcfg, uint64_t seed) {
+  Scores out;
+  // --- Link prediction on the residual training graph.
+  Rng split_rng(seed);
+  LinkSplit split = benchutil::Unwrap(
+      SplitEdges(net.graph, EdgeSplitOptions{}, &split_rng), "SplitEdges");
+  DenseMatrix z_lp = benchutil::Unwrap(
+      TrainMethod(method, split.train_graph, mcfg), method.c_str());
+  out.auc = benchutil::Unwrap(EvaluateLinkPrediction(z_lp, split, seed),
+                              "EvaluateLinkPrediction")
+                .test_auc;
+  // --- Clustering on the full graph.
+  DenseMatrix z_full = benchutil::Unwrap(
+      TrainMethod(method, net.graph, mcfg), method.c_str());
+  out.nmi = benchutil::Unwrap(
+      EvaluateClusteringNmi(z_full, net.graph.labels(),
+                            net.graph.num_classes(), seed),
+      "EvaluateClusteringNmi");
+  return out;
+}
+
+void Run(const benchutil::BenchOptions& opt) {
+  TablePrinter table(
+      "Table 4: Link prediction AUC and node clustering NMI");
+  table.SetHeader({"Dataset", "Method", "AUC", "paper AUC", "NMI",
+                   "paper NMI"});
+  const std::vector<std::string> datasets = {"cora", "citeseer", "pubmed",
+                                             "webkb", "flickr"};
+  for (const std::string& dataset : datasets) {
+    MethodConfig mcfg;
+    mcfg.fast = !opt.full;
+    mcfg.seed = opt.seed;
+    const bool dense = dataset == "webkb" || dataset == "flickr";
+    mcfg.coane_negative_mode = dense ? NegativeSamplingMode::kPreSampled
+                                     : NegativeSamplingMode::kBatch;
+    for (const std::string& method : StandardMethods()) {
+      if (method == "deepwalk") continue;
+      Scores scores;
+      if (dataset == "webkb") {
+        for (const std::string& subnet : WebKbNetworks()) {
+          AttributedNetwork net = benchutil::Unwrap(
+              MakeDataset(subnet, 1.0, opt.seed), "MakeDataset");
+          Scores s = EvaluateOn(method, net, mcfg, opt.seed);
+          scores.auc += s.auc / 4.0;
+          scores.nmi += s.nmi / 4.0;
+        }
+      } else {
+        const double scale = opt.full ? 1.0 : DefaultBenchScale(dataset);
+        AttributedNetwork net = benchutil::Unwrap(
+            MakeDataset(dataset, scale, opt.seed), "MakeDataset");
+        scores = EvaluateOn(method, net, mcfg, opt.seed);
+      }
+      const auto& paper_rows = PaperTable().at(dataset);
+      auto it = paper_rows.find(method);
+      table.AddRow({dataset, method, FormatDouble(scores.auc, 3),
+                    it != paper_rows.end()
+                        ? FormatDouble(it->second[0], 3)
+                        : "-",
+                    FormatDouble(scores.nmi, 3),
+                    it != paper_rows.end()
+                        ? FormatDouble(it->second[1], 3)
+                        : "-"});
+    }
+  }
+  table.ToStdout();
+  benchutil::WriteCsv(table, "table4_linkpred_clustering");
+}
+
+}  // namespace
+}  // namespace coane
+
+int main(int argc, char** argv) {
+  coane::Run(coane::benchutil::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Citation-network node classification, the scenario motivating the paper's
+// Tables 2-3: papers cite each other, carry bag-of-words attributes, and
+// belong to research areas. This example
+//   1. generates a Cora-like synthetic citation network,
+//   2. trains CoANE and the node2vec baseline,
+//   3. classifies paper areas from the embeddings at several label rates,
+//   4. prints the Macro/Micro-F1 comparison.
+//
+//   ./citation_classification [--seed=N]
+
+#include <cstdio>
+#include <string>
+
+#include "common/table_printer.h"
+#include "common/string_utils.h"
+#include "datasets/dataset_registry.h"
+#include "eval/method_zoo.h"
+#include "eval/node_classification.h"
+#include "graph/graph_stats.h"
+
+int main(int argc, char** argv) {
+  using namespace coane;
+  uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = static_cast<uint64_t>(std::stoull(arg.substr(7)));
+    }
+  }
+
+  // --- Generate a Cora-like citation network (scaled for speed).
+  auto net_or = MakeDataset("cora", DefaultBenchScale("cora"), seed);
+  if (!net_or.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 net_or.status().ToString().c_str());
+    return 1;
+  }
+  const Graph& graph = net_or.value().graph;
+  GraphStats stats = ComputeGraphStats(graph);
+  std::printf(
+      "citation network: %lld papers, %lld citations, %lld word features, "
+      "%d areas, homophily %.2f\n",
+      static_cast<long long>(stats.num_nodes),
+      static_cast<long long>(stats.num_edges),
+      static_cast<long long>(stats.num_attributes), stats.num_labels,
+      stats.label_homophily);
+
+  // --- Train both methods through the shared method zoo.
+  MethodConfig mcfg;
+  mcfg.seed = seed;
+  TablePrinter table("Research-area classification from embeddings");
+  table.SetHeader({"method", "Macro-F1 @10%", "Macro-F1 @50%",
+                   "Micro-F1 @10%", "Micro-F1 @50%"});
+  for (const std::string& method : {std::string("node2vec"),
+                                    std::string("coane")}) {
+    auto z = TrainMethod(method, graph, mcfg);
+    if (!z.ok()) {
+      std::fprintf(stderr, "%s: %s\n", method.c_str(),
+                   z.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::string> row = {method};
+    std::vector<double> macros, micros;
+    for (double ratio : {0.10, 0.50}) {
+      auto result = EvaluateNodeClassification(
+          z.value(), graph.labels(), graph.num_classes(), ratio, seed, 2);
+      if (!result.ok()) {
+        std::fprintf(stderr, "eval: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      macros.push_back(result.value().macro_f1);
+      micros.push_back(result.value().micro_f1);
+    }
+    for (double m : macros) row.push_back(FormatDouble(m, 3));
+    for (double m : micros) row.push_back(FormatDouble(m, 3));
+    table.AddRow(row);
+  }
+  table.ToStdout();
+  std::printf(
+      "CoANE uses both citation structure and word attributes, so it "
+      "should beat the structure-only node2vec.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Inductive embedding of unseen nodes — the extension the paper's encoder
+// naturally admits (see src/core/inductive.h). This example
+//   1. generates a citation network and holds 10% of the papers out,
+//   2. trains CoANE on the remaining graph only,
+//   3. embeds each held-out paper from its attributes + references alone
+//      (no retraining),
+//   4. classifies held-out papers with a classifier fit on trained nodes.
+//
+//   ./inductive_embedding [--seed=N]
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/inductive.h"
+#include "datasets/dataset_registry.h"
+#include "eval/logistic_regression.h"
+#include "eval/metrics.h"
+#include "graph/subgraph.h"
+
+int main(int argc, char** argv) {
+  using namespace coane;
+  uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = static_cast<uint64_t>(std::stoull(arg.substr(7)));
+    }
+  }
+
+  auto net_or = MakeDataset("cora", DefaultBenchScale("cora"), seed);
+  if (!net_or.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 net_or.status().ToString().c_str());
+    return 1;
+  }
+  const Graph& full = net_or.value().graph;
+
+  // --- Hold out 10% of the nodes (those with at least one kept neighbor).
+  Rng rng(seed);
+  std::set<NodeId> held_out;
+  while (held_out.size() <
+         static_cast<size_t>(full.num_nodes()) / 10) {
+    held_out.insert(static_cast<NodeId>(rng.UniformInt(full.num_nodes())));
+  }
+  // Re-index the kept nodes into a training graph via the library's
+  // induced-subgraph helper.
+  std::vector<NodeId> kept;
+  for (NodeId v = 0; v < full.num_nodes(); ++v) {
+    if (held_out.count(v) == 0) kept.push_back(v);
+  }
+  auto sub_or = BuildInducedSubgraph(full, kept);
+  if (!sub_or.ok()) {
+    std::fprintf(stderr, "subgraph: %s\n",
+                 sub_or.status().ToString().c_str());
+    return 1;
+  }
+  const InducedSubgraph& sub = std::move(sub_or).value();
+  const Graph& train_graph = sub.graph;
+  const std::vector<NodeId>& new_id = sub.old_to_new;
+  std::printf("training graph: %lld of %lld papers (%zu held out)\n",
+              static_cast<long long>(train_graph.num_nodes()),
+              static_cast<long long>(full.num_nodes()), held_out.size());
+
+  // --- Train CoANE on the training graph only.
+  CoaneConfig config;
+  config.embedding_dim = 32;
+  config.num_walks = 2;
+  config.subsample_t = 1e-3;
+  config.learning_rate = 0.005f;
+  config.negative_weight = 1e-2f;
+  config.attribute_gamma = 1e3f;
+  config.decoder_hidden = {64};
+  config.max_epochs = 8;
+  config.seed = seed;
+  CoaneModel model(train_graph, config);
+  if (!model.Preprocess().ok() || !model.Train().ok()) {
+    std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+
+  // --- Fit a classifier on the *trained* embeddings.
+  OneVsRestClassifier clf;
+  if (!clf.Fit(model.embeddings(), train_graph.labels(),
+               train_graph.num_classes(), LogisticRegressionConfig{})
+           .ok()) {
+    std::fprintf(stderr, "classifier failed\n");
+    return 1;
+  }
+
+  // --- Embed each held-out paper inductively and classify it.
+  std::vector<int32_t> y_true, y_pred;
+  int embedded = 0;
+  for (NodeId v : held_out) {
+    UnseenNode node;
+    for (const SparseEntry& e : full.attributes().Row(v)) {
+      node.attributes.push_back(e);
+    }
+    for (const NeighborEntry& e : full.Neighbors(v)) {
+      const NodeId mapped = new_id[static_cast<size_t>(e.node)];
+      if (mapped >= 0) node.neighbors.push_back(mapped);
+    }
+    if (node.neighbors.empty()) continue;  // no surviving references
+    InductiveOptions opt;
+    opt.num_contexts = 30;
+    auto z = EncodeUnseenNode(model, train_graph, node, opt, &rng);
+    if (!z.ok()) continue;
+    ++embedded;
+    y_true.push_back(full.labels()[static_cast<size_t>(v)]);
+    y_pred.push_back(clf.Predict(z.value().data()));
+  }
+  const double acc = Accuracy(y_true, y_pred);
+  std::printf("inductively embedded %d held-out papers without "
+              "retraining\n",
+              embedded);
+  std::printf("held-out classification accuracy: %.3f (chance ~%.3f)\n",
+              acc, 1.0 / train_graph.num_classes());
+  return 0;
+}

@@ -1,0 +1,176 @@
+#include "baselines/anrl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/vector_ops.h"
+#include "nn/mlp.h"
+#include "walk/random_walk.h"
+
+namespace coane {
+namespace {
+
+// Neighbor-enhanced reconstruction target: 0.5 * x_v + 0.5 * mean of the
+// neighbors' attributes (dense row).
+void BuildTarget(const Graph& graph, NodeId v, float* out, int64_t d) {
+  for (int64_t j = 0; j < d; ++j) out[j] = 0.0f;
+  for (const SparseEntry& e : graph.attributes().Row(v)) {
+    out[e.col] += 0.5f * e.value;
+  }
+  auto nbrs = graph.Neighbors(v);
+  if (nbrs.empty()) {
+    // Isolated node: reconstruct itself fully.
+    for (const SparseEntry& e : graph.attributes().Row(v)) {
+      out[e.col] += 0.5f * e.value;
+    }
+    return;
+  }
+  const float inv = 0.5f / static_cast<float>(nbrs.size());
+  for (const NeighborEntry& nb : nbrs) {
+    for (const SparseEntry& e : graph.attributes().Row(nb.node)) {
+      out[e.col] += inv * e.value;
+    }
+  }
+}
+
+}  // namespace
+
+Result<DenseMatrix> TrainAnrl(const Graph& graph, const AnrlConfig& config) {
+  if (graph.num_attributes() == 0) {
+    return Status::FailedPrecondition("ANRL needs node attributes");
+  }
+  if (config.embedding_dim < 1 || config.hidden_dim < 1 ||
+      config.batch_size < 1) {
+    return Status::InvalidArgument("dims and batch size must be positive");
+  }
+  Rng rng(config.seed);
+  const int64_t n = graph.num_nodes();
+  const int64_t d = graph.num_attributes();
+
+  Mlp encoder({d, config.hidden_dim, config.embedding_dim}, &rng);
+  Mlp decoder({config.embedding_dim, config.hidden_dim, d}, &rng);
+  AdamConfig adam_cfg;
+  adam_cfg.learning_rate = config.learning_rate;
+  AdamOptimizer opt(adam_cfg);
+  encoder.RegisterParams(&opt);
+  decoder.RegisterParams(&opt);
+
+  // Walk pairs for the structure term, regenerated each epoch.
+  RandomWalkConfig wcfg;
+  wcfg.num_walks_per_node = 1;
+  wcfg.walk_length = config.walk_length;
+
+  // Negative table: unigram^0.75 over degrees.
+  std::vector<double> noise(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    noise[static_cast<size_t>(v)] =
+        std::pow(graph.WeightedDegree(v) + 1e-6, 0.75);
+  }
+  AliasTable noise_table(noise);
+
+  auto densify_rows = [&](const std::vector<NodeId>& batch) {
+    DenseMatrix xb(static_cast<int64_t>(batch.size()), d, 0.0f);
+    for (size_t b = 0; b < batch.size(); ++b) {
+      float* row = xb.Row(static_cast<int64_t>(b));
+      for (const SparseEntry& e : graph.attributes().Row(batch[b])) {
+        row[e.col] = e.value;
+      }
+    }
+    return xb;
+  };
+  auto encode_all = [&](DenseMatrix* z) {
+    const int64_t chunk = 512;
+    for (int64_t start = 0; start < n; start += chunk) {
+      std::vector<NodeId> batch;
+      for (int64_t v = start; v < std::min(n, start + chunk); ++v) {
+        batch.push_back(static_cast<NodeId>(v));
+      }
+      DenseMatrix zb = encoder.Forward(densify_rows(batch));
+      for (size_t b = 0; b < batch.size(); ++b) {
+        for (int64_t j = 0; j < config.embedding_dim; ++j) {
+          z->At(batch[b], j) = zb.At(static_cast<int64_t>(b), j);
+        }
+      }
+    }
+  };
+
+  DenseMatrix z(n, config.embedding_dim, 0.0f);
+  encode_all(&z);
+
+  std::vector<NodeId> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    auto walks = GenerateRandomWalks(graph, wcfg, &rng);
+    if (!walks.ok()) return walks.status();
+    // walk[v] starts at v (num_walks_per_node = 1).
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(config.batch_size)) {
+      const size_t end = std::min(
+          order.size(), start + static_cast<size_t>(config.batch_size));
+      std::vector<NodeId> batch(order.begin() + static_cast<int64_t>(start),
+                                order.begin() + static_cast<int64_t>(end));
+      const int64_t bn = static_cast<int64_t>(batch.size());
+
+      // Forward: refresh cached embeddings for the batch.
+      DenseMatrix xb = densify_rows(batch);
+      DenseMatrix zb = encoder.Forward(xb);
+      for (int64_t b = 0; b < bn; ++b) {
+        for (int64_t j = 0; j < config.embedding_dim; ++j) {
+          z.At(batch[static_cast<size_t>(b)], j) = zb.At(b, j);
+        }
+      }
+
+      // (1) Neighborhood-enhanced reconstruction.
+      DenseMatrix tb(bn, d, 0.0f);
+      for (int64_t b = 0; b < bn; ++b) {
+        BuildTarget(graph, batch[static_cast<size_t>(b)], tb.Row(b), d);
+      }
+      DenseMatrix xh = decoder.Forward(zb);
+      DenseMatrix dxh;
+      MseLoss(xh, tb, &dxh);
+      encoder.ZeroGrad();
+      decoder.ZeroGrad();
+      DenseMatrix dzb = decoder.Backward(dxh);
+
+      // (2) Skip-gram structure term on the cached embeddings; gradients
+      // flow to the batch rows only.
+      const float sw = config.structure_weight /
+                       static_cast<float>(std::max<int64_t>(bn, 1));
+      for (int64_t b = 0; b < bn; ++b) {
+        const NodeId center = batch[static_cast<size_t>(b)];
+        const Walk& walk = walks.value()[static_cast<size_t>(center)];
+        const int limit = std::min<int>(config.window_size,
+                                        static_cast<int>(walk.size()) - 1);
+        for (int p = 0; p < limit; ++p) {
+          const NodeId ctx = walk[static_cast<size_t>(p + 1)];
+          if (ctx == center) continue;
+          const float s_pos =
+              Dot(z.Row(center), z.Row(ctx), config.embedding_dim);
+          const float g_pos = (Sigmoid(s_pos) - 1.0f) * sw;
+          Axpy(g_pos, z.Row(ctx), dzb.Row(b), config.embedding_dim);
+          for (int k = 0; k < config.num_negative; ++k) {
+            const NodeId neg =
+                static_cast<NodeId>(noise_table.Sample(&rng));
+            if (neg == center || neg == ctx) continue;
+            const float s_neg =
+                Dot(z.Row(center), z.Row(neg), config.embedding_dim);
+            const float g_neg = Sigmoid(s_neg) * sw;
+            Axpy(g_neg, z.Row(neg), dzb.Row(b), config.embedding_dim);
+          }
+        }
+      }
+
+      encoder.Backward(dzb);
+      encoder.ApplyGrad(&opt);
+      decoder.ApplyGrad(&opt);
+    }
+  }
+  encode_all(&z);
+  return z;
+}
+
+}  // namespace coane

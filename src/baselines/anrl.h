@@ -1,0 +1,39 @@
+#ifndef COANE_BASELINES_ANRL_H_
+#define COANE_BASELINES_ANRL_H_
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "la/dense_matrix.h"
+
+namespace coane {
+
+/// ANRL (Zhang et al., IJCAI 2018): joint structure-attribute learning.
+/// An MLP encoder maps a node's attributes to its embedding; two losses are
+/// optimized jointly:
+///   (1) *neighborhood-enhancement autoencoder*: the decoder reconstructs
+///       the neighbor-averaged attribute vector (ANRL's key trick — the
+///       target is the aggregated neighborhood, not the node itself);
+///   (2) a skip-gram loss with negative sampling over random-walk
+///       co-visited pairs on the embeddings.
+/// This is the representative of the paper's "joint learning" family
+/// (DANE/ASNE/ANRL) that uses both sources, as opposed to the pure
+/// attribute autoencoder.
+struct AnrlConfig {
+  int64_t hidden_dim = 128;
+  int64_t embedding_dim = 64;
+  int epochs = 30;
+  int batch_size = 128;
+  float learning_rate = 0.005f;
+  /// Weight of the skip-gram term relative to reconstruction.
+  float structure_weight = 1.0f;
+  int window_size = 5;
+  int walk_length = 20;
+  int num_negative = 3;
+  uint64_t seed = 42;
+};
+
+Result<DenseMatrix> TrainAnrl(const Graph& graph, const AnrlConfig& config);
+
+}  // namespace coane
+
+#endif  // COANE_BASELINES_ANRL_H_

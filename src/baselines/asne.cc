@@ -1,0 +1,118 @@
+#include "baselines/asne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+
+Result<DenseMatrix> TrainAsne(const Graph& graph, const AsneConfig& config) {
+  if (config.embedding_dim < 2 || config.embedding_dim % 2 != 0) {
+    return Status::InvalidArgument("embedding_dim must be even and >= 2");
+  }
+  if (graph.num_attributes() == 0) {
+    return Status::FailedPrecondition("ASNE needs node attributes");
+  }
+  if (graph.num_edges() == 0) {
+    return Status::FailedPrecondition("ASNE needs edges");
+  }
+  Rng rng(config.seed);
+  const int64_t n = graph.num_nodes();
+  const int64_t d = graph.num_attributes();
+  const int64_t half = config.embedding_dim / 2;
+  const SparseMatrix& x = graph.attributes();
+
+  // Structure embeddings, attribute projection, and the context
+  // (prediction) table.
+  DenseMatrix u(n, half);
+  for (int64_t i = 0; i < u.size(); ++i) {
+    u.data()[i] = static_cast<float>((rng.Uniform() - 0.5) /
+                                     static_cast<double>(half));
+  }
+  DenseMatrix w(d, half);
+  w.XavierInit(&rng);
+  DenseMatrix context(n, config.embedding_dim, 0.0f);
+
+  const std::vector<Edge> edges = graph.UndirectedEdges();
+  std::vector<double> edge_weights;
+  edge_weights.reserve(edges.size());
+  for (const Edge& e : edges) edge_weights.push_back(e.weight);
+  AliasTable edge_table(edge_weights);
+  std::vector<double> noise(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    noise[static_cast<size_t>(v)] =
+        std::pow(graph.WeightedDegree(v) + 1e-6, 0.75);
+  }
+  AliasTable noise_table(noise);
+
+  // z_v = [u_v | lambda * x_v W], assembled on demand.
+  std::vector<float> z(static_cast<size_t>(config.embedding_dim));
+  auto assemble = [&](NodeId v) {
+    for (int64_t j = 0; j < half; ++j) {
+      z[static_cast<size_t>(j)] = u.At(v, j);
+    }
+    for (int64_t j = 0; j < half; ++j) {
+      z[static_cast<size_t>(half + j)] = 0.0f;
+    }
+    for (const SparseEntry& e : x.Row(v)) {
+      Axpy(config.attribute_weight * e.value, w.Row(e.col),
+           z.data() + half, half);
+    }
+  };
+
+  const int64_t total = config.num_samples_per_edge *
+                        static_cast<int64_t>(edges.size());
+  std::vector<float> dz(static_cast<size_t>(config.embedding_dim));
+  for (int64_t step = 0; step < total; ++step) {
+    const float lr = std::max(
+        config.learning_rate *
+            (1.0f -
+             static_cast<float>(step) / static_cast<float>(total + 1)),
+        config.learning_rate * 1e-4f);
+    const Edge& e = edges[static_cast<size_t>(edge_table.Sample(&rng))];
+    NodeId src = e.src, dst = e.dst;
+    if (rng.Bernoulli(0.5)) std::swap(src, dst);
+    assemble(src);
+    std::fill(dz.begin(), dz.end(), 0.0f);
+    for (int k = 0; k <= config.num_negative; ++k) {
+      NodeId target;
+      float label;
+      if (k == 0) {
+        target = dst;
+        label = 1.0f;
+      } else {
+        target = static_cast<NodeId>(noise_table.Sample(&rng));
+        if (target == dst || target == src) continue;
+        label = 0.0f;
+      }
+      float* c_row = context.Row(target);
+      const float score =
+          Sigmoid(Dot(z.data(), c_row, config.embedding_dim));
+      const float g = lr * (label - score);
+      Axpy(g, c_row, dz.data(), config.embedding_dim);
+      Axpy(g, z.data(), c_row, config.embedding_dim);
+    }
+    // Apply dz: the first half updates u_src, the second half backprops
+    // through the attribute projection.
+    Axpy(1.0f, dz.data(), u.Row(src), half);
+    for (const SparseEntry& entry : x.Row(src)) {
+      Axpy(config.attribute_weight * entry.value, dz.data() + half,
+           w.Row(entry.col), half);
+    }
+  }
+
+  DenseMatrix out(n, config.embedding_dim);
+  for (NodeId v = 0; v < n; ++v) {
+    assemble(v);
+    float* row = out.Row(v);
+    for (int64_t j = 0; j < config.embedding_dim; ++j) {
+      row[j] = z[static_cast<size_t>(j)];
+    }
+  }
+  return out;
+}
+
+}  // namespace coane

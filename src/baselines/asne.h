@@ -1,0 +1,33 @@
+#ifndef COANE_BASELINES_ASNE_H_
+#define COANE_BASELINES_ASNE_H_
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "la/dense_matrix.h"
+
+namespace coane {
+
+/// ASNE (Liao et al., TKDE 2018): attributed social network embedding.
+/// Each node's representation concatenates a free structure embedding u_v
+/// with a projection of its attributes:
+///     z_v = [ u_v | lambda * W x_v ]
+/// and the model is trained to predict graph neighbors from z via the
+/// skip-gram objective with negative sampling (the paper's softmax is
+/// replaced by its standard sampled approximation). Preserves structural
+/// proximity and attribute homophily jointly but — unlike CoANE — treats
+/// attributes as a per-node input with no context co-occurrence structure.
+struct AsneConfig {
+  int64_t embedding_dim = 64;  // total; half structure, half attributes
+  /// Attribute-part weight lambda.
+  float attribute_weight = 1.0f;
+  int64_t num_samples_per_edge = 50;  // total edge samples = this * |E|
+  int num_negative = 5;
+  float learning_rate = 0.025f;
+  uint64_t seed = 42;
+};
+
+Result<DenseMatrix> TrainAsne(const Graph& graph, const AsneConfig& config);
+
+}  // namespace coane
+
+#endif  // COANE_BASELINES_ASNE_H_

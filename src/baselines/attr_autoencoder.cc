@@ -1,0 +1,86 @@
+#include "baselines/attr_autoencoder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/mlp.h"
+
+namespace coane {
+
+Result<DenseMatrix> TrainAttrAutoencoder(
+    const Graph& graph, const AttrAutoencoderConfig& config) {
+  if (graph.num_attributes() == 0) {
+    return Status::FailedPrecondition("graph has no attributes");
+  }
+  if (config.embedding_dim < 1 || config.hidden_dim < 1 ||
+      config.batch_size < 1) {
+    return Status::InvalidArgument("dims and batch size must be positive");
+  }
+  Rng rng(config.seed);
+  const int64_t n = graph.num_nodes();
+  const int64_t d = graph.num_attributes();
+  const SparseMatrix& x = graph.attributes();
+
+  Mlp encoder({d, config.hidden_dim, config.embedding_dim}, &rng);
+  Mlp decoder({config.embedding_dim, config.hidden_dim, d}, &rng);
+  AdamConfig adam_cfg;
+  adam_cfg.learning_rate = config.learning_rate;
+  AdamOptimizer opt(adam_cfg);
+  encoder.RegisterParams(&opt);
+  decoder.RegisterParams(&opt);
+
+  std::vector<NodeId> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  auto densify = [&](const std::vector<NodeId>& batch) {
+    DenseMatrix xb(static_cast<int64_t>(batch.size()), d, 0.0f);
+    for (size_t b = 0; b < batch.size(); ++b) {
+      float* row = xb.Row(static_cast<int64_t>(b));
+      for (const SparseEntry& e : x.Row(batch[b])) row[e.col] = e.value;
+    }
+    return xb;
+  };
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(config.batch_size)) {
+      const size_t end = std::min(
+          order.size(), start + static_cast<size_t>(config.batch_size));
+      std::vector<NodeId> batch(order.begin() + static_cast<int64_t>(start),
+                                order.begin() + static_cast<int64_t>(end));
+      DenseMatrix xb = densify(batch);
+      DenseMatrix zb = encoder.Forward(xb);
+      DenseMatrix xh = decoder.Forward(zb);
+      DenseMatrix dxh;
+      MseLoss(xh, xb, &dxh);
+      encoder.ZeroGrad();
+      decoder.ZeroGrad();
+      DenseMatrix dz = decoder.Backward(dxh);
+      encoder.Backward(dz);
+      encoder.ApplyGrad(&opt);
+      decoder.ApplyGrad(&opt);
+    }
+  }
+
+  // Final embeddings: encode all rows.
+  DenseMatrix z(n, config.embedding_dim);
+  const int64_t chunk = 512;
+  for (int64_t start = 0; start < n; start += chunk) {
+    std::vector<NodeId> batch;
+    for (int64_t v = start; v < std::min(n, start + chunk); ++v) {
+      batch.push_back(static_cast<NodeId>(v));
+    }
+    DenseMatrix zb = encoder.Forward(densify(batch));
+    for (size_t b = 0; b < batch.size(); ++b) {
+      for (int64_t j = 0; j < config.embedding_dim; ++j) {
+        z.At(batch[b], j) = zb.At(static_cast<int64_t>(b), j);
+      }
+    }
+  }
+  return z;
+}
+
+}  // namespace coane

@@ -1,0 +1,30 @@
+#ifndef COANE_BASELINES_ATTR_AUTOENCODER_H_
+#define COANE_BASELINES_ATTR_AUTOENCODER_H_
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "la/dense_matrix.h"
+
+namespace coane {
+
+/// Attribute-only MLP autoencoder — the stand-in for the joint
+/// structure-attribute reconstruction family (DANE / ASNE) in the paper's
+/// comparison (see DESIGN.md §3). The encoder maps X row-wise to the
+/// embedding; the decoder reconstructs X with MSE. It sees no graph
+/// structure, so its table rows land where the paper's attribute-dominant
+/// baselines land: decent on attribute-aligned tasks, weak on structure.
+struct AttrAutoencoderConfig {
+  int64_t hidden_dim = 128;
+  int64_t embedding_dim = 64;
+  int epochs = 40;
+  int batch_size = 128;
+  float learning_rate = 0.005f;
+  uint64_t seed = 42;
+};
+
+Result<DenseMatrix> TrainAttrAutoencoder(const Graph& graph,
+                                         const AttrAutoencoderConfig& config);
+
+}  // namespace coane
+
+#endif  // COANE_BASELINES_ATTR_AUTOENCODER_H_

@@ -1,0 +1,158 @@
+#include "baselines/dane.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/vector_ops.h"
+#include "nn/mlp.h"
+
+namespace coane {
+namespace {
+
+// Writes node v's structural feature row: sum_{k=1..order} (P^k)_v, where
+// P is the row-normalized adjacency — a truncated high-order proximity
+// vector, computed by propagating the probability mass k hops out.
+void StructuralRow(const Graph& graph, NodeId v, int order, float* out,
+                   std::vector<double>* frontier,
+                   std::vector<double>* next) {
+  const int64_t n = graph.num_nodes();
+  std::fill(out, out + n, 0.0f);
+  std::fill(frontier->begin(), frontier->end(), 0.0);
+  (*frontier)[static_cast<size_t>(v)] = 1.0;
+  for (int hop = 0; hop < order; ++hop) {
+    std::fill(next->begin(), next->end(), 0.0);
+    for (int64_t u = 0; u < n; ++u) {
+      const double mass = (*frontier)[static_cast<size_t>(u)];
+      if (mass == 0.0) continue;
+      const double total = graph.WeightedDegree(static_cast<NodeId>(u));
+      if (total <= 0.0) continue;
+      for (const NeighborEntry& e :
+           graph.Neighbors(static_cast<NodeId>(u))) {
+        (*next)[static_cast<size_t>(e.node)] += mass * e.weight / total;
+      }
+    }
+    std::swap(*frontier, *next);
+    for (int64_t j = 0; j < n; ++j) {
+      out[j] += static_cast<float>((*frontier)[static_cast<size_t>(j)]);
+    }
+  }
+}
+
+}  // namespace
+
+Result<DenseMatrix> TrainDane(const Graph& graph, const DaneConfig& config) {
+  if (config.embedding_dim < 2 || config.embedding_dim % 2 != 0) {
+    return Status::InvalidArgument("embedding_dim must be even and >= 2");
+  }
+  if (graph.num_attributes() == 0) {
+    return Status::FailedPrecondition("DANE needs node attributes");
+  }
+  if (config.proximity_order < 1) {
+    return Status::InvalidArgument("proximity_order must be >= 1");
+  }
+  Rng rng(config.seed);
+  const int64_t n = graph.num_nodes();
+  const int64_t d = graph.num_attributes();
+  const int64_t half = config.embedding_dim / 2;
+  const SparseMatrix& x = graph.attributes();
+
+  Mlp enc_s({n, config.hidden_dim, half}, &rng);
+  Mlp dec_s({half, config.hidden_dim, n}, &rng);
+  Mlp enc_a({d, config.hidden_dim, half}, &rng);
+  Mlp dec_a({half, config.hidden_dim, d}, &rng);
+  AdamConfig adam_cfg;
+  adam_cfg.learning_rate = config.learning_rate;
+  AdamOptimizer opt(adam_cfg);
+  enc_s.RegisterParams(&opt);
+  dec_s.RegisterParams(&opt);
+  enc_a.RegisterParams(&opt);
+  dec_a.RegisterParams(&opt);
+
+  std::vector<double> frontier(static_cast<size_t>(n)),
+      scratch(static_cast<size_t>(n));
+  auto struct_batch = [&](const std::vector<NodeId>& batch) {
+    DenseMatrix m(static_cast<int64_t>(batch.size()), n, 0.0f);
+    for (size_t b = 0; b < batch.size(); ++b) {
+      StructuralRow(graph, batch[b], config.proximity_order,
+                    m.Row(static_cast<int64_t>(b)), &frontier, &scratch);
+    }
+    return m;
+  };
+  auto attr_batch = [&](const std::vector<NodeId>& batch) {
+    DenseMatrix m(static_cast<int64_t>(batch.size()), d, 0.0f);
+    for (size_t b = 0; b < batch.size(); ++b) {
+      float* row = m.Row(static_cast<int64_t>(b));
+      for (const SparseEntry& e : x.Row(batch[b])) row[e.col] = e.value;
+    }
+    return m;
+  };
+
+  std::vector<NodeId> order_vec(static_cast<size_t>(n));
+  std::iota(order_vec.begin(), order_vec.end(), 0);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order_vec);
+    for (size_t start = 0; start < order_vec.size();
+         start += static_cast<size_t>(config.batch_size)) {
+      const size_t end =
+          std::min(order_vec.size(),
+                   start + static_cast<size_t>(config.batch_size));
+      std::vector<NodeId> batch(
+          order_vec.begin() + static_cast<int64_t>(start),
+          order_vec.begin() + static_cast<int64_t>(end));
+
+      DenseMatrix ms = struct_batch(batch);
+      DenseMatrix ma = attr_batch(batch);
+      DenseMatrix zs = enc_s.Forward(ms);
+      DenseMatrix za = enc_a.Forward(ma);
+      DenseMatrix rs = dec_s.Forward(zs);
+      DenseMatrix ra = dec_a.Forward(za);
+
+      DenseMatrix drs, dra, dcons;
+      MseLoss(rs, ms, &drs);
+      MseLoss(ra, ma, &dra);
+      // Consistency: || zs - za ||^2 (mean), pulling the codes together.
+      DenseMatrix diff = zs;
+      diff.Axpy(-1.0f, za);
+      MseLoss(diff, DenseMatrix(diff.rows(), diff.cols(), 0.0f), &dcons);
+      dcons.Scale(config.consistency_weight);
+
+      enc_s.ZeroGrad();
+      dec_s.ZeroGrad();
+      enc_a.ZeroGrad();
+      dec_a.ZeroGrad();
+      DenseMatrix dzs = dec_s.Backward(drs);
+      dzs.Axpy(1.0f, dcons);
+      enc_s.Backward(dzs);
+      DenseMatrix dza = dec_a.Backward(dra);
+      dza.Axpy(-1.0f, dcons);
+      enc_a.Backward(dza);
+      enc_s.ApplyGrad(&opt);
+      dec_s.ApplyGrad(&opt);
+      enc_a.ApplyGrad(&opt);
+      dec_a.ApplyGrad(&opt);
+    }
+  }
+
+  // Final embeddings: [zs | za] encoded in chunks.
+  DenseMatrix z(n, config.embedding_dim);
+  const int64_t chunk = 256;
+  for (int64_t start = 0; start < n; start += chunk) {
+    std::vector<NodeId> batch;
+    for (int64_t v = start; v < std::min(n, start + chunk); ++v) {
+      batch.push_back(static_cast<NodeId>(v));
+    }
+    DenseMatrix zs = enc_s.Forward(struct_batch(batch));
+    DenseMatrix za = enc_a.Forward(attr_batch(batch));
+    for (size_t b = 0; b < batch.size(); ++b) {
+      for (int64_t j = 0; j < half; ++j) {
+        z.At(batch[b], j) = zs.At(static_cast<int64_t>(b), j);
+        z.At(batch[b], half + j) = za.At(static_cast<int64_t>(b), j);
+      }
+    }
+  }
+  return z;
+}
+
+}  // namespace coane

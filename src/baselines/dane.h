@@ -1,0 +1,35 @@
+#ifndef COANE_BASELINES_DANE_H_
+#define COANE_BASELINES_DANE_H_
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "la/dense_matrix.h"
+
+namespace coane {
+
+/// DANE (Gao & Huang, IJCAI 2018): deep attributed network embedding via
+/// two coupled autoencoders. One autoencoder compresses each node's
+/// *structural* feature vector (its row of the random-walk transition
+/// matrix raised to the first few powers — high-order proximity), the
+/// other compresses its attributes; the training loss combines both
+/// reconstructions with a consistency term pulling the two latent codes
+/// together. The final embedding concatenates the two codes, exactly the
+/// paper's end-to-end (no pre-training) setup that CoANE compares against.
+struct DaneConfig {
+  int64_t hidden_dim = 128;
+  int64_t embedding_dim = 64;  // total; halved per autoencoder
+  /// Powers of the transition matrix summed into the structural features
+  /// (high-order proximity depth).
+  int proximity_order = 2;
+  float consistency_weight = 1.0f;
+  int epochs = 30;
+  int batch_size = 128;
+  float learning_rate = 0.005f;
+  uint64_t seed = 42;
+};
+
+Result<DenseMatrix> TrainDane(const Graph& graph, const DaneConfig& config);
+
+}  // namespace coane
+
+#endif  // COANE_BASELINES_DANE_H_

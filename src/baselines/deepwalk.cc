@@ -1,0 +1,31 @@
+#include "baselines/deepwalk.h"
+
+#include "walk/random_walk.h"
+
+namespace coane {
+
+Result<DenseMatrix> TrainDeepWalk(const Graph& graph,
+                                  const DeepWalkConfig& config) {
+  Rng rng(config.skipgram.seed);
+  RandomWalkConfig walk_cfg;
+  walk_cfg.num_walks_per_node = config.num_walks;
+  walk_cfg.walk_length = config.walk_length;
+  auto walks = GenerateRandomWalks(graph, walk_cfg, &rng);
+  if (!walks.ok()) return walks.status();
+  return TrainSkipGram(walks.value(), graph.num_nodes(), config.skipgram);
+}
+
+Result<DenseMatrix> TrainNode2Vec(const Graph& graph,
+                                  const Node2VecConfig& config) {
+  Rng rng(config.skipgram.seed);
+  BiasedWalkConfig walk_cfg;
+  walk_cfg.num_walks_per_node = config.num_walks;
+  walk_cfg.walk_length = config.walk_length;
+  walk_cfg.p = config.p;
+  walk_cfg.q = config.q;
+  auto walks = GenerateBiasedWalks(graph, walk_cfg, &rng);
+  if (!walks.ok()) return walks.status();
+  return TrainSkipGram(walks.value(), graph.num_nodes(), config.skipgram);
+}
+
+}  // namespace coane

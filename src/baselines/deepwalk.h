@@ -1,0 +1,36 @@
+#ifndef COANE_BASELINES_DEEPWALK_H_
+#define COANE_BASELINES_DEEPWALK_H_
+
+#include "baselines/skipgram.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace coane {
+
+/// DeepWalk (Perozzi et al. 2014): uniform random walks + skip-gram with
+/// negative sampling. Structure-only baseline (ignores attributes).
+struct DeepWalkConfig {
+  int num_walks = 10;
+  int walk_length = 80;
+  SkipGramConfig skipgram;
+};
+
+Result<DenseMatrix> TrainDeepWalk(const Graph& graph,
+                                  const DeepWalkConfig& config);
+
+/// node2vec (Grover & Leskovec 2016): second-order biased walks + skip-gram.
+/// The paper's comparison uses p = q = 1.
+struct Node2VecConfig {
+  int num_walks = 10;
+  int walk_length = 80;
+  double p = 1.0;
+  double q = 1.0;
+  SkipGramConfig skipgram;
+};
+
+Result<DenseMatrix> TrainNode2Vec(const Graph& graph,
+                                  const Node2VecConfig& config);
+
+}  // namespace coane
+
+#endif  // COANE_BASELINES_DEEPWALK_H_

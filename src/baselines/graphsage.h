@@ -1,0 +1,37 @@
+#ifndef COANE_BASELINES_GRAPHSAGE_H_
+#define COANE_BASELINES_GRAPHSAGE_H_
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "la/dense_matrix.h"
+
+namespace coane {
+
+/// Unsupervised GraphSAGE with the mean aggregator (Hamilton et al. 2017),
+/// the paper's inductive subgraph-aggregation baseline. Two layers:
+///
+///   H1 = ReLU( [X | A_mean X] W1 )
+///   Z  =       [H1 | A_mean H1] W2
+///
+/// where A_mean is the row-normalized adjacency (mean over neighbors).
+/// Trained with the unsupervised graph loss: random-walk co-visited pairs
+/// as positives, degree^0.75 negatives, logistic loss — full-batch forward,
+/// hand-derived gradients, Adam.
+struct GraphSageConfig {
+  int64_t hidden_dim = 64;
+  int64_t embedding_dim = 64;
+  int epochs = 60;
+  float learning_rate = 0.01f;
+  /// Positive pairs per node per epoch (sampled from short walks).
+  int pairs_per_node = 5;
+  int negatives_per_pair = 3;
+  int walk_length = 5;
+  uint64_t seed = 42;
+};
+
+Result<DenseMatrix> TrainGraphSage(const Graph& graph,
+                                   const GraphSageConfig& config);
+
+}  // namespace coane
+
+#endif  // COANE_BASELINES_GRAPHSAGE_H_

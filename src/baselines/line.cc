@@ -1,0 +1,102 @@
+#include "baselines/line.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+namespace {
+
+// Trains one LINE order. `second_order` selects the context-table form.
+DenseMatrix TrainOrder(const Graph& graph, int64_t dim, int64_t num_samples,
+                       int num_negative, float base_lr, bool second_order,
+                       Rng* rng) {
+  const int64_t n = graph.num_nodes();
+  // Edge alias table over edge weights (both directions so either endpoint
+  // can be the source).
+  std::vector<Edge> edges = graph.UndirectedEdges();
+  std::vector<double> edge_weights;
+  edge_weights.reserve(edges.size());
+  for (const Edge& e : edges) edge_weights.push_back(e.weight);
+  AliasTable edge_table(edge_weights);
+
+  // Negative table: degree^0.75.
+  std::vector<double> noise(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    noise[static_cast<size_t>(v)] = std::pow(graph.WeightedDegree(v), 0.75);
+  }
+  AliasTable noise_table(noise);
+
+  DenseMatrix vertex(n, dim);
+  for (int64_t i = 0; i < vertex.size(); ++i) {
+    vertex.data()[i] = static_cast<float>((rng->Uniform() - 0.5) /
+                                          static_cast<double>(dim));
+  }
+  DenseMatrix context(n, dim, 0.0f);
+  DenseMatrix& target_table = second_order ? context : vertex;
+
+  std::vector<float> accum(static_cast<size_t>(dim));
+  for (int64_t s = 0; s < num_samples; ++s) {
+    const float lr = std::max(
+        base_lr * (1.0f - static_cast<float>(s) /
+                              static_cast<float>(num_samples + 1)),
+        base_lr * 1e-4f);
+    const Edge& e = edges[static_cast<size_t>(edge_table.Sample(rng))];
+    // Undirected: flip direction at random.
+    NodeId u = e.src, v = e.dst;
+    if (rng->Bernoulli(0.5)) std::swap(u, v);
+
+    std::fill(accum.begin(), accum.end(), 0.0f);
+    float* vu = vertex.Row(u);
+    for (int k = 0; k <= num_negative; ++k) {
+      NodeId target;
+      float label;
+      if (k == 0) {
+        target = v;
+        label = 1.0f;
+      } else {
+        target = static_cast<NodeId>(noise_table.Sample(rng));
+        if (target == v || target == u) continue;
+        label = 0.0f;
+      }
+      float* vt = target_table.Row(target);
+      const float score = Sigmoid(Dot(vu, vt, dim));
+      const float g = lr * (label - score);
+      Axpy(g, vt, accum.data(), dim);
+      Axpy(g, vu, vt, dim);
+    }
+    Axpy(1.0f, accum.data(), vu, dim);
+  }
+  return vertex;
+}
+
+}  // namespace
+
+Result<DenseMatrix> TrainLine(const Graph& graph, const LineConfig& config) {
+  if (config.embedding_dim < 2 || config.embedding_dim % 2 != 0) {
+    return Status::InvalidArgument("embedding_dim must be even and >= 2");
+  }
+  if (graph.num_edges() == 0) {
+    return Status::FailedPrecondition("graph has no edges");
+  }
+  Rng rng(config.seed);
+  const int64_t half = config.embedding_dim / 2;
+  DenseMatrix first = TrainOrder(graph, half, config.num_samples,
+                                 config.num_negative, config.learning_rate,
+                                 /*second_order=*/false, &rng);
+  DenseMatrix second = TrainOrder(graph, half, config.num_samples,
+                                  config.num_negative, config.learning_rate,
+                                  /*second_order=*/true, &rng);
+  DenseMatrix out(graph.num_nodes(), config.embedding_dim);
+  for (int64_t i = 0; i < graph.num_nodes(); ++i) {
+    for (int64_t j = 0; j < half; ++j) {
+      out.At(i, j) = first.At(i, j);
+      out.At(i, half + j) = second.At(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace coane

@@ -1,0 +1,28 @@
+#ifndef COANE_BASELINES_LINE_H_
+#define COANE_BASELINES_LINE_H_
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "la/dense_matrix.h"
+
+namespace coane {
+
+/// LINE (Tang et al. 2015): edge-sampling embedding preserving first- and
+/// second-order proximity, trained with negative sampling. The returned
+/// embedding concatenates the first-order and second-order halves
+/// (embedding_dim/2 each), the standard LINE(1st+2nd) setup the paper
+/// compares against.
+struct LineConfig {
+  int64_t embedding_dim = 128;  // total; halved per order
+  /// Total number of edge samples per order.
+  int64_t num_samples = 1000000;
+  int num_negative = 5;
+  float learning_rate = 0.025f;
+  uint64_t seed = 42;
+};
+
+Result<DenseMatrix> TrainLine(const Graph& graph, const LineConfig& config);
+
+}  // namespace coane
+
+#endif  // COANE_BASELINES_LINE_H_

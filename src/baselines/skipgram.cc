@@ -1,0 +1,106 @@
+#include "baselines/skipgram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/vector_ops.h"
+
+namespace coane {
+
+Result<DenseMatrix> TrainSkipGram(const std::vector<Walk>& walks,
+                                  int64_t num_nodes,
+                                  const SkipGramConfig& config) {
+  if (config.embedding_dim < 1) {
+    return Status::InvalidArgument("embedding_dim must be positive");
+  }
+  if (config.window_size < 1) {
+    return Status::InvalidArgument("window_size must be positive");
+  }
+  if (walks.empty()) {
+    return Status::InvalidArgument("no walks given");
+  }
+  Rng rng(config.seed);
+  const int64_t d = config.embedding_dim;
+
+  // Unigram^0.75 noise distribution.
+  std::vector<double> counts(static_cast<size_t>(num_nodes), 0.0);
+  int64_t total_tokens = 0;
+  for (const Walk& w : walks) {
+    for (NodeId v : w) {
+      if (v < 0 || v >= num_nodes) {
+        return Status::OutOfRange("walk node id out of range");
+      }
+      counts[static_cast<size_t>(v)] += 1.0;
+      ++total_tokens;
+    }
+  }
+  std::vector<double> noise(static_cast<size_t>(num_nodes));
+  for (int64_t v = 0; v < num_nodes; ++v) {
+    noise[static_cast<size_t>(v)] =
+        std::pow(counts[static_cast<size_t>(v)], 0.75);
+  }
+  bool any = false;
+  for (double w : noise) any = any || w > 0.0;
+  if (!any) return Status::InvalidArgument("walks contain no tokens");
+  AliasTable noise_table(noise);
+
+  // word2vec-style init: centers uniform small, contexts zero.
+  DenseMatrix in(num_nodes, d);
+  for (int64_t i = 0; i < in.size(); ++i) {
+    in.data()[i] =
+        static_cast<float>((rng.Uniform() - 0.5) / static_cast<double>(d));
+  }
+  DenseMatrix out(num_nodes, d, 0.0f);
+
+  const int64_t total_steps =
+      static_cast<int64_t>(config.epochs) * total_tokens;
+  int64_t step = 0;
+  std::vector<float> accum(static_cast<size_t>(d));
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (const Walk& walk : walks) {
+      const int len = static_cast<int>(walk.size());
+      for (int pos = 0; pos < len; ++pos) {
+        ++step;
+        const float lr = std::max(
+            config.learning_rate *
+                (1.0f - static_cast<float>(step) /
+                            static_cast<float>(total_steps + 1)),
+            config.learning_rate * 1e-4f);
+        const NodeId center = walk[static_cast<size_t>(pos)];
+        const int b =
+            1 + static_cast<int>(rng.UniformInt(config.window_size));
+        for (int off = -b; off <= b; ++off) {
+          if (off == 0) continue;
+          const int cpos = pos + off;
+          if (cpos < 0 || cpos >= len) continue;
+          const NodeId context = walk[static_cast<size_t>(cpos)];
+          if (context == center) continue;
+          // One positive + k negative updates on (center -> target).
+          std::fill(accum.begin(), accum.end(), 0.0f);
+          float* vc = in.Row(center);
+          for (int s = 0; s <= config.num_negative; ++s) {
+            NodeId target;
+            float label;
+            if (s == 0) {
+              target = context;
+              label = 1.0f;
+            } else {
+              target = static_cast<NodeId>(noise_table.Sample(&rng));
+              if (target == context || target == center) continue;
+              label = 0.0f;
+            }
+            float* vo = out.Row(target);
+            const float score = Sigmoid(Dot(vc, vo, d));
+            const float g = lr * (label - score);
+            Axpy(g, vo, accum.data(), d);
+            Axpy(g, vc, vo, d);
+          }
+          Axpy(1.0f, accum.data(), vc, d);
+        }
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace coane

@@ -1,0 +1,35 @@
+#ifndef COANE_BASELINES_SKIPGRAM_H_
+#define COANE_BASELINES_SKIPGRAM_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "la/dense_matrix.h"
+#include "walk/random_walk.h"
+
+namespace coane {
+
+/// Skip-gram with negative sampling (word2vec SGNS), the training core of
+/// the DeepWalk and node2vec baselines. Negatives are drawn from the
+/// unigram distribution raised to 3/4; the learning rate decays linearly.
+struct SkipGramConfig {
+  int64_t embedding_dim = 128;
+  /// Maximum window; the effective window per center is drawn uniformly
+  /// from [1, window_size] as in word2vec.
+  int window_size = 10;
+  int num_negative = 5;
+  float learning_rate = 0.025f;
+  int epochs = 2;
+  uint64_t seed = 42;
+};
+
+/// Trains node embeddings over the given walks. Returns the input
+/// ("center") embedding table, n x d.
+Result<DenseMatrix> TrainSkipGram(const std::vector<Walk>& walks,
+                                  int64_t num_nodes,
+                                  const SkipGramConfig& config);
+
+}  // namespace coane
+
+#endif  // COANE_BASELINES_SKIPGRAM_H_

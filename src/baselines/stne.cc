@@ -1,0 +1,151 @@
+#include "baselines/stne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/vector_ops.h"
+#include "nn/adam.h"
+#include "nn/gru.h"
+#include "walk/random_walk.h"
+
+namespace coane {
+
+Result<DenseMatrix> TrainStne(const Graph& graph, const StneConfig& config) {
+  if (config.projection_dim < 1 || config.embedding_dim < 1) {
+    return Status::InvalidArgument("dims must be positive");
+  }
+  if (graph.num_attributes() == 0) {
+    return Status::FailedPrecondition("STNE needs node attributes");
+  }
+  if (config.walk_length < 2) {
+    return Status::InvalidArgument("walk_length must be >= 2");
+  }
+  Rng rng(config.seed);
+  const int64_t n = graph.num_nodes();
+  const int64_t d = graph.num_attributes();
+  const SparseMatrix& x = graph.attributes();
+
+  // Attribute projection (d -> p), GRU encoder (p -> h), and the node
+  // output table for sampled-softmax prediction (n x h).
+  DenseMatrix w_in(d, config.projection_dim);
+  w_in.XavierInit(&rng);
+  GruCell gru(config.projection_dim, config.embedding_dim, &rng);
+  DenseMatrix out_table(n, config.embedding_dim, 0.0f);
+
+  AdamConfig adam_cfg;
+  adam_cfg.learning_rate = config.learning_rate;
+  AdamOptimizer opt(adam_cfg);
+  const int w_in_slot = opt.Register(&w_in);
+  gru.RegisterParams(&opt);
+  // out_table rows are updated with plain SGD inside the loop (sparse
+  // updates; registering the whole table with Adam would densify them).
+
+  std::vector<double> noise(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    noise[static_cast<size_t>(v)] =
+        std::pow(graph.WeightedDegree(v) + 1e-6, 0.75);
+  }
+  AliasTable noise_table(noise);
+
+  // Projected content vector of node v: x_v W_in (sparse row times dense).
+  auto project = [&](NodeId v, float* out) {
+    for (int64_t j = 0; j < config.projection_dim; ++j) out[j] = 0.0f;
+    for (const SparseEntry& e : x.Row(v)) {
+      Axpy(e.value, w_in.Row(e.col), out, config.projection_dim);
+    }
+  };
+
+  RandomWalkConfig wcfg;
+  wcfg.num_walks_per_node = config.num_walks;
+  wcfg.walk_length = config.walk_length;
+
+  // Pooled hidden states per node, refreshed as training visits them.
+  DenseMatrix z(n, config.embedding_dim, 0.0f);
+  std::vector<int64_t> z_counts(static_cast<size_t>(n), 0);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    auto walks = GenerateRandomWalks(graph, wcfg, &rng);
+    if (!walks.ok()) return walks.status();
+    const bool last_epoch = epoch + 1 == config.epochs;
+    if (last_epoch) {
+      z.Fill(0.0f);
+      std::fill(z_counts.begin(), z_counts.end(), 0);
+    }
+    for (const Walk& walk : walks.value()) {
+      const int64_t t_max = static_cast<int64_t>(walk.size());
+      if (t_max < 2) continue;
+      // Encode the content sequence.
+      DenseMatrix inputs(t_max, config.projection_dim);
+      for (int64_t t = 0; t < t_max; ++t) {
+        project(walk[static_cast<size_t>(t)], inputs.Row(t));
+      }
+      DenseMatrix h = gru.Forward(inputs);
+
+      // Self-translation: predict node id at each step from h_t via
+      // sampled softmax; accumulate dL/dh.
+      DenseMatrix dh(t_max, config.embedding_dim, 0.0f);
+      const float lr = config.learning_rate;
+      for (int64_t t = 0; t < t_max; ++t) {
+        const NodeId target = walk[static_cast<size_t>(t)];
+        const float* h_t = h.Row(t);
+        for (int k = 0; k <= config.num_negative; ++k) {
+          NodeId cand;
+          float label;
+          if (k == 0) {
+            cand = target;
+            label = 1.0f;
+          } else {
+            cand = static_cast<NodeId>(noise_table.Sample(&rng));
+            if (cand == target) continue;
+            label = 0.0f;
+          }
+          float* o = out_table.Row(cand);
+          const float g =
+              Sigmoid(Dot(h_t, o, config.embedding_dim)) - label;
+          Axpy(g, o, dh.Row(t), config.embedding_dim);
+          Axpy(-lr * g, h_t, o, config.embedding_dim);  // SGD on the table
+        }
+      }
+      dh.Scale(1.0f / static_cast<float>(t_max));
+
+      // BPTT into the GRU and the attribute projection.
+      gru.ZeroGrad();
+      DenseMatrix dx;
+      gru.Backward(dh, &dx);
+      DenseMatrix dw_in(d, config.projection_dim, 0.0f);
+      for (int64_t t = 0; t < t_max; ++t) {
+        for (const SparseEntry& e :
+             x.Row(walk[static_cast<size_t>(t)])) {
+          Axpy(e.value, dx.Row(t), dw_in.Row(e.col),
+               config.projection_dim);
+        }
+      }
+      gru.ApplyGrad(&opt);
+      opt.Step(w_in_slot, dw_in);
+
+      // Pool hidden states into node embeddings (final epoch only, after
+      // the parameters have mostly converged).
+      if (last_epoch) {
+        for (int64_t t = 0; t < t_max; ++t) {
+          const NodeId v = walk[static_cast<size_t>(t)];
+          Axpy(1.0f, h.Row(t), z.Row(v), config.embedding_dim);
+          z_counts[static_cast<size_t>(v)]++;
+        }
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (z_counts[static_cast<size_t>(v)] > 0) {
+      const float inv =
+          1.0f / static_cast<float>(z_counts[static_cast<size_t>(v)]);
+      for (int64_t j = 0; j < config.embedding_dim; ++j) {
+        z.At(v, j) *= inv;
+      }
+    }
+  }
+  return z;
+}
+
+}  // namespace coane

@@ -1,0 +1,36 @@
+#ifndef COANE_BASELINES_STNE_H_
+#define COANE_BASELINES_STNE_H_
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "la/dense_matrix.h"
+
+namespace coane {
+
+/// STNE (Liu et al., KDD 2018): content-to-node self-translation. A
+/// recurrent encoder reads the *content* (attribute) sequence of a random
+/// walk and is trained to regenerate the *node* sequence; node embeddings
+/// are pooled from the encoder's hidden states at the node's positions.
+///
+/// This implementation follows that architecture with one simplification:
+/// the decoder LSTM is replaced by per-position prediction of the node id
+/// from the encoder state via sampled softmax (negative sampling), which
+/// preserves the content→node translation objective while keeping the BPTT
+/// hand-derivable. Attributes enter through a learned linear projection
+/// (sparse rows → dense GRU inputs).
+struct StneConfig {
+  int64_t projection_dim = 64;  // attribute projection fed to the GRU
+  int64_t embedding_dim = 64;   // GRU hidden size = node embedding size
+  int num_walks = 1;
+  int walk_length = 20;
+  int epochs = 3;
+  int num_negative = 4;
+  float learning_rate = 0.005f;
+  uint64_t seed = 42;
+};
+
+Result<DenseMatrix> TrainStne(const Graph& graph, const StneConfig& config);
+
+}  // namespace coane
+
+#endif  // COANE_BASELINES_STNE_H_

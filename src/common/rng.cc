@@ -1,0 +1,98 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace coane {
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t n) {
+  COANE_CHECK_GT(n, 0);
+  return std::uniform_int_distribution<int64_t>(0, n - 1)(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+int64_t Rng::SampleDiscrete(const std::vector<double>& weights) {
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  COANE_CHECK_GT(total, 0.0);
+  double u = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  COANE_CHECK_LE(k, n);
+  // Partial Fisher-Yates over an index vector.
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  for (int64_t i = 0; i < k; ++i) {
+    int64_t j = i + UniformInt(n - i);
+    std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+  }
+  idx.resize(static_cast<size_t>(k));
+  return idx;
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  COANE_CHECK_GT(n, 0u);
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  COANE_CHECK_GT(total, 0.0);
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; classic two-worklist construction.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    COANE_CHECK_GE(weights[i], 0.0);
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<int64_t> small, large;
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<int64_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    int64_t s = small.back();
+    small.pop_back();
+    int64_t l = large.back();
+    large.pop_back();
+    prob_[static_cast<size_t>(s)] = scaled[static_cast<size_t>(s)];
+    alias_[static_cast<size_t>(s)] = l;
+    scaled[static_cast<size_t>(l)] =
+        scaled[static_cast<size_t>(l)] + scaled[static_cast<size_t>(s)] - 1.0;
+    (scaled[static_cast<size_t>(l)] < 1.0 ? small : large).push_back(l);
+  }
+  for (int64_t i : large) prob_[static_cast<size_t>(i)] = 1.0;
+  for (int64_t i : small) prob_[static_cast<size_t>(i)] = 1.0;
+}
+
+int64_t AliasTable::Sample(Rng* rng) const {
+  int64_t i = rng->UniformInt(static_cast<int64_t>(prob_.size()));
+  if (rng->Uniform() < prob_[static_cast<size_t>(i)]) return i;
+  return alias_[static_cast<size_t>(i)];
+}
+
+}  // namespace coane

@@ -1,0 +1,75 @@
+#ifndef COANE_COMMON_RNG_H_
+#define COANE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace coane {
+
+/// Seeded pseudo-random number generator used everywhere in the library so
+/// every experiment is reproducible bit-for-bit given its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int64_t UniformInt(int64_t n);
+
+  /// Standard normal sample scaled by `stddev` around `mean`.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(static_cast<int64_t>(i)));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Linear scan; use AliasTable for repeated sampling from the same
+  /// distribution. Requires a positive total weight.
+  int64_t SampleDiscrete(const std::vector<double>& weights);
+
+  /// Draws `k` distinct indices uniformly from [0, n) (k <= n).
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// O(1) sampling from a fixed discrete distribution (Walker's alias method).
+/// Used for negative-sampling noise distributions, where millions of draws
+/// are made from the same distribution.
+class AliasTable {
+ public:
+  /// Builds the table from (possibly unnormalized) non-negative weights.
+  /// Zero-weight entries are never returned. Requires a positive total.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws one index according to the distribution.
+  int64_t Sample(Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<int64_t> alias_;
+};
+
+}  // namespace coane
+
+#endif  // COANE_COMMON_RNG_H_

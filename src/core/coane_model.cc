@@ -1,0 +1,257 @@
+#include "core/coane_model.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/objective.h"
+#include "la/vector_ops.h"
+#include "nn/linear.h"
+#include "walk/random_walk.h"
+
+namespace coane {
+namespace {
+
+Status ValidateConfig(const CoaneConfig& c) {
+  if (c.context_size < 1 || c.context_size % 2 == 0) {
+    return Status::InvalidArgument("context_size must be odd and >= 1");
+  }
+  if (c.embedding_dim < 2 || c.embedding_dim % 2 != 0) {
+    return Status::InvalidArgument("embedding_dim must be even and >= 2");
+  }
+  if (c.num_walks < 1 || c.walk_length < 1) {
+    return Status::InvalidArgument("walk parameters must be positive");
+  }
+  if (c.num_negative < 0) {
+    return Status::InvalidArgument("num_negative must be non-negative");
+  }
+  if (c.batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  if (c.max_epochs < 0) {
+    return Status::InvalidArgument("max_epochs must be non-negative");
+  }
+  if (c.use_positive_loss && c.skipgram_positive &&
+      c.embedding_dim % 2 != 0) {
+    return Status::InvalidArgument("embedding_dim must be even");
+  }
+  return Status::OK();
+}
+
+// One-hot identity features for the WF (no attributes) ablation.
+SparseMatrix IdentityFeatures(int64_t n) {
+  std::vector<SparseMatrix::Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) triplets.push_back({v, v, 1.0f});
+  return SparseMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+}  // namespace
+
+CoaneModel::CoaneModel(const Graph& graph, const CoaneConfig& config)
+    : graph_(graph), config_(config), rng_(config.seed) {}
+
+Status CoaneModel::Preprocess() {
+  COANE_RETURN_IF_ERROR(ValidateConfig(config_));
+  if (config_.use_attributes && graph_.num_attributes() == 0) {
+    return Status::FailedPrecondition(
+        "graph has no attributes; set use_attributes = false");
+  }
+  features_ = config_.use_attributes ? graph_.attributes()
+                                     : IdentityFeatures(graph_.num_nodes());
+
+  // --- Structural contexts (Sec. 3.1).
+  RandomWalkConfig walk_cfg;
+  walk_cfg.num_walks_per_node = config_.num_walks;
+  walk_cfg.walk_length = config_.walk_length;
+  auto walks = GenerateRandomWalks(graph_, walk_cfg, &rng_);
+  if (!walks.ok()) return walks.status();
+
+  ContextOptions ctx_opt;
+  ctx_opt.context_size = config_.context_size;
+  ctx_opt.subsample_t = config_.subsample_t;
+  auto contexts =
+      GenerateContexts(walks.value(), graph_.num_nodes(), ctx_opt, &rng_);
+  if (!contexts.ok()) return contexts.status();
+  contexts_ = std::make_unique<ContextSet>(std::move(contexts).ValueOrDie());
+
+  // --- Co-occurrence statistics (Sec. 3.1 / 3.3.1).
+  cooccurrence_ = BuildCooccurrence(graph_, *contexts_);
+  if (config_.dtilde_normalize_after_add) {
+    // Design ablation: normalize(D + D^1) instead of normalize(D) + D^1 —
+    // drops the paper's extra one-hop emphasis.
+    cooccurrence_.d_tilde =
+        SparseMatrix::Add(cooccurrence_.d, cooccurrence_.d1)
+            .RowNormalized();
+  }
+  if (config_.skipgram_positive) {
+    // SG ablation: every observed pair with its raw count, full-vector dots.
+    positive_pairs_ = TopKPositivePairs(cooccurrence_.d,
+                                        graph_.num_nodes());
+  } else {
+    const int64_t k = config_.positive_topk ? cooccurrence_.k_p
+                                            : graph_.num_nodes();
+    positive_pairs_ = TopKPositivePairs(cooccurrence_.d_tilde, k);
+  }
+
+  // --- Negative sampler (Sec. 3.3.2).
+  switch (config_.negative_mode) {
+    case NegativeSamplingMode::kPreSampled: {
+      const int64_t pool = std::max<int64_t>(
+          static_cast<int64_t>(config_.num_negative) *
+              config_.presample_pool_factor,
+          256);
+      negative_sampler_ = std::make_unique<PreSampledNegativeSampler>(
+          *contexts_, &cooccurrence_.d, pool, &rng_);
+      break;
+    }
+    case NegativeSamplingMode::kBatch:
+      negative_sampler_ = std::make_unique<BatchNegativeSampler>(
+          *contexts_, &cooccurrence_.d);
+      break;
+    case NegativeSamplingMode::kUniform:
+      negative_sampler_ =
+          std::make_unique<UniformNegativeSampler>(graph_.num_nodes());
+      break;
+  }
+
+  // --- Model parameters (Xavier-initialized).
+  encoder_ = std::make_unique<ContextEncoder>(
+      config_.context_size, features_.cols(), config_.embedding_dim,
+      config_.encoder_kind, &rng_);
+  encoder_->RegisterParams(&optimizer_);
+  if (config_.use_attribute_loss) {
+    std::vector<int64_t> dims;
+    dims.push_back(config_.embedding_dim);
+    for (int64_t h : config_.decoder_hidden) dims.push_back(h);
+    dims.push_back(features_.cols());
+    decoder_ = std::make_unique<Mlp>(dims, &rng_);
+    decoder_->RegisterParams(&optimizer_);
+  }
+  optimizer_.set_learning_rate(config_.learning_rate);
+
+  z_ = DenseMatrix(graph_.num_nodes(), config_.embedding_dim, 0.0f);
+  in_batch_.assign(static_cast<size_t>(graph_.num_nodes()), 0);
+  RenewEmbeddings();
+  preprocessed_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<EpochStats>> CoaneModel::Train() {
+  std::vector<EpochStats> history;
+  for (int e = 0; e < config_.max_epochs; ++e) {
+    auto stats = TrainEpoch();
+    if (!stats.ok()) return stats.status();
+    history.push_back(stats.value());
+  }
+  return history;
+}
+
+Result<EpochStats> CoaneModel::TrainEpoch() {
+  if (!preprocessed_) {
+    return Status::FailedPrecondition("call Preprocess() before training");
+  }
+  Stopwatch watch;
+  EpochStats stats;
+  stats.epoch = ++epochs_done_;
+
+  // RandomlySplitBatch: shuffle nodes, carve into batches of n_B.
+  std::vector<NodeId> order(static_cast<size_t>(graph_.num_nodes()));
+  std::iota(order.begin(), order.end(), 0);
+  rng_.Shuffle(&order);
+  for (size_t start = 0; start < order.size();
+       start += static_cast<size_t>(config_.batch_size)) {
+    const size_t end = std::min(
+        order.size(), start + static_cast<size_t>(config_.batch_size));
+    std::vector<NodeId> batch(order.begin() + static_cast<int64_t>(start),
+                              order.begin() + static_cast<int64_t>(end));
+    TrainBatch(batch, &stats);
+  }
+  RenewEmbeddings();
+  stats.total_loss =
+      stats.positive_loss + stats.negative_loss + stats.attribute_loss;
+  stats.seconds = watch.ElapsedSeconds();
+  return stats;
+}
+
+void CoaneModel::TrainBatch(const std::vector<NodeId>& batch,
+                            EpochStats* stats) {
+  // --- Embedding Updating: refresh z_v for batch nodes from the encoder.
+  for (NodeId v : batch) {
+    encoder_->EncodeNode(*contexts_, features_, v, z_.Row(v));
+    in_batch_[static_cast<size_t>(v)] = 1;
+  }
+
+  DenseMatrix dz(z_.rows(), z_.cols(), 0.0f);
+
+  // --- Loss Updating.
+  if (config_.use_positive_loss) {
+    stats->positive_loss += PositiveLikelihoodLoss(
+        z_, positive_pairs_, batch, in_batch_,
+        /*split_lr=*/!config_.skipgram_positive, &dz);
+  }
+  if (config_.use_negative_loss && config_.num_negative > 0) {
+    stats->negative_loss += ContextualNegativeLoss(
+        z_, batch, in_batch_, config_.negative_weight, config_.num_negative,
+        negative_sampler_.get(), &rng_, &dz);
+  }
+
+  encoder_->ZeroGrad();
+  if (config_.use_attribute_loss) {
+    decoder_->ZeroGrad();
+    // L_att = gamma * MSE(MLP(z_batch), X_batch).
+    std::vector<int64_t> rows(batch.begin(), batch.end());
+    DenseMatrix z_batch = z_.SelectRows(rows);
+    DenseMatrix x_batch = BatchFeatures(batch);
+    DenseMatrix x_hat = decoder_->Forward(z_batch);
+    DenseMatrix dx_hat;
+    const double mse = MseLoss(x_hat, x_batch, &dx_hat);
+    stats->attribute_loss += config_.attribute_gamma * mse;
+    dx_hat.Scale(config_.attribute_gamma);
+    DenseMatrix dz_batch = decoder_->Backward(dx_hat);
+    for (size_t b = 0; b < batch.size(); ++b) {
+      Axpy(1.0f, dz_batch.Row(static_cast<int64_t>(b)),
+           dz.Row(batch[b]), z_.cols());
+    }
+  }
+
+  // --- Backprop dL/dz through the encoder for batch nodes and step.
+  for (NodeId v : batch) {
+    encoder_->AccumulateGradient(*contexts_, features_, v, dz.Row(v));
+  }
+  encoder_->ApplyGrad(&optimizer_);
+  if (config_.use_attribute_loss) decoder_->ApplyGrad(&optimizer_);
+
+  for (NodeId v : batch) in_batch_[static_cast<size_t>(v)] = 0;
+}
+
+void CoaneModel::RenewEmbeddings() {
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    encoder_->EncodeNode(*contexts_, features_, v, z_.Row(v));
+  }
+}
+
+DenseMatrix CoaneModel::BatchFeatures(
+    const std::vector<NodeId>& batch) const {
+  DenseMatrix x(static_cast<int64_t>(batch.size()), features_.cols(), 0.0f);
+  for (size_t b = 0; b < batch.size(); ++b) {
+    float* row = x.Row(static_cast<int64_t>(b));
+    for (const SparseEntry& e : features_.Row(batch[b])) {
+      row[e.col] = e.value;
+    }
+  }
+  return x;
+}
+
+Result<DenseMatrix> TrainCoaneEmbeddings(const Graph& graph,
+                                         const CoaneConfig& config) {
+  CoaneModel model(graph, config);
+  COANE_RETURN_IF_ERROR(model.Preprocess());
+  auto stats = model.Train();
+  if (!stats.ok()) return stats.status();
+  return model.embeddings();
+}
+
+}  // namespace coane

@@ -1,0 +1,104 @@
+#ifndef COANE_CORE_COANE_MODEL_H_
+#define COANE_CORE_COANE_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/coane_config.h"
+#include "graph/graph.h"
+#include "la/dense_matrix.h"
+#include "nn/context_conv.h"
+#include "nn/mlp.h"
+#include "walk/cooccurrence.h"
+#include "walk/negative_sampler.h"
+
+namespace coane {
+
+/// Per-epoch training record (used by the Fig. 4d runtime analysis).
+struct EpochStats {
+  int epoch = 0;
+  double positive_loss = 0.0;
+  double negative_loss = 0.0;
+  double attribute_loss = 0.0;
+  double total_loss = 0.0;
+  double seconds = 0.0;
+};
+
+/// End-to-end CoANE (Algorithm 1): preprocessing (random walks, contexts,
+/// co-occurrence matrices, negative sampler) followed by batched training of
+/// the context-convolution encoder, the three-way objective, and the MLP
+/// attribute decoder. Typical use:
+///
+///   CoaneModel model(graph, config);
+///   COANE_RETURN_IF_ERROR(model.Preprocess());
+///   auto stats = model.Train();            // all epochs
+///   const DenseMatrix& z = model.embeddings();
+///
+/// All intermediate products (contexts, D, D^1, filters) stay accessible
+/// for the paper's model analyses (Figs. 5 and 6b).
+class CoaneModel {
+ public:
+  /// `graph` must outlive the model.
+  CoaneModel(const Graph& graph, const CoaneConfig& config);
+
+  /// Runs the pre-processing phase. Must be called once before Train /
+  /// TrainEpoch. Fails on invalid configuration.
+  Status Preprocess();
+
+  /// Trains for config.max_epochs epochs (calls TrainEpoch repeatedly) and
+  /// refreshes all embeddings. Returns the per-epoch history.
+  Result<std::vector<EpochStats>> Train();
+
+  /// Runs one epoch of batch updates and refreshes all embeddings.
+  Result<EpochStats> TrainEpoch();
+
+  /// Node embeddings Z (n x d'), refreshed after each epoch.
+  const DenseMatrix& embeddings() const { return z_; }
+
+  /// Pre-processing products, valid after Preprocess().
+  const ContextSet& contexts() const { return *contexts_; }
+  const CooccurrenceMatrices& cooccurrence() const { return cooccurrence_; }
+  const ContextEncoder& encoder() const { return *encoder_; }
+  /// Feature matrix actually used (graph attributes, or one-hot identity in
+  /// the WF ablation).
+  const SparseMatrix& features() const { return features_; }
+
+  const CoaneConfig& config() const { return config_; }
+
+ private:
+  // Runs one batch update (Embedding Updating + Loss Updating of Alg. 1).
+  void TrainBatch(const std::vector<NodeId>& batch, EpochStats* stats);
+  // Recomputes z_v for all nodes from the current encoder.
+  void RenewEmbeddings();
+  // Densifies feature rows of `batch` into a (batch x d) matrix.
+  DenseMatrix BatchFeatures(const std::vector<NodeId>& batch) const;
+
+  const Graph& graph_;
+  CoaneConfig config_;
+  Rng rng_;
+  bool preprocessed_ = false;
+  int epochs_done_ = 0;
+
+  SparseMatrix features_;
+  std::unique_ptr<ContextSet> contexts_;
+  CooccurrenceMatrices cooccurrence_;
+  std::vector<std::vector<PositivePair>> positive_pairs_;
+  std::unique_ptr<NegativeSampler> negative_sampler_;
+
+  std::unique_ptr<ContextEncoder> encoder_;
+  std::unique_ptr<Mlp> decoder_;
+  AdamOptimizer optimizer_;
+  DenseMatrix z_;
+  std::vector<uint8_t> in_batch_;
+};
+
+/// Convenience wrapper: build, preprocess, train, and return the embedding
+/// matrix.
+Result<DenseMatrix> TrainCoaneEmbeddings(const Graph& graph,
+                                         const CoaneConfig& config);
+
+}  // namespace coane
+
+#endif  // COANE_CORE_COANE_MODEL_H_

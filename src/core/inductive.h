@@ -1,0 +1,49 @@
+#ifndef COANE_CORE_INDUCTIVE_H_
+#define COANE_CORE_INDUCTIVE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/coane_model.h"
+#include "la/sparse_matrix.h"
+
+namespace coane {
+
+/// Inductive extension: embed a node that was NOT part of training.
+///
+/// CoANE's filters are node-independent — an embedding is just the pooled
+/// convolution over attribute-context windows — so a new node can be
+/// encoded by synthesizing contexts through it: windows whose center is the
+/// new node and whose arms are short random walks leaving its (known)
+/// neighbors in the trained graph. This mirrors how the training contexts
+/// of an existing node look, and needs no retraining. (The paper trains
+/// transductively; this is the natural GraphSAGE-style extension its
+/// encoder admits.)
+
+/// Description of an unseen node: its attribute row (indices into the
+/// *training* feature space) and its neighbors among trained nodes.
+struct UnseenNode {
+  std::vector<SparseEntry> attributes;
+  std::vector<NodeId> neighbors;
+};
+
+/// Options for synthetic-context generation.
+struct InductiveOptions {
+  /// Number of synthesized context windows to pool over.
+  int num_contexts = 20;
+};
+
+/// Returns the new node's embedding (length model.config().embedding_dim).
+/// The model must be preprocessed (and normally trained). Fails when the
+/// node has no neighbors, an attribute index is out of range, or a
+/// neighbor id is invalid.
+Result<std::vector<float>> EncodeUnseenNode(const CoaneModel& model,
+                                            const Graph& graph,
+                                            const UnseenNode& node,
+                                            const InductiveOptions& options,
+                                            Rng* rng);
+
+}  // namespace coane
+
+#endif  // COANE_CORE_INDUCTIVE_H_

@@ -1,0 +1,178 @@
+#include "datasets/attributed_sbm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+#include "datasets/planted_structure.h"
+#include "graph/graph_builder.h"
+
+namespace coane {
+namespace {
+
+Status Validate(const AttributedSbmConfig& c) {
+  if (c.num_nodes < 2) return Status::InvalidArgument("need >= 2 nodes");
+  if (c.num_classes < 1) return Status::InvalidArgument("need >= 1 class");
+  if (c.num_attributes < 1) {
+    return Status::InvalidArgument("need >= 1 attribute");
+  }
+  if (c.circles_per_class < 1) {
+    return Status::InvalidArgument("need >= 1 circle per class");
+  }
+  if (c.avg_degree <= 0.0) {
+    return Status::InvalidArgument("avg_degree must be positive");
+  }
+  if (c.intra_circle_fraction < 0 || c.intra_class_fraction < 0 ||
+      c.intra_circle_fraction + c.intra_class_fraction > 1.0) {
+    return Status::InvalidArgument("edge fractions must be a sub-simplex");
+  }
+  if (c.num_nodes < c.num_classes) {
+    return Status::InvalidArgument("fewer nodes than classes");
+  }
+  TopicAttributeParams params;
+  params.num_attributes = c.num_attributes;
+  params.attrs_per_circle = c.attrs_per_circle;
+  params.attrs_per_class = c.attrs_per_class;
+  params.circle_attr_pool_fraction = c.circle_attr_pool_fraction;
+  return ValidateTopicParams(params, c.num_classes, c.circles_per_class);
+}
+
+// Picks a member of `members` proportionally to propensity theta.
+NodeId PickMember(const std::vector<NodeId>& members,
+                  const std::vector<double>& theta, double total_theta,
+                  Rng* rng) {
+  double u = rng->Uniform() * total_theta;
+  double acc = 0.0;
+  for (NodeId v : members) {
+    acc += theta[static_cast<size_t>(v)];
+    if (u < acc) return v;
+  }
+  return members.back();
+}
+
+}  // namespace
+
+Result<AttributedNetwork> GenerateAttributedSbm(
+    const AttributedSbmConfig& config) {
+  COANE_RETURN_IF_ERROR(Validate(config));
+  Rng rng(config.seed);
+  const int64_t n = config.num_nodes;
+  const int num_circles = config.num_classes * config.circles_per_class;
+
+  // --- Labels: uniform class assignment, but guarantee every class has at
+  // least one node (round-robin prefix).
+  std::vector<int32_t> labels(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    labels[static_cast<size_t>(v)] =
+        v < config.num_classes
+            ? static_cast<int32_t>(v)
+            : static_cast<int32_t>(rng.UniformInt(config.num_classes));
+  }
+
+  // --- Circle memberships (shared machinery).
+  AttributedNetwork out;
+  std::vector<std::vector<int32_t>> node_circles =
+      AssignCircles(labels, config.num_classes, config.circles_per_class,
+                    config.second_circle_prob, &rng, &out);
+
+  // --- Degree-corrected propensities.
+  std::vector<double> theta(static_cast<size_t>(n), 1.0);
+  if (config.degree_sigma > 0.0) {
+    for (double& t : theta) {
+      t = std::exp(rng.Normal(0.0, config.degree_sigma));
+    }
+  }
+  auto theta_sum = [&](const std::vector<NodeId>& members) {
+    double s = 0.0;
+    for (NodeId v : members) s += theta[static_cast<size_t>(v)];
+    return s;
+  };
+
+  std::vector<std::vector<NodeId>> class_members(
+      static_cast<size_t>(config.num_classes));
+  for (int64_t v = 0; v < n; ++v) {
+    class_members[static_cast<size_t>(labels[static_cast<size_t>(v)])]
+        .push_back(static_cast<NodeId>(v));
+  }
+  std::vector<double> class_theta(static_cast<size_t>(config.num_classes));
+  for (int c = 0; c < config.num_classes; ++c) {
+    class_theta[static_cast<size_t>(c)] =
+        theta_sum(class_members[static_cast<size_t>(c)]);
+  }
+  std::vector<double> circle_theta(static_cast<size_t>(num_circles));
+  std::vector<double> circle_weight(static_cast<size_t>(num_circles));
+  for (int c = 0; c < num_circles; ++c) {
+    circle_theta[static_cast<size_t>(c)] =
+        theta_sum(out.circle_members[static_cast<size_t>(c)]);
+    const double size = static_cast<double>(
+        out.circle_members[static_cast<size_t>(c)].size());
+    circle_weight[static_cast<size_t>(c)] = size * std::max(size - 1.0, 0.0);
+  }
+
+  // --- Edge sampling.
+  const int64_t target_edges = std::max<int64_t>(
+      1, static_cast<int64_t>(n * config.avg_degree / 2.0));
+  std::set<std::pair<NodeId, NodeId>> edge_set;
+  const int64_t max_attempts = target_edges * 60 + 2000;
+  int64_t attempts = 0;
+  const double total_circle_weight = [&] {
+    double s = 0.0;
+    for (double w : circle_weight) s += w;
+    return s;
+  }();
+  while (static_cast<int64_t>(edge_set.size()) < target_edges &&
+         attempts < max_attempts) {
+    ++attempts;
+    const double coin = rng.Uniform();
+    NodeId u, v;
+    if (coin < config.intra_circle_fraction && total_circle_weight > 0.0) {
+      const int c = static_cast<int>(rng.SampleDiscrete(circle_weight));
+      const auto& members = out.circle_members[static_cast<size_t>(c)];
+      if (members.size() < 2) continue;
+      u = PickMember(members, theta, circle_theta[static_cast<size_t>(c)],
+                     &rng);
+      v = PickMember(members, theta, circle_theta[static_cast<size_t>(c)],
+                     &rng);
+    } else if (coin <
+               config.intra_circle_fraction + config.intra_class_fraction) {
+      const int c = static_cast<int>(rng.UniformInt(config.num_classes));
+      const auto& members = class_members[static_cast<size_t>(c)];
+      if (members.size() < 2) continue;
+      u = PickMember(members, theta, class_theta[static_cast<size_t>(c)],
+                     &rng);
+      v = PickMember(members, theta, class_theta[static_cast<size_t>(c)],
+                     &rng);
+    } else {
+      u = static_cast<NodeId>(rng.UniformInt(n));
+      v = static_cast<NodeId>(rng.UniformInt(n));
+    }
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    edge_set.insert({u, v});
+  }
+
+  // --- Attributes (shared machinery).
+  TopicAttributeParams params;
+  params.num_attributes = config.num_attributes;
+  params.attrs_per_circle = config.attrs_per_circle;
+  params.attrs_per_class = config.attrs_per_class;
+  params.circle_attr_pool_fraction = config.circle_attr_pool_fraction;
+  params.topic_active_prob = config.topic_active_prob;
+  params.class_attr_strength = config.class_attr_strength;
+  params.noise_attrs_per_node = config.noise_attrs_per_node;
+  SparseMatrix attributes = GenerateTopicAttributes(
+      params, labels, config.num_classes, node_circles, &rng, &out);
+
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : edge_set) builder.AddEdge(u, v);
+  builder.SetAttributes(std::move(attributes));
+  builder.SetLabels(labels);
+  auto graph = std::move(builder).Build();
+  if (!graph.ok()) return graph.status();
+  out.graph = std::move(graph).ValueOrDie();
+  return out;
+}
+
+}  // namespace coane

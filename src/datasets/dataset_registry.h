@@ -1,0 +1,50 @@
+#ifndef COANE_DATASETS_DATASET_REGISTRY_H_
+#define COANE_DATASETS_DATASET_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datasets/attributed_sbm.h"
+
+namespace coane {
+
+/// Statistics the paper reports in Table 1 for each dataset, kept so bench
+/// output can print paper-vs-generated side by side.
+struct PaperDatasetStats {
+  std::string name;
+  int64_t num_nodes;
+  int64_t num_attributes;
+  int64_t num_edges;
+  double density;
+  int num_labels;
+};
+
+/// Names registered: "cora", "citeseer", "pubmed", "webkb-cornell",
+/// "webkb-texas", "webkb-washington", "webkb-wisconsin", "flickr".
+std::vector<std::string> ListDatasets();
+
+/// Table 1 statistics for `name`.
+Result<PaperDatasetStats> GetPaperStats(const std::string& name);
+
+/// The generator configuration calibrated to `name` at paper scale.
+Result<AttributedSbmConfig> GetDatasetConfig(const std::string& name);
+
+/// Generates the synthetic stand-in for `name`. `scale` multiplies node and
+/// attribute counts (0 < scale <= 1; average degree is preserved), letting
+/// benches run at laptop speed; `seed` controls reproducibility.
+Result<AttributedNetwork> MakeDataset(const std::string& name,
+                                      double scale = 1.0,
+                                      uint64_t seed = 42);
+
+/// The default scale each bench binary uses for `name`, chosen so the full
+/// suite completes in minutes on one core (Pubmed/Flickr are shrunk the
+/// most; WebKB subnets are tiny and run at full scale).
+double DefaultBenchScale(const std::string& name);
+
+/// The four WebKB sub-network names.
+std::vector<std::string> WebKbNetworks();
+
+}  // namespace coane
+
+#endif  // COANE_DATASETS_DATASET_REGISTRY_H_

@@ -1,0 +1,145 @@
+#include "datasets/planted_structure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+namespace coane {
+
+std::vector<std::vector<int32_t>> AssignCircles(
+    const std::vector<int32_t>& labels, int num_classes,
+    int circles_per_class, double second_circle_prob, Rng* rng,
+    AttributedNetwork* out) {
+  const int64_t n = static_cast<int64_t>(labels.size());
+  const int num_circles = num_classes * circles_per_class;
+  out->circle_members.assign(static_cast<size_t>(num_circles), {});
+  out->circle_class.assign(static_cast<size_t>(num_circles), 0);
+  for (int c = 0; c < num_circles; ++c) {
+    out->circle_class[static_cast<size_t>(c)] =
+        static_cast<int32_t>(c / circles_per_class);
+  }
+  std::vector<std::vector<int32_t>> node_circles(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    const int32_t cls = labels[static_cast<size_t>(v)];
+    const int base = cls * circles_per_class;
+    const int first =
+        base + static_cast<int>(rng->UniformInt(circles_per_class));
+    node_circles[static_cast<size_t>(v)].push_back(first);
+    out->circle_members[static_cast<size_t>(first)].push_back(
+        static_cast<NodeId>(v));
+    if (circles_per_class > 1 && rng->Bernoulli(second_circle_prob)) {
+      int second = first;
+      while (second == first) {
+        second =
+            base + static_cast<int>(rng->UniformInt(circles_per_class));
+      }
+      node_circles[static_cast<size_t>(v)].push_back(second);
+      out->circle_members[static_cast<size_t>(second)].push_back(
+          static_cast<NodeId>(v));
+    }
+  }
+  return node_circles;
+}
+
+Status ValidateTopicParams(const TopicAttributeParams& params,
+                           int num_classes, int circles_per_class) {
+  if (params.circle_attr_pool_fraction <= 0.0 ||
+      params.circle_attr_pool_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "circle_attr_pool_fraction must be in (0, 1]");
+  }
+  const int64_t needed =
+      static_cast<int64_t>(num_classes) *
+      (static_cast<int64_t>(circles_per_class) * params.attrs_per_circle +
+       params.attrs_per_class);
+  if (needed > params.num_attributes) {
+    return Status::InvalidArgument(
+        "num_attributes too small for the requested topic structure");
+  }
+  return Status::OK();
+}
+
+SparseMatrix GenerateTopicAttributes(
+    const TopicAttributeParams& params,
+    const std::vector<int32_t>& labels, int num_classes,
+    const std::vector<std::vector<int32_t>>& node_circles, Rng* rng,
+    AttributedNetwork* out) {
+  const int64_t n = static_cast<int64_t>(labels.size());
+  const int num_circles =
+      static_cast<int>(out->circle_members.size());
+
+  // Class blocks are disjoint; circle topics draw from a shared pool so
+  // circles of different classes can overlap.
+  int64_t next_attr = 0;
+  out->class_attributes.assign(static_cast<size_t>(num_classes), {});
+  for (int c = 0; c < num_classes; ++c) {
+    for (int a = 0; a < params.attrs_per_class; ++a) {
+      out->class_attributes[static_cast<size_t>(c)].push_back(next_attr++);
+    }
+  }
+  const int64_t pool_size = std::max<int64_t>(
+      params.attrs_per_circle,
+      static_cast<int64_t>(params.circle_attr_pool_fraction * num_circles *
+                           params.attrs_per_circle));
+  const int64_t pool_base = next_attr;
+  out->circle_attributes.assign(static_cast<size_t>(num_circles), {});
+  for (int c = 0; c < num_circles; ++c) {
+    for (int64_t pick : rng->SampleWithoutReplacement(
+             pool_size, params.attrs_per_circle)) {
+      out->circle_attributes[static_cast<size_t>(c)].push_back(pool_base +
+                                                               pick);
+    }
+  }
+
+  std::set<std::pair<int64_t, int64_t>> attr_set;  // (node, attr)
+  for (int64_t v = 0; v < n; ++v) {
+    const int32_t cls = labels[static_cast<size_t>(v)];
+    for (int64_t a : out->class_attributes[static_cast<size_t>(cls)]) {
+      if (rng->Bernoulli(params.topic_active_prob *
+                         params.class_attr_strength)) {
+        attr_set.insert({v, a});
+      }
+    }
+    for (int32_t c : node_circles[static_cast<size_t>(v)]) {
+      for (int64_t a : out->circle_attributes[static_cast<size_t>(c)]) {
+        if (rng->Bernoulli(params.topic_active_prob)) {
+          attr_set.insert({v, a});
+        }
+      }
+    }
+    const int noise =
+        static_cast<int>(params.noise_attrs_per_node) +
+        (rng->Bernoulli(params.noise_attrs_per_node -
+                        std::floor(params.noise_attrs_per_node))
+             ? 1
+             : 0);
+    for (int i = 0; i < noise; ++i) {
+      attr_set.insert({v, rng->UniformInt(params.num_attributes)});
+    }
+    // Guarantee at least one attribute per node.
+    bool has_any = false;
+    for (auto it = attr_set.lower_bound({v, 0});
+         it != attr_set.end() && it->first == v; ++it) {
+      has_any = true;
+      break;
+    }
+    if (!has_any) {
+      const auto& own = out->circle_attributes[static_cast<size_t>(
+          node_circles[static_cast<size_t>(v)][0])];
+      attr_set.insert(
+          {v, own[static_cast<size_t>(rng->UniformInt(
+                  static_cast<int64_t>(own.size())))]});
+    }
+  }
+
+  std::vector<SparseMatrix::Triplet> triplets;
+  triplets.reserve(attr_set.size());
+  for (const auto& [node, attr] : attr_set) {
+    triplets.push_back({node, attr, 1.0f});
+  }
+  return SparseMatrix::FromTriplets(n, params.num_attributes,
+                                    std::move(triplets));
+}
+
+}  // namespace coane

@@ -1,0 +1,56 @@
+#ifndef COANE_DATASETS_PLANTED_STRUCTURE_H_
+#define COANE_DATASETS_PLANTED_STRUCTURE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "datasets/attributed_sbm.h"
+#include "la/sparse_matrix.h"
+
+namespace coane {
+
+/// Shared machinery of the synthetic generators (SBM and BA flavors):
+/// circle assignment within classes and the circle/class topic attribute
+/// model. Kept in one place so both substrates plant *identical* attribute
+/// semantics and differ only in edge topology.
+
+/// Per-class circles: every node joins one circle of its class, and a
+/// second with probability `second_circle_prob`. Fills
+/// `out->circle_members` / `out->circle_class` and returns each node's
+/// circle list.
+std::vector<std::vector<int32_t>> AssignCircles(
+    const std::vector<int32_t>& labels, int num_classes,
+    int circles_per_class, double second_circle_prob, Rng* rng,
+    AttributedNetwork* out);
+
+/// Parameters of the topic attribute model (see AttributedSbmConfig for
+/// the semantics of each field).
+struct TopicAttributeParams {
+  int64_t num_attributes = 200;
+  int attrs_per_circle = 8;
+  int attrs_per_class = 6;
+  double circle_attr_pool_fraction = 0.6;
+  double topic_active_prob = 0.3;
+  double class_attr_strength = 0.3;
+  double noise_attrs_per_node = 4.0;
+};
+
+/// Validates the attribute budget: classes * (circles * attrs_per_circle +
+/// attrs_per_class) must fit in num_attributes and the pool fraction must
+/// be in (0, 1].
+Status ValidateTopicParams(const TopicAttributeParams& params,
+                           int num_classes, int circles_per_class);
+
+/// Generates the sparse attribute matrix and fills
+/// `out->circle_attributes` / `out->class_attributes`. Every node receives
+/// at least one attribute.
+SparseMatrix GenerateTopicAttributes(
+    const TopicAttributeParams& params,
+    const std::vector<int32_t>& labels, int num_classes,
+    const std::vector<std::vector<int32_t>>& node_circles, Rng* rng,
+    AttributedNetwork* out);
+
+}  // namespace coane
+
+#endif  // COANE_DATASETS_PLANTED_STRUCTURE_H_

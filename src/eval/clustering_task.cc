@@ -1,0 +1,21 @@
+#include "eval/clustering_task.h"
+
+#include "eval/kmeans.h"
+#include "eval/nmi.h"
+
+namespace coane {
+
+Result<double> EvaluateClusteringNmi(const DenseMatrix& embeddings,
+                                     const std::vector<int32_t>& labels,
+                                     int num_classes, uint64_t seed) {
+  if (static_cast<int64_t>(labels.size()) != embeddings.rows()) {
+    return Status::InvalidArgument("labels size mismatch");
+  }
+  KMeansConfig cfg;
+  cfg.seed = seed;
+  auto clusters = RunKMeans(embeddings, num_classes, cfg);
+  if (!clusters.ok()) return clusters.status();
+  return NormalizedMutualInformation(clusters.value().assignment, labels);
+}
+
+}  // namespace coane

@@ -1,0 +1,21 @@
+#ifndef COANE_EVAL_CLUSTERING_TASK_H_
+#define COANE_EVAL_CLUSTERING_TASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "la/dense_matrix.h"
+
+namespace coane {
+
+/// The node-clustering protocol of Sec. 4.2: K-means on the embeddings with
+/// K = number of ground-truth labels, scored by NMI against the labels
+/// (Tables 4 and 5).
+Result<double> EvaluateClusteringNmi(const DenseMatrix& embeddings,
+                                     const std::vector<int32_t>& labels,
+                                     int num_classes, uint64_t seed = 42);
+
+}  // namespace coane
+
+#endif  // COANE_EVAL_CLUSTERING_TASK_H_

@@ -1,0 +1,122 @@
+#include "eval/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "la/vector_ops.h"
+
+namespace coane {
+namespace {
+
+// One full K-means run: k-means++ seeding then Lloyd iterations.
+KMeansResult RunOnce(const DenseMatrix& points, int k,
+                     const KMeansConfig& config, Rng* rng) {
+  const int64_t n = points.rows();
+  const int64_t d = points.cols();
+
+  // --- k-means++ seeding.
+  DenseMatrix centroids(k, d);
+  std::vector<double> min_dist(static_cast<size_t>(n),
+                               std::numeric_limits<double>::infinity());
+  int64_t first = rng->UniformInt(n);
+  for (int64_t j = 0; j < d; ++j) centroids.At(0, j) = points.At(first, j);
+  for (int c = 1; c < k; ++c) {
+    for (int64_t i = 0; i < n; ++i) {
+      min_dist[static_cast<size_t>(i)] = std::min(
+          min_dist[static_cast<size_t>(i)],
+          SquaredDistance(points.Row(i), centroids.Row(c - 1), d));
+    }
+    double total = 0.0;
+    for (double m : min_dist) total += m;
+    int64_t pick;
+    if (total <= 0.0) {
+      pick = rng->UniformInt(n);
+    } else {
+      double u = rng->Uniform() * total;
+      pick = n - 1;
+      double acc = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        acc += min_dist[static_cast<size_t>(i)];
+        if (u < acc) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    for (int64_t j = 0; j < d; ++j) centroids.At(c, j) = points.At(pick, j);
+  }
+
+  // --- Lloyd iterations.
+  KMeansResult result;
+  result.assignment.assign(static_cast<size_t>(n), 0);
+  std::vector<int64_t> counts(static_cast<size_t>(k));
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    bool changed = false;
+    result.inertia = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      int32_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        const double dist =
+            SquaredDistance(points.Row(i), centroids.Row(c), d);
+        if (dist < best_d) {
+          best_d = dist;
+          best = c;
+        }
+      }
+      if (result.assignment[static_cast<size_t>(i)] != best) {
+        result.assignment[static_cast<size_t>(i)] = best;
+        changed = true;
+      }
+      result.inertia += best_d;
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+    // Recompute centroids; empty clusters are re-seeded at a random point.
+    centroids.Fill(0.0f);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (int64_t i = 0; i < n; ++i) {
+      const int32_t c = result.assignment[static_cast<size_t>(i)];
+      counts[static_cast<size_t>(c)]++;
+      Axpy(1.0f, points.Row(i), centroids.Row(c), d);
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] > 0) {
+        const float inv =
+            1.0f / static_cast<float>(counts[static_cast<size_t>(c)]);
+        for (int64_t j = 0; j < d; ++j) centroids.At(c, j) *= inv;
+      } else {
+        const int64_t pick = rng->UniformInt(n);
+        for (int64_t j = 0; j < d; ++j) {
+          centroids.At(c, j) = points.At(pick, j);
+        }
+      }
+    }
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace
+
+Result<KMeansResult> RunKMeans(const DenseMatrix& points, int k,
+                               const KMeansConfig& config) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (points.rows() < k) {
+    return Status::InvalidArgument("fewer points than clusters");
+  }
+  if (config.num_restarts < 1) {
+    return Status::InvalidArgument("num_restarts must be >= 1");
+  }
+  Rng rng(config.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < config.num_restarts; ++r) {
+    KMeansResult candidate = RunOnce(points, k, config, &rng);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace coane

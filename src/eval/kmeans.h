@@ -1,0 +1,34 @@
+#ifndef COANE_EVAL_KMEANS_H_
+#define COANE_EVAL_KMEANS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "la/dense_matrix.h"
+
+namespace coane {
+
+/// Lloyd's K-means with k-means++ seeding — the clustering algorithm the
+/// paper runs on embeddings for the NMI evaluation (Tables 4 and 5).
+struct KMeansConfig {
+  int max_iterations = 100;
+  /// Restarts; the assignment with the lowest inertia wins.
+  int num_restarts = 3;
+  uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  std::vector<int32_t> assignment;  // cluster id per row
+  DenseMatrix centroids;            // k x d
+  double inertia = 0.0;             // sum of squared distances to centroids
+  int iterations = 0;               // of the winning restart
+};
+
+/// Clusters the rows of `points` into k clusters. Requires 1 <= k <= rows.
+Result<KMeansResult> RunKMeans(const DenseMatrix& points, int k,
+                               const KMeansConfig& config);
+
+}  // namespace coane
+
+#endif  // COANE_EVAL_KMEANS_H_

@@ -1,0 +1,42 @@
+#ifndef COANE_EVAL_LINK_PREDICTION_H_
+#define COANE_EVAL_LINK_PREDICTION_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/edge_split.h"
+#include "la/dense_matrix.h"
+
+namespace coane {
+
+/// AUC of the link-prediction protocol of Sec. 4.2: Hadamard products of
+/// endpoint embeddings as pair features, logistic-regression classifier
+/// trained on the training positives/negatives, AUC on each split.
+struct LinkPredictionResult {
+  double train_auc = 0.0;
+  double val_auc = 0.0;
+  double test_auc = 0.0;
+};
+
+/// Evaluates embeddings (trained on split.train_graph by the caller) on the
+/// given split.
+Result<LinkPredictionResult> EvaluateLinkPrediction(
+    const DenseMatrix& embeddings, const LinkSplit& split,
+    uint64_t seed = 42);
+
+/// Hadamard (elementwise product) pair features for a list of node pairs.
+DenseMatrix HadamardFeatures(
+    const DenseMatrix& embeddings,
+    const std::vector<std::pair<NodeId, NodeId>>& pairs);
+
+/// Precision@k of a ranked candidate list: scores and binary labels are
+/// sorted by score descending (stable for ties) and the fraction of
+/// positives within the first k is returned. k is clamped to the list
+/// size; returns 0 for empty input.
+double PrecisionAtK(const std::vector<double>& scores,
+                    const std::vector<int>& labels, int64_t k);
+
+}  // namespace coane
+
+#endif  // COANE_EVAL_LINK_PREDICTION_H_

@@ -1,0 +1,68 @@
+#ifndef COANE_EVAL_LOGISTIC_REGRESSION_H_
+#define COANE_EVAL_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "la/dense_matrix.h"
+
+namespace coane {
+
+/// Training options for the downstream logistic-regression classifiers the
+/// paper uses for node classification and link prediction (Sec. 4.2): L2
+/// regularization, full-batch Adam.
+struct LogisticRegressionConfig {
+  float l2 = 1e-4f;
+  int epochs = 300;
+  float learning_rate = 0.05f;
+  uint64_t seed = 42;
+};
+
+/// Binary logistic regression: p(y=1|x) = sigma(w.x + b).
+class LogisticRegression {
+ public:
+  LogisticRegression() = default;
+
+  /// Fits on rows of `x` with labels in {0, 1}. Requires at least one
+  /// example and matching sizes.
+  Status Fit(const DenseMatrix& x, const std::vector<int>& y,
+             const LogisticRegressionConfig& config);
+
+  /// p(y=1|x) for a feature row of the fitted dimensionality.
+  double PredictProba(const float* x) const;
+
+  /// Decision at threshold 0.5.
+  int Predict(const float* x) const { return PredictProba(x) >= 0.5 ? 1 : 0; }
+
+  const std::vector<float>& weights() const { return w_; }
+  float bias() const { return b_; }
+
+ private:
+  std::vector<float> w_;
+  float b_ = 0.0f;
+};
+
+/// One-vs-rest multiclass wrapper (the paper's protocol for node label
+/// classification): one binary model per class, predict the argmax score.
+class OneVsRestClassifier {
+ public:
+  OneVsRestClassifier() = default;
+
+  /// Labels must be in [0, num_classes).
+  Status Fit(const DenseMatrix& x, const std::vector<int32_t>& y,
+             int num_classes, const LogisticRegressionConfig& config);
+
+  int32_t Predict(const float* x) const;
+
+  /// Predicts every row of `x`.
+  std::vector<int32_t> PredictBatch(const DenseMatrix& x) const;
+
+  int num_classes() const { return static_cast<int>(models_.size()); }
+
+ private:
+  std::vector<LogisticRegression> models_;
+};
+
+}  // namespace coane
+
+#endif  // COANE_EVAL_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,45 @@
+#ifndef COANE_EVAL_METHOD_ZOO_H_
+#define COANE_EVAL_METHOD_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/coane_config.h"
+#include "graph/graph.h"
+#include "la/dense_matrix.h"
+
+namespace coane {
+
+/// Uniform access to every embedding method in the comparison, so each bench
+/// binary enumerates the same roster the paper's tables do. Method names:
+/// "node2vec", "deepwalk", "line", "gae", "vgae", "attr-ae" (the
+/// DANE/ASNE-family attribute autoencoder stand-in), and "coane".
+struct MethodConfig {
+  int64_t embedding_dim = 64;
+  uint64_t seed = 42;
+  /// Scaled-down training budgets so the full bench suite finishes in
+  /// minutes on one core; set false for paper-fidelity budgets.
+  bool fast = true;
+  /// CoANE negative-sampling strategy (the paper pre-samples on dense
+  /// graphs, batch-samples on sparse ones).
+  NegativeSamplingMode coane_negative_mode = NegativeSamplingMode::kBatch;
+};
+
+/// The roster used by the table benches, in the order rows are printed.
+std::vector<std::string> StandardMethods();
+
+/// Trains `method` on `graph` and returns the embedding matrix.
+/// NotFound for unknown names; attribute-dependent methods fail on
+/// attribute-free graphs.
+Result<DenseMatrix> TrainMethod(const std::string& method,
+                                const Graph& graph,
+                                const MethodConfig& config);
+
+/// The CoANE configuration TrainMethod uses, exposed so analysis benches
+/// can start from the same baseline and flip individual switches.
+CoaneConfig DefaultCoaneConfig(const MethodConfig& config);
+
+}  // namespace coane
+
+#endif  // COANE_EVAL_METHOD_ZOO_H_

@@ -1,0 +1,162 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+
+F1Scores ComputeF1(const std::vector<int32_t>& y_true,
+                   const std::vector<int32_t>& y_pred, int num_classes) {
+  COANE_CHECK_EQ(y_true.size(), y_pred.size());
+  COANE_CHECK_GT(num_classes, 0);
+  std::vector<int64_t> tp(static_cast<size_t>(num_classes), 0);
+  std::vector<int64_t> fp(static_cast<size_t>(num_classes), 0);
+  std::vector<int64_t> fn(static_cast<size_t>(num_classes), 0);
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    const int32_t t = y_true[i];
+    const int32_t p = y_pred[i];
+    COANE_CHECK_GE(t, 0);
+    COANE_CHECK_LT(t, num_classes);
+    COANE_CHECK_GE(p, 0);
+    COANE_CHECK_LT(p, num_classes);
+    if (t == p) {
+      tp[static_cast<size_t>(t)]++;
+    } else {
+      fp[static_cast<size_t>(p)]++;
+      fn[static_cast<size_t>(t)]++;
+    }
+  }
+  F1Scores out;
+  double macro_sum = 0.0;
+  int64_t tp_total = 0, fp_total = 0, fn_total = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    const double denom = 2.0 * tp[static_cast<size_t>(c)] +
+                         fp[static_cast<size_t>(c)] +
+                         fn[static_cast<size_t>(c)];
+    macro_sum += denom > 0 ? 2.0 * tp[static_cast<size_t>(c)] / denom : 0.0;
+    tp_total += tp[static_cast<size_t>(c)];
+    fp_total += fp[static_cast<size_t>(c)];
+    fn_total += fn[static_cast<size_t>(c)];
+  }
+  out.macro = macro_sum / num_classes;
+  const double micro_denom = 2.0 * tp_total + fp_total + fn_total;
+  out.micro = micro_denom > 0 ? 2.0 * tp_total / micro_denom : 0.0;
+  return out;
+}
+
+double Accuracy(const std::vector<int32_t>& y_true,
+                const std::vector<int32_t>& y_pred) {
+  COANE_CHECK_EQ(y_true.size(), y_pred.size());
+  if (y_true.empty()) return 0.0;
+  int64_t hits = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) hits += y_true[i] == y_pred[i];
+  return static_cast<double>(hits) / static_cast<double>(y_true.size());
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels) {
+  COANE_CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  int64_t pos = 0;
+  for (int label : labels) pos += label;
+  const int64_t neg = static_cast<int64_t>(n) - pos;
+  if (pos == 0 || neg == 0) return 0.5;
+
+  // Average ranks with tie handling.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> rank(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[idx[j + 1]] == scores[idx[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[idx[k]] = avg_rank;
+    i = j + 1;
+  }
+  double rank_sum_pos = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] == 1) rank_sum_pos += rank[k];
+  }
+  const double u = rank_sum_pos - static_cast<double>(pos) * (pos + 1) / 2.0;
+  return u / (static_cast<double>(pos) * static_cast<double>(neg));
+}
+
+double SilhouetteScore(const DenseMatrix& points,
+                       const std::vector<int32_t>& assignment) {
+  const int64_t n = points.rows();
+  COANE_CHECK_EQ(static_cast<size_t>(n), assignment.size());
+  if (n < 2) return 0.0;
+  int32_t num_clusters = 0;
+  for (int32_t a : assignment) num_clusters = std::max(num_clusters, a + 1);
+  if (num_clusters < 2) return 0.0;
+
+  std::vector<int64_t> cluster_size(static_cast<size_t>(num_clusters), 0);
+  for (int32_t a : assignment) cluster_size[static_cast<size_t>(a)]++;
+
+  double total = 0.0;
+  int64_t counted = 0;
+  std::vector<double> dist_sum(static_cast<size_t>(num_clusters));
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t ci = assignment[static_cast<size_t>(i)];
+    if (cluster_size[static_cast<size_t>(ci)] < 2) continue;  // singleton
+    std::fill(dist_sum.begin(), dist_sum.end(), 0.0);
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double d = std::sqrt(
+          SquaredDistance(points.Row(i), points.Row(j), points.cols()));
+      dist_sum[static_cast<size_t>(assignment[static_cast<size_t>(j)])] += d;
+    }
+    const double a =
+        dist_sum[static_cast<size_t>(ci)] /
+        static_cast<double>(cluster_size[static_cast<size_t>(ci)] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (int32_t c = 0; c < num_clusters; ++c) {
+      if (c == ci || cluster_size[static_cast<size_t>(c)] == 0) continue;
+      b = std::min(b, dist_sum[static_cast<size_t>(c)] /
+                          static_cast<double>(
+                              cluster_size[static_cast<size_t>(c)]));
+    }
+    if (!std::isfinite(b)) continue;
+    const double denom = std::max(a, b);
+    if (denom > 0) {
+      total += (b - a) / denom;
+      ++counted;
+    }
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+double IntraInterDistanceRatio(const DenseMatrix& points,
+                               const std::vector<int32_t>& assignment) {
+  const int64_t n = points.rows();
+  COANE_CHECK_EQ(static_cast<size_t>(n), assignment.size());
+  double intra = 0.0, inter = 0.0;
+  int64_t intra_n = 0, inter_n = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const double d = std::sqrt(
+          SquaredDistance(points.Row(i), points.Row(j), points.cols()));
+      if (assignment[static_cast<size_t>(i)] ==
+          assignment[static_cast<size_t>(j)]) {
+        intra += d;
+        ++intra_n;
+      } else {
+        inter += d;
+        ++inter_n;
+      }
+    }
+  }
+  if (intra_n == 0 || inter_n == 0 || inter == 0.0) return 0.0;
+  return (intra / static_cast<double>(intra_n)) /
+         (inter / static_cast<double>(inter_n));
+}
+
+}  // namespace coane

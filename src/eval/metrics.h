@@ -1,0 +1,47 @@
+#ifndef COANE_EVAL_METRICS_H_
+#define COANE_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense_matrix.h"
+
+namespace coane {
+
+/// Macro- and Micro-averaged F1 over a multiclass prediction — the two
+/// columns of Tables 2 and 3.
+struct F1Scores {
+  double macro = 0.0;
+  double micro = 0.0;
+};
+
+/// Computes F1 scores. Labels/predictions must be in [0, num_classes).
+/// Macro-F1 averages per-class F1 (classes absent from both truth and
+/// prediction contribute 0); Micro-F1 pools TP/FP/FN over classes.
+F1Scores ComputeF1(const std::vector<int32_t>& y_true,
+                   const std::vector<int32_t>& y_pred, int num_classes);
+
+/// Fraction of exact matches.
+double Accuracy(const std::vector<int32_t>& y_true,
+                const std::vector<int32_t>& y_pred);
+
+/// Area under the ROC curve via the rank-sum (Mann-Whitney) statistic with
+/// average ranks for ties. `labels` in {0,1}; returns 0.5 when one class is
+/// empty.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels);
+
+/// Mean silhouette coefficient of `points` (rows) under `assignment` —
+/// the quantitative stand-in for the Fig. 3 t-SNE separation plots.
+/// Returns 0 for degenerate clusterings (single cluster or singletons).
+double SilhouetteScore(const DenseMatrix& points,
+                       const std::vector<int32_t>& assignment);
+
+/// Mean intra-class pairwise distance divided by mean inter-class pairwise
+/// distance (lower = better-separated embeddings).
+double IntraInterDistanceRatio(const DenseMatrix& points,
+                               const std::vector<int32_t>& assignment);
+
+}  // namespace coane
+
+#endif  // COANE_EVAL_METRICS_H_

@@ -1,0 +1,48 @@
+#include "eval/nmi.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace coane {
+
+double NormalizedMutualInformation(const std::vector<int32_t>& a,
+                                   const std::vector<int32_t>& b) {
+  COANE_CHECK_EQ(a.size(), b.size());
+  const double n = static_cast<double>(a.size());
+  if (a.empty()) return 0.0;
+
+  std::map<int32_t, int64_t> count_a, count_b;
+  std::map<std::pair<int32_t, int32_t>, int64_t> joint;
+  for (size_t i = 0; i < a.size(); ++i) {
+    count_a[a[i]]++;
+    count_b[b[i]]++;
+    joint[{a[i], b[i]}]++;
+  }
+
+  auto entropy = [&](const std::map<int32_t, int64_t>& counts) {
+    double h = 0.0;
+    for (const auto& [label, c] : counts) {
+      const double p = static_cast<double>(c) / n;
+      if (p > 0) h -= p * std::log(p);
+    }
+    return h;
+  };
+  const double ha = entropy(count_a);
+  const double hb = entropy(count_b);
+  if (ha == 0.0 && hb == 0.0) return 1.0;  // both trivial and identical
+  if (ha == 0.0 || hb == 0.0) return 0.0;
+
+  double mi = 0.0;
+  for (const auto& [pair, c] : joint) {
+    const double pxy = static_cast<double>(c) / n;
+    const double px = static_cast<double>(count_a[pair.first]) / n;
+    const double py = static_cast<double>(count_b[pair.second]) / n;
+    mi += pxy * std::log(pxy / (px * py));
+  }
+  return mi / std::sqrt(ha * hb);
+}
+
+}  // namespace coane

@@ -1,0 +1,20 @@
+#ifndef COANE_EVAL_NMI_H_
+#define COANE_EVAL_NMI_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace coane {
+
+/// Normalized mutual information between two labelings of the same items:
+/// NMI(A, B) = I(A; B) / sqrt(H(A) H(B)), in [0, 1]. Returns 0 when either
+/// labeling has zero entropy (a single cluster) unless they are both
+/// single-cluster and identical in size, where 1 is conventional — we follow
+/// scikit-learn and return 1.0 when both partitions are identical trivial
+/// partitions, 0 otherwise. This is the clustering metric of Tables 4/5.
+double NormalizedMutualInformation(const std::vector<int32_t>& a,
+                                   const std::vector<int32_t>& b);
+
+}  // namespace coane
+
+#endif  // COANE_EVAL_NMI_H_

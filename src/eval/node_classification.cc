@@ -1,0 +1,65 @@
+#include "eval/node_classification.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "eval/logistic_regression.h"
+#include "eval/metrics.h"
+
+namespace coane {
+
+Result<ClassificationResult> EvaluateNodeClassification(
+    const DenseMatrix& embeddings, const std::vector<int32_t>& labels,
+    int num_classes, double train_ratio, uint64_t seed, int num_trials) {
+  const int64_t n = embeddings.rows();
+  if (static_cast<int64_t>(labels.size()) != n) {
+    return Status::InvalidArgument("labels size mismatch");
+  }
+  if (train_ratio <= 0.0 || train_ratio >= 1.0) {
+    return Status::InvalidArgument("train_ratio must be in (0, 1)");
+  }
+  if (num_trials < 1) {
+    return Status::InvalidArgument("num_trials must be >= 1");
+  }
+  Rng rng(seed);
+  ClassificationResult total;
+  for (int trial = 0; trial < num_trials; ++trial) {
+    std::vector<int64_t> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(&order);
+    const int64_t train_n = std::max<int64_t>(
+        num_classes, static_cast<int64_t>(train_ratio * n));
+    if (train_n >= n) {
+      return Status::InvalidArgument("train split leaves no test nodes");
+    }
+    std::vector<int64_t> train_idx(order.begin(), order.begin() + train_n);
+    std::vector<int64_t> test_idx(order.begin() + train_n, order.end());
+
+    DenseMatrix train_x = embeddings.SelectRows(train_idx);
+    std::vector<int32_t> train_y, test_y;
+    train_y.reserve(train_idx.size());
+    for (int64_t i : train_idx) {
+      train_y.push_back(labels[static_cast<size_t>(i)]);
+    }
+    DenseMatrix test_x = embeddings.SelectRows(test_idx);
+    test_y.reserve(test_idx.size());
+    for (int64_t i : test_idx) {
+      test_y.push_back(labels[static_cast<size_t>(i)]);
+    }
+
+    OneVsRestClassifier clf;
+    LogisticRegressionConfig cfg;
+    cfg.seed = seed + static_cast<uint64_t>(trial);
+    COANE_RETURN_IF_ERROR(clf.Fit(train_x, train_y, num_classes, cfg));
+    const std::vector<int32_t> pred = clf.PredictBatch(test_x);
+    const F1Scores f1 = ComputeF1(test_y, pred, num_classes);
+    total.macro_f1 += f1.macro;
+    total.micro_f1 += f1.micro;
+  }
+  total.macro_f1 /= num_trials;
+  total.micro_f1 /= num_trials;
+  return total;
+}
+
+}  // namespace coane

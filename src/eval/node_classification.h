@@ -1,0 +1,29 @@
+#ifndef COANE_EVAL_NODE_CLASSIFICATION_H_
+#define COANE_EVAL_NODE_CLASSIFICATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "la/dense_matrix.h"
+
+namespace coane {
+
+/// Macro/Micro F1 of the node-label-classification protocol of Sec. 4.2:
+/// a random `train_ratio` of nodes trains a one-vs-rest L2 logistic
+/// regression on the embeddings; the rest is the test set.
+struct ClassificationResult {
+  double macro_f1 = 0.0;
+  double micro_f1 = 0.0;
+};
+
+/// `labels[i]` is node i's class in [0, num_classes). `train_ratio` in
+/// (0, 1). Averages over `num_trials` random splits.
+Result<ClassificationResult> EvaluateNodeClassification(
+    const DenseMatrix& embeddings, const std::vector<int32_t>& labels,
+    int num_classes, double train_ratio, uint64_t seed = 42,
+    int num_trials = 1);
+
+}  // namespace coane
+
+#endif  // COANE_EVAL_NODE_CLASSIFICATION_H_

@@ -1,0 +1,156 @@
+#include "eval/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+namespace {
+
+// Conditional probabilities p_{j|i} with bandwidth found by binary search so
+// the row's perplexity matches the target.
+std::vector<double> ComputeP(const DenseMatrix& x, double perplexity) {
+  const int64_t n = x.rows();
+  std::vector<double> sq_dist(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const double d = SquaredDistance(x.Row(i), x.Row(j), x.cols());
+      sq_dist[static_cast<size_t>(i * n + j)] = d;
+      sq_dist[static_cast<size_t>(j * n + i)] = d;
+    }
+  }
+  const double target_entropy = std::log(perplexity);
+  std::vector<double> p(static_cast<size_t>(n * n), 0.0);
+  std::vector<double> row(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double beta = 1.0, beta_min = 0.0, beta_max = 1e12;
+    bool has_max = false;
+    for (int iter = 0; iter < 60; ++iter) {
+      double sum = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        row[static_cast<size_t>(j)] =
+            j == i ? 0.0
+                   : std::exp(-beta * sq_dist[static_cast<size_t>(i * n + j)]);
+        sum += row[static_cast<size_t>(j)];
+      }
+      if (sum <= 0.0) sum = 1e-12;
+      double entropy = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        const double pij = row[static_cast<size_t>(j)] / sum;
+        row[static_cast<size_t>(j)] = pij;
+        if (pij > 1e-12) entropy -= pij * std::log(pij);
+      }
+      const double diff = entropy - target_entropy;
+      if (std::abs(diff) < 1e-5) break;
+      if (diff > 0) {  // entropy too high -> sharpen
+        beta_min = beta;
+        beta = has_max ? (beta + beta_max) / 2.0 : beta * 2.0;
+      } else {
+        beta_max = beta;
+        has_max = true;
+        beta = (beta + beta_min) / 2.0;
+      }
+    }
+    for (int64_t j = 0; j < n; ++j) {
+      p[static_cast<size_t>(i * n + j)] = row[static_cast<size_t>(j)];
+    }
+  }
+  // Symmetrize: P = (P + P^T) / (2n), floored for stability.
+  std::vector<double> sym(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      sym[static_cast<size_t>(i * n + j)] =
+          std::max((p[static_cast<size_t>(i * n + j)] +
+                    p[static_cast<size_t>(j * n + i)]) /
+                       (2.0 * static_cast<double>(n)),
+                   1e-12);
+    }
+  }
+  return sym;
+}
+
+}  // namespace
+
+Result<DenseMatrix> RunTsne(const DenseMatrix& x, const TsneConfig& config) {
+  const int64_t n = x.rows();
+  if (n < 5) return Status::InvalidArgument("t-SNE needs at least 5 points");
+  if (3.0 * config.perplexity >= static_cast<double>(n)) {
+    return Status::InvalidArgument("perplexity too large for n");
+  }
+  if (config.output_dim < 1) {
+    return Status::InvalidArgument("output_dim must be positive");
+  }
+  Rng rng(config.seed);
+  const int64_t m = config.output_dim;
+
+  std::vector<double> p = ComputeP(x, config.perplexity);
+
+  DenseMatrix y(n, m);
+  y.GaussianInit(&rng, 0.0f, 1e-2f);
+  DenseMatrix velocity(n, m, 0.0f);
+  std::vector<double> q(static_cast<size_t>(n * n));
+  std::vector<double> num(static_cast<size_t>(n * n));
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < config.exaggeration_iters ? config.exaggeration : 1.0;
+    const double momentum = iter < config.momentum_switch_iter
+                                ? config.initial_momentum
+                                : config.final_momentum;
+    // Student-t numerators and normalizer.
+    double z_sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        const double d = SquaredDistance(y.Row(i), y.Row(j), m);
+        const double v = 1.0 / (1.0 + d);
+        num[static_cast<size_t>(i * n + j)] = v;
+        num[static_cast<size_t>(j * n + i)] = v;
+        z_sum += 2.0 * v;
+      }
+      num[static_cast<size_t>(i * n + i)] = 0.0;
+    }
+    z_sum = std::max(z_sum, 1e-12);
+
+    // Gradient: dC/dy_i = 4 sum_j (P_ij * ex - Q_ij) num_ij (y_i - y_j).
+    for (int64_t i = 0; i < n; ++i) {
+      std::vector<double> grad(static_cast<size_t>(m), 0.0);
+      for (int64_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double nij = num[static_cast<size_t>(i * n + j)];
+        const double qij = std::max(nij / z_sum, 1e-12);
+        const double coeff =
+            4.0 *
+            (exaggeration * p[static_cast<size_t>(i * n + j)] - qij) * nij;
+        for (int64_t k = 0; k < m; ++k) {
+          grad[static_cast<size_t>(k)] +=
+              coeff * (static_cast<double>(y.At(i, k)) - y.At(j, k));
+        }
+      }
+      for (int64_t k = 0; k < m; ++k) {
+        const float v = static_cast<float>(
+            momentum * velocity.At(i, k) -
+            config.learning_rate * grad[static_cast<size_t>(k)]);
+        velocity.At(i, k) = v;
+      }
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t k = 0; k < m; ++k) y.At(i, k) += velocity.At(i, k);
+    }
+    // Recenter.
+    for (int64_t k = 0; k < m; ++k) {
+      double mean = 0.0;
+      for (int64_t i = 0; i < n; ++i) mean += y.At(i, k);
+      mean /= static_cast<double>(n);
+      for (int64_t i = 0; i < n; ++i) {
+        y.At(i, k) -= static_cast<float>(mean);
+      }
+    }
+  }
+  (void)q;
+  return y;
+}
+
+}  // namespace coane

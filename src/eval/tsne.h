@@ -1,0 +1,33 @@
+#ifndef COANE_EVAL_TSNE_H_
+#define COANE_EVAL_TSNE_H_
+
+#include "common/status.h"
+#include "la/dense_matrix.h"
+
+namespace coane {
+
+/// Exact t-SNE (van der Maaten & Hinton 2008) for the Fig. 3 embedding
+/// visualization. O(n^2) per iteration — intended for a few thousand points
+/// at most. Uses binary-searched per-point bandwidths for the target
+/// perplexity, early exaggeration, and momentum gradient descent.
+struct TsneConfig {
+  int output_dim = 2;
+  double perplexity = 30.0;
+  int iterations = 400;
+  double learning_rate = 200.0;
+  /// First `exaggeration_iters` iterations multiply P by `exaggeration`.
+  double exaggeration = 12.0;
+  int exaggeration_iters = 100;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  int momentum_switch_iter = 120;
+  uint64_t seed = 42;
+};
+
+/// Embeds the rows of `x` into `output_dim` dimensions. Requires
+/// 3 * perplexity < n.
+Result<DenseMatrix> RunTsne(const DenseMatrix& x, const TsneConfig& config);
+
+}  // namespace coane
+
+#endif  // COANE_EVAL_TSNE_H_

@@ -1,0 +1,108 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <string>
+
+namespace coane {
+
+GraphBuilder& GraphBuilder::AddEdge(NodeId u, NodeId v, float weight) {
+  edges_.push_back({u, v, weight});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
+  edges_.insert(edges_.end(), edges.begin(), edges.end());
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::SetAttributes(SparseMatrix attributes) {
+  attributes_ = std::move(attributes);
+  has_attributes_ = true;
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::SetLabels(std::vector<int32_t> labels) {
+  labels_ = std::move(labels);
+  return *this;
+}
+
+Result<Graph> GraphBuilder::Build() && {
+  if (num_nodes_ < 0) {
+    return Status::InvalidArgument("num_nodes must be non-negative");
+  }
+  for (const Edge& e : edges_) {
+    if (e.src < 0 || e.src >= num_nodes_ || e.dst < 0 ||
+        e.dst >= num_nodes_) {
+      return Status::OutOfRange("edge endpoint out of range: (" +
+                                std::to_string(e.src) + ", " +
+                                std::to_string(e.dst) + ")");
+    }
+    if (e.src == e.dst) {
+      return Status::InvalidArgument("self-loop on node " +
+                                     std::to_string(e.src));
+    }
+    if (e.weight <= 0.0f) {
+      return Status::InvalidArgument("edge weight must be positive");
+    }
+  }
+  if (has_attributes_ && attributes_.rows() != num_nodes_) {
+    return Status::InvalidArgument(
+        "attribute matrix has " + std::to_string(attributes_.rows()) +
+        " rows but the graph has " + std::to_string(num_nodes_) + " nodes");
+  }
+  if (!labels_.empty() &&
+      static_cast<int64_t>(labels_.size()) != num_nodes_) {
+    return Status::InvalidArgument("labels size mismatch");
+  }
+  int num_classes = 0;
+  for (int32_t l : labels_) {
+    if (l < 0) return Status::InvalidArgument("negative label");
+    num_classes = std::max(num_classes, l + 1);
+  }
+
+  // Symmetrize and deduplicate (duplicate {u,v} weights are summed).
+  std::vector<Edge> directed;
+  directed.reserve(edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    directed.push_back({e.src, e.dst, e.weight});
+    directed.push_back({e.dst, e.src, e.weight});
+  }
+  std::sort(directed.begin(), directed.end(),
+            [](const Edge& a, const Edge& b) {
+              return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+            });
+
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  g.num_classes_ = num_classes;
+  g.adj_ptr_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  g.adj_.reserve(directed.size());
+  int64_t undirected_count = 0;
+  for (size_t i = 0; i < directed.size();) {
+    const Edge& e = directed[i];
+    float sum = 0.0f;
+    size_t j = i;
+    while (j < directed.size() && directed[j].src == e.src &&
+           directed[j].dst == e.dst) {
+      sum += directed[j].weight;
+      ++j;
+    }
+    g.adj_.push_back({e.dst, sum});
+    g.adj_ptr_[static_cast<size_t>(e.src) + 1]++;
+    if (e.src < e.dst) ++undirected_count;
+    i = j;
+  }
+  for (size_t r = 0; r < static_cast<size_t>(num_nodes_); ++r) {
+    g.adj_ptr_[r + 1] += g.adj_ptr_[r];
+  }
+  g.num_edges_ = undirected_count;
+  if (has_attributes_) {
+    g.attributes_ = std::move(attributes_);
+  } else {
+    g.attributes_ = SparseMatrix::FromTriplets(num_nodes_, 0, {});
+  }
+  g.labels_ = std::move(labels_);
+  return g;
+}
+
+}  // namespace coane

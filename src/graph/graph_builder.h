@@ -1,0 +1,50 @@
+#ifndef COANE_GRAPH_GRAPH_BUILDER_H_
+#define COANE_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "la/sparse_matrix.h"
+
+namespace coane {
+
+/// Incrementally assembles an attributed Graph. Typical use:
+///
+///   GraphBuilder b(n);
+///   b.AddEdge(0, 1);
+///   b.SetAttributes(x);     // optional
+///   b.SetLabels(labels);    // optional
+///   Result<Graph> g = std::move(b).Build();
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(int64_t num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Adds an undirected edge {u, v}. Self-loops are rejected at Build time;
+  /// duplicate edges have their weights summed.
+  GraphBuilder& AddEdge(NodeId u, NodeId v, float weight = 1.0f);
+
+  /// Adds every edge in the list.
+  GraphBuilder& AddEdges(const std::vector<Edge>& edges);
+
+  /// Attaches the n x d attribute matrix (row i = node i's attributes).
+  GraphBuilder& SetAttributes(SparseMatrix attributes);
+
+  /// Attaches per-node class labels; values must be in [0, k) for some k.
+  GraphBuilder& SetLabels(std::vector<int32_t> labels);
+
+  /// Validates and produces the immutable Graph. Errors: out-of-range node
+  /// ids, self-loops, non-positive weights, attribute/label size mismatches.
+  Result<Graph> Build() &&;
+
+ private:
+  int64_t num_nodes_;
+  std::vector<Edge> edges_;
+  SparseMatrix attributes_;
+  bool has_attributes_ = false;
+  std::vector<int32_t> labels_;
+};
+
+}  // namespace coane
+
+#endif  // COANE_GRAPH_GRAPH_BUILDER_H_

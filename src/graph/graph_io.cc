@@ -1,0 +1,215 @@
+#include "graph/graph_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_utils.h"
+#include "graph/graph_builder.h"
+
+namespace coane {
+namespace {
+
+// Reads non-comment, non-empty lines of `path`, split on whitespace.
+Result<std::vector<std::vector<std::string>>> ReadRows(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    rows.push_back(SplitWhitespace(trimmed));
+  }
+  return rows;
+}
+
+Result<double> ParseNumber(const std::string& s, const std::string& path) {
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad number '" + s + "' in " + path);
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<Graph> LoadEdgeList(const std::string& path, int64_t num_nodes) {
+  return LoadAttributedGraph(path, "", "", num_nodes);
+}
+
+Result<Graph> LoadAttributedGraph(const std::string& edges_path,
+                                  const std::string& attributes_path,
+                                  const std::string& labels_path,
+                                  int64_t num_nodes,
+                                  int64_t num_attributes) {
+  auto edge_rows = ReadRows(edges_path);
+  if (!edge_rows.ok()) return edge_rows.status();
+
+  std::vector<Edge> edges;
+  int64_t max_node = -1;
+  for (const auto& row : edge_rows.value()) {
+    if (row.size() < 2 || row.size() > 3) {
+      return Status::InvalidArgument("edge line needs 2 or 3 fields in " +
+                                     edges_path);
+    }
+    auto src = ParseNumber(row[0], edges_path);
+    if (!src.ok()) return src.status();
+    auto dst = ParseNumber(row[1], edges_path);
+    if (!dst.ok()) return dst.status();
+    float w = 1.0f;
+    if (row.size() == 3) {
+      auto wv = ParseNumber(row[2], edges_path);
+      if (!wv.ok()) return wv.status();
+      w = static_cast<float>(wv.value());
+    }
+    Edge e{static_cast<NodeId>(src.value()),
+           static_cast<NodeId>(dst.value()), w};
+    max_node = std::max<int64_t>(max_node, std::max(e.src, e.dst));
+    edges.push_back(e);
+  }
+  num_nodes = std::max(num_nodes, max_node + 1);
+
+  GraphBuilder builder(num_nodes);
+  builder.AddEdges(edges);
+
+  if (!attributes_path.empty()) {
+    auto attr_rows = ReadRows(attributes_path);
+    if (!attr_rows.ok()) return attr_rows.status();
+    std::vector<SparseMatrix::Triplet> triplets;
+    int64_t max_attr = -1;
+    for (const auto& row : attr_rows.value()) {
+      if (row.size() != 3) {
+        return Status::InvalidArgument(
+            "attribute line needs 'node index value' in " + attributes_path);
+      }
+      auto node = ParseNumber(row[0], attributes_path);
+      if (!node.ok()) return node.status();
+      auto idx = ParseNumber(row[1], attributes_path);
+      if (!idx.ok()) return idx.status();
+      auto val = ParseNumber(row[2], attributes_path);
+      if (!val.ok()) return val.status();
+      int64_t node_i = static_cast<int64_t>(node.value());
+      int64_t attr_i = static_cast<int64_t>(idx.value());
+      if (node_i < 0 || node_i >= num_nodes) {
+        return Status::OutOfRange("attribute node id out of range in " +
+                                  attributes_path);
+      }
+      max_attr = std::max(max_attr, attr_i);
+      triplets.push_back(
+          {node_i, attr_i, static_cast<float>(val.value())});
+    }
+    num_attributes = std::max(num_attributes, max_attr + 1);
+    builder.SetAttributes(SparseMatrix::FromTriplets(
+        num_nodes, num_attributes, std::move(triplets)));
+  }
+
+  if (!labels_path.empty()) {
+    auto label_rows = ReadRows(labels_path);
+    if (!label_rows.ok()) return label_rows.status();
+    std::vector<int32_t> labels(static_cast<size_t>(num_nodes), 0);
+    for (const auto& row : label_rows.value()) {
+      if (row.size() != 2) {
+        return Status::InvalidArgument("label line needs 'node label' in " +
+                                       labels_path);
+      }
+      auto node = ParseNumber(row[0], labels_path);
+      if (!node.ok()) return node.status();
+      auto label = ParseNumber(row[1], labels_path);
+      if (!label.ok()) return label.status();
+      int64_t node_i = static_cast<int64_t>(node.value());
+      if (node_i < 0 || node_i >= num_nodes) {
+        return Status::OutOfRange("label node id out of range in " +
+                                  labels_path);
+      }
+      labels[static_cast<size_t>(node_i)] =
+          static_cast<int32_t>(label.value());
+    }
+    builder.SetLabels(std::move(labels));
+  }
+
+  return std::move(builder).Build();
+}
+
+Status SaveAttributedGraph(const Graph& graph, const std::string& edges_path,
+                           const std::string& attributes_path,
+                           const std::string& labels_path) {
+  {
+    std::ofstream out(edges_path);
+    if (!out) return Status::IoError("cannot open " + edges_path);
+    out << "# src dst weight\n";
+    for (const Edge& e : graph.UndirectedEdges()) {
+      out << e.src << " " << e.dst << " " << e.weight << "\n";
+    }
+    if (!out) return Status::IoError("write failure on " + edges_path);
+  }
+  if (!attributes_path.empty() && graph.num_attributes() > 0) {
+    std::ofstream out(attributes_path);
+    if (!out) return Status::IoError("cannot open " + attributes_path);
+    out << "# node attr_index value\n";
+    for (int64_t v = 0; v < graph.num_nodes(); ++v) {
+      for (const SparseEntry& e : graph.attributes().Row(v)) {
+        out << v << " " << e.col << " " << e.value << "\n";
+      }
+    }
+    if (!out) return Status::IoError("write failure on " + attributes_path);
+  }
+  if (!labels_path.empty() && !graph.labels().empty()) {
+    std::ofstream out(labels_path);
+    if (!out) return Status::IoError("cannot open " + labels_path);
+    out << "# node label\n";
+    for (int64_t v = 0; v < graph.num_nodes(); ++v) {
+      out << v << " " << graph.labels()[static_cast<size_t>(v)] << "\n";
+    }
+    if (!out) return Status::IoError("write failure on " + labels_path);
+  }
+  return Status::OK();
+}
+
+Status SaveEmbeddings(const DenseMatrix& embeddings,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << "# node embedding[" << embeddings.cols() << "]\n";
+  for (int64_t i = 0; i < embeddings.rows(); ++i) {
+    out << i;
+    for (int64_t j = 0; j < embeddings.cols(); ++j) {
+      out << " " << embeddings.At(i, j);
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<DenseMatrix> LoadEmbeddings(const std::string& path) {
+  auto rows = ReadRows(path);
+  if (!rows.ok()) return rows.status();
+  const auto& data = rows.value();
+  if (data.empty()) return Status::InvalidArgument("empty embedding file");
+  const int64_t dim = static_cast<int64_t>(data[0].size()) - 1;
+  if (dim <= 0) return Status::InvalidArgument("embedding rows need >= 2 fields");
+  DenseMatrix m(static_cast<int64_t>(data.size()), dim);
+  for (const auto& row : data) {
+    if (static_cast<int64_t>(row.size()) != dim + 1) {
+      return Status::InvalidArgument("ragged embedding file " + path);
+    }
+    auto node = ParseNumber(row[0], path);
+    if (!node.ok()) return node.status();
+    int64_t r = static_cast<int64_t>(node.value());
+    if (r < 0 || r >= m.rows()) {
+      return Status::OutOfRange("embedding node id out of range");
+    }
+    for (int64_t j = 0; j < dim; ++j) {
+      auto v = ParseNumber(row[static_cast<size_t>(j) + 1], path);
+      if (!v.ok()) return v.status();
+      m.At(r, j) = static_cast<float>(v.value());
+    }
+  }
+  return m;
+}
+
+}  // namespace coane

@@ -1,0 +1,47 @@
+#ifndef COANE_GRAPH_GRAPH_IO_H_
+#define COANE_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace coane {
+
+/// Plain-text graph serialization, compatible with the common
+/// one-edge-per-line format used by the LINQS attributed-network releases:
+///
+///   edges file:      "src dst [weight]"     (one per line, '#' comments)
+///   attributes file: "node attr_index value" sparse triplets
+///   labels file:     "node label"
+///
+/// Node ids must already be dense integers in [0, n).
+
+/// Reads an edge list. `num_nodes` is inferred as max id + 1 unless a larger
+/// value is passed.
+Result<Graph> LoadEdgeList(const std::string& path, int64_t num_nodes = 0);
+
+/// Loads a full attributed graph from three files. `attributes_path` or
+/// `labels_path` may be empty to skip that component; `num_attributes` is
+/// inferred as max index + 1 unless a larger value is passed.
+Result<Graph> LoadAttributedGraph(const std::string& edges_path,
+                                  const std::string& attributes_path,
+                                  const std::string& labels_path,
+                                  int64_t num_nodes = 0,
+                                  int64_t num_attributes = 0);
+
+/// Writes the three files (edges always; attributes/labels when present).
+Status SaveAttributedGraph(const Graph& graph, const std::string& edges_path,
+                           const std::string& attributes_path,
+                           const std::string& labels_path);
+
+/// Writes an n x d' embedding matrix as "node v1 v2 ... vd" lines.
+Status SaveEmbeddings(const DenseMatrix& embeddings,
+                      const std::string& path);
+
+/// Reads embeddings written by SaveEmbeddings.
+Result<DenseMatrix> LoadEmbeddings(const std::string& path);
+
+}  // namespace coane
+
+#endif  // COANE_GRAPH_GRAPH_IO_H_

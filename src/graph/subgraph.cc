@@ -1,0 +1,62 @@
+#include "graph/subgraph.h"
+
+#include <string>
+#include <utility>
+
+#include "graph/graph_builder.h"
+
+namespace coane {
+
+Result<InducedSubgraph> BuildInducedSubgraph(
+    const Graph& graph, const std::vector<NodeId>& keep) {
+  InducedSubgraph out;
+  out.old_to_new.assign(static_cast<size_t>(graph.num_nodes()), -1);
+  out.new_to_old.reserve(keep.size());
+  for (NodeId v : keep) {
+    if (v < 0 || v >= graph.num_nodes()) {
+      return Status::OutOfRange("node id " + std::to_string(v) +
+                                " out of range");
+    }
+    if (out.old_to_new[static_cast<size_t>(v)] != -1) {
+      return Status::InvalidArgument("duplicate node id " +
+                                     std::to_string(v));
+    }
+    out.old_to_new[static_cast<size_t>(v)] =
+        static_cast<NodeId>(out.new_to_old.size());
+    out.new_to_old.push_back(v);
+  }
+
+  GraphBuilder builder(static_cast<int64_t>(keep.size()));
+  for (const Edge& e : graph.UndirectedEdges()) {
+    const NodeId a = out.old_to_new[static_cast<size_t>(e.src)];
+    const NodeId b = out.old_to_new[static_cast<size_t>(e.dst)];
+    if (a != -1 && b != -1) builder.AddEdge(a, b, e.weight);
+  }
+  if (graph.num_attributes() > 0) {
+    std::vector<SparseMatrix::Triplet> triplets;
+    for (size_t i = 0; i < out.new_to_old.size(); ++i) {
+      for (const SparseEntry& e :
+           graph.attributes().Row(out.new_to_old[i])) {
+        triplets.push_back(
+            {static_cast<int64_t>(i), e.col, e.value});
+      }
+    }
+    builder.SetAttributes(SparseMatrix::FromTriplets(
+        static_cast<int64_t>(keep.size()), graph.num_attributes(),
+        std::move(triplets)));
+  }
+  if (!graph.labels().empty()) {
+    std::vector<int32_t> labels;
+    labels.reserve(out.new_to_old.size());
+    for (NodeId old : out.new_to_old) {
+      labels.push_back(graph.labels()[static_cast<size_t>(old)]);
+    }
+    builder.SetLabels(std::move(labels));
+  }
+  auto built = std::move(builder).Build();
+  if (!built.ok()) return built.status();
+  out.graph = std::move(built).ValueOrDie();
+  return out;
+}
+
+}  // namespace coane

@@ -1,0 +1,31 @@
+#ifndef COANE_GRAPH_SUBGRAPH_H_
+#define COANE_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace coane {
+
+/// An induced subgraph together with the id mappings between the original
+/// graph and the new dense numbering.
+struct InducedSubgraph {
+  Graph graph;
+  /// original id -> new id, or -1 for dropped nodes (size = original n).
+  std::vector<NodeId> old_to_new;
+  /// new id -> original id (size = subgraph n).
+  std::vector<NodeId> new_to_old;
+};
+
+/// Builds the subgraph induced by `keep` (original node ids, need not be
+/// sorted; duplicates rejected): kept nodes are renumbered densely in the
+/// given order, edges between kept nodes survive with their weights, and
+/// attribute rows / labels are carried over. Used e.g. to hold nodes out
+/// for inductive evaluation.
+Result<InducedSubgraph> BuildInducedSubgraph(
+    const Graph& graph, const std::vector<NodeId>& keep);
+
+}  // namespace coane
+
+#endif  // COANE_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,92 @@
+#include "la/dense_matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace coane {
+
+DenseMatrix::DenseMatrix(int64_t rows, int64_t cols, float fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows * cols), fill) {
+  COANE_CHECK_GE(rows, 0);
+  COANE_CHECK_GE(cols, 0);
+}
+
+void DenseMatrix::Fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+void DenseMatrix::XavierInit(Rng* rng) { XavierInit(rng, rows_, cols_); }
+
+void DenseMatrix::XavierInit(Rng* rng, int64_t fan_in, int64_t fan_out) {
+  COANE_CHECK_GT(fan_in + fan_out, 0);
+  const double bound =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (float& x : data_) {
+    x = static_cast<float>(rng->Uniform(-bound, bound));
+  }
+}
+
+void DenseMatrix::GaussianInit(Rng* rng, float mean, float stddev) {
+  for (float& x : data_) {
+    x = static_cast<float>(rng->Normal(mean, stddev));
+  }
+}
+
+void DenseMatrix::Axpy(float alpha, const DenseMatrix& other) {
+  COANE_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void DenseMatrix::Scale(float alpha) {
+  for (float& x : data_) x *= alpha;
+}
+
+double DenseMatrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (float x : data_) sum += static_cast<double>(x) * x;
+  return std::sqrt(sum);
+}
+
+DenseMatrix DenseMatrix::MatMul(const DenseMatrix& other) const {
+  COANE_CHECK_EQ(cols_, other.rows_);
+  DenseMatrix out(rows_, other.cols_, 0.0f);
+  for (int64_t i = 0; i < rows_; ++i) {
+    const float* a_row = Row(i);
+    float* out_row = out.Row(i);
+    for (int64_t k = 0; k < cols_; ++k) {
+      const float a = a_row[k];
+      if (a == 0.0f) continue;
+      const float* b_row = other.Row(k);
+      for (int64_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix out(cols_, rows_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t j = 0; j < cols_; ++j) {
+      out.At(j, i) = At(i, j);
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::SelectRows(const std::vector<int64_t>& rows) const {
+  DenseMatrix out(static_cast<int64_t>(rows.size()), cols_);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    COANE_CHECK_GE(rows[i], 0);
+    COANE_CHECK_LT(rows[i], rows_);
+    const float* src = Row(rows[i]);
+    float* dst = out.Row(static_cast<int64_t>(i));
+    for (int64_t j = 0; j < cols_; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+}  // namespace coane

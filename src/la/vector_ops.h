@@ -1,0 +1,48 @@
+#ifndef COANE_LA_VECTOR_OPS_H_
+#define COANE_LA_VECTOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace coane {
+
+/// Free functions on raw float spans used in the hot loops of model training.
+/// All require the obvious size preconditions (checked in debug via callers).
+
+/// Inner product of two length-n vectors.
+float Dot(const float* a, const float* b, int64_t n);
+
+/// y += alpha * x (length n).
+void Axpy(float alpha, const float* x, float* y, int64_t n);
+
+/// Euclidean norm.
+double Norm2(const float* a, int64_t n);
+
+/// Numerically-stable logistic sigmoid.
+float Sigmoid(float x);
+
+/// log(sigmoid(x)) computed without overflow for large |x|.
+float LogSigmoid(float x);
+
+/// In-place softmax over a length-n vector (stable: shifts by max).
+void SoftmaxInPlace(float* a, int64_t n);
+
+/// Cosine similarity of two length-n vectors; 0 if either has zero norm.
+double CosineSimilarity(const float* a, const float* b, int64_t n);
+
+/// Squared Euclidean distance between two length-n vectors.
+double SquaredDistance(const float* a, const float* b, int64_t n);
+
+/// Mean of a vector of doubles; 0 for an empty input.
+double Mean(const std::vector<double>& v);
+
+/// Sample standard deviation; 0 for fewer than two elements.
+double StdDev(const std::vector<double>& v);
+
+/// Pearson correlation of two equal-length vectors; 0 when degenerate.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace coane
+
+#endif  // COANE_LA_VECTOR_OPS_H_

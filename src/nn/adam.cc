@@ -1,0 +1,46 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace coane {
+
+int AdamOptimizer::Register(DenseMatrix* param) {
+  COANE_CHECK(param != nullptr);
+  Slot slot;
+  slot.param = param;
+  slot.m = DenseMatrix(param->rows(), param->cols(), 0.0f);
+  slot.v = DenseMatrix(param->rows(), param->cols(), 0.0f);
+  slots_.push_back(std::move(slot));
+  return static_cast<int>(slots_.size()) - 1;
+}
+
+void AdamOptimizer::Step(int id, const DenseMatrix& grad) {
+  COANE_CHECK_GE(id, 0);
+  COANE_CHECK_LT(id, static_cast<int>(slots_.size()));
+  Slot& slot = slots_[static_cast<size_t>(id)];
+  COANE_CHECK(grad.SameShape(*slot.param));
+  slot.t += 1;
+  const float b1 = config_.beta1;
+  const float b2 = config_.beta2;
+  const float correction1 =
+      1.0f - std::pow(b1, static_cast<float>(slot.t));
+  const float correction2 =
+      1.0f - std::pow(b2, static_cast<float>(slot.t));
+  float* w = slot.param->data();
+  float* m = slot.m.data();
+  float* v = slot.v.data();
+  const float* g = grad.data();
+  const int64_t n = grad.size();
+  for (int64_t i = 0; i < n; ++i) {
+    m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+    v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+    const float m_hat = m[i] / correction1;
+    const float v_hat = v[i] / correction2;
+    w[i] -= config_.learning_rate * m_hat /
+            (std::sqrt(v_hat) + config_.epsilon);
+  }
+}
+
+}  // namespace coane

@@ -1,0 +1,51 @@
+#ifndef COANE_NN_ADAM_H_
+#define COANE_NN_ADAM_H_
+
+#include <vector>
+
+#include "la/dense_matrix.h"
+
+namespace coane {
+
+/// Adam hyperparameters (Kingma & Ba 2014); the paper trains with Adam at
+/// learning rate 0.001 and default betas.
+struct AdamConfig {
+  float learning_rate = 0.001f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+};
+
+/// Adam optimizer over a set of registered parameter tensors. Each tensor
+/// gets its own first/second-moment slots and timestep; Step(id, grad)
+/// applies one bias-corrected update.
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(const AdamConfig& config = AdamConfig())
+      : config_(config) {}
+
+  /// Registers `param` (not owned; must outlive the optimizer) and returns
+  /// its slot id.
+  int Register(DenseMatrix* param);
+
+  /// Applies one Adam update to slot `id` using gradient `grad` (same shape
+  /// as the registered parameter).
+  void Step(int id, const DenseMatrix& grad);
+
+  const AdamConfig& config() const { return config_; }
+  void set_learning_rate(float lr) { config_.learning_rate = lr; }
+
+ private:
+  struct Slot {
+    DenseMatrix* param;
+    DenseMatrix m;  // first moment
+    DenseMatrix v;  // second moment
+    int64_t t = 0;
+  };
+  AdamConfig config_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace coane
+
+#endif  // COANE_NN_ADAM_H_

@@ -1,0 +1,169 @@
+#include "nn/context_conv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+
+ContextEncoder::ContextEncoder(int context_size, int64_t input_dim,
+                               int64_t output_dim, Kind kind, Rng* rng)
+    : context_size_(context_size),
+      input_dim_(input_dim),
+      output_dim_(output_dim),
+      kind_(kind) {
+  COANE_CHECK_GT(context_size, 0);
+  COANE_CHECK_GT(input_dim, 0);
+  COANE_CHECK_GT(output_dim, 0);
+  const int count = num_position_matrices();
+  weights_.reserve(static_cast<size_t>(count));
+  grads_.reserve(static_cast<size_t>(count));
+  for (int p = 0; p < count; ++p) {
+    DenseMatrix w(input_dim, output_dim);
+    // A filter sees c*d inputs and emits d' outputs.
+    w.XavierInit(rng, static_cast<int64_t>(context_size) * input_dim,
+                 output_dim);
+    initial_weights_.push_back(w);
+    weights_.push_back(std::move(w));
+    grads_.emplace_back(input_dim, output_dim, 0.0f);
+  }
+}
+
+void ContextEncoder::EncodeNode(const ContextSet& contexts,
+                                const SparseMatrix& x, NodeId v,
+                                float* out) const {
+  for (int64_t j = 0; j < output_dim_; ++j) out[j] = 0.0f;
+  const auto& node_contexts = contexts.Contexts(v);
+  if (node_contexts.empty()) return;
+  for (const auto& context : node_contexts) {
+    COANE_CHECK_EQ(static_cast<int>(context.size()), context_size_);
+    for (int p = 0; p < context_size_; ++p) {
+      const NodeId u = context[static_cast<size_t>(p)];
+      if (u == kPaddingNode) continue;
+      const DenseMatrix& w = weights_[static_cast<size_t>(
+          position_index(p))];
+      // out += x_u . W_p using x_u's sparse row.
+      for (const SparseEntry& e : x.Row(u)) {
+        Axpy(e.value, w.Row(e.col), out, output_dim_);
+      }
+    }
+  }
+  const float inv =
+      1.0f / static_cast<float>(node_contexts.size());
+  for (int64_t j = 0; j < output_dim_; ++j) out[j] *= inv;
+}
+
+DenseMatrix ContextEncoder::EncodeAll(const ContextSet& contexts,
+                                      const SparseMatrix& x) const {
+  DenseMatrix z(contexts.num_nodes(), output_dim_, 0.0f);
+  for (NodeId v = 0; v < contexts.num_nodes(); ++v) {
+    EncodeNode(contexts, x, v, z.Row(v));
+  }
+  return z;
+}
+
+void ContextEncoder::AccumulateGradient(const ContextSet& contexts,
+                                        const SparseMatrix& x, NodeId v,
+                                        const float* dz) {
+  const auto& node_contexts = contexts.Contexts(v);
+  if (node_contexts.empty()) return;
+  const float inv = 1.0f / static_cast<float>(node_contexts.size());
+  for (const auto& context : node_contexts) {
+    for (int p = 0; p < context_size_; ++p) {
+      const NodeId u = context[static_cast<size_t>(p)];
+      if (u == kPaddingNode) continue;
+      DenseMatrix& g =
+          grads_[static_cast<size_t>(position_index(p))];
+      // dW_p[a, :] += inv * x_u[a] * dz.
+      for (const SparseEntry& e : x.Row(u)) {
+        Axpy(inv * e.value, dz, g.Row(e.col), output_dim_);
+      }
+    }
+  }
+}
+
+void ContextEncoder::ZeroGrad() {
+  for (DenseMatrix& g : grads_) g.Fill(0.0f);
+}
+
+void ContextEncoder::RegisterParams(AdamOptimizer* optimizer) {
+  slots_.clear();
+  for (DenseMatrix& w : weights_) slots_.push_back(optimizer->Register(&w));
+}
+
+void ContextEncoder::ApplyGrad(AdamOptimizer* optimizer) {
+  COANE_CHECK_EQ(slots_.size(), weights_.size());
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    optimizer->Step(slots_[i], grads_[i]);
+  }
+}
+
+const DenseMatrix& ContextEncoder::PositionWeights(int p) const {
+  COANE_CHECK_GE(p, 0);
+  COANE_CHECK_LT(p, context_size_);
+  return weights_[static_cast<size_t>(position_index(p))];
+}
+
+const DenseMatrix& ContextEncoder::InitialPositionWeights(int p) const {
+  COANE_CHECK_GE(p, 0);
+  COANE_CHECK_LT(p, context_size_);
+  return initial_weights_[static_cast<size_t>(position_index(p))];
+}
+
+Status ContextEncoder::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "coane-context-encoder v1\n";
+  out << (kind_ == Kind::kConvolution ? "conv" : "fc") << " "
+      << context_size_ << " " << input_dim_ << " " << output_dim_ << "\n";
+  for (const DenseMatrix& w : weights_) {
+    for (int64_t i = 0; i < w.size(); ++i) {
+      out << w.data()[i] << (i + 1 == w.size() ? '\n' : ' ');
+    }
+  }
+  if (!out) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ContextEncoder>> ContextEncoder::Load(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "coane-context-encoder" || version != "v1") {
+    return Status::InvalidArgument("not a v1 encoder file: " + path);
+  }
+  std::string kind_name;
+  int context_size = 0;
+  int64_t input_dim = 0, output_dim = 0;
+  in >> kind_name >> context_size >> input_dim >> output_dim;
+  if (!in || context_size < 1 || input_dim < 1 || output_dim < 1) {
+    return Status::InvalidArgument("corrupt encoder header in " + path);
+  }
+  Kind kind;
+  if (kind_name == "conv") {
+    kind = Kind::kConvolution;
+  } else if (kind_name == "fc") {
+    kind = Kind::kFullyConnected;
+  } else {
+    return Status::InvalidArgument("unknown encoder kind '" + kind_name +
+                                   "'");
+  }
+  Rng rng(0);  // init values are overwritten below
+  auto enc = std::make_unique<ContextEncoder>(context_size, input_dim,
+                                              output_dim, kind, &rng);
+  for (DenseMatrix& w : enc->weights_) {
+    for (int64_t i = 0; i < w.size(); ++i) {
+      if (!(in >> w.data()[i])) {
+        return Status::InvalidArgument("truncated encoder file " + path);
+      }
+    }
+  }
+  enc->initial_weights_ = enc->weights_;
+  return enc;
+}
+
+}  // namespace coane

@@ -1,0 +1,108 @@
+#ifndef COANE_NN_CONTEXT_CONV_H_
+#define COANE_NN_CONTEXT_CONV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "la/dense_matrix.h"
+#include "la/sparse_matrix.h"
+#include "nn/adam.h"
+#include "walk/context_generator.h"
+
+namespace coane {
+
+/// CoANE's encoder (Sec. 3.2): a 1-D convolution over attribute-context
+/// matrices with attributes as channels, receptive field = stride = c (no
+/// overlap: each context is one unit), followed by 1-D average pooling over
+/// a node's contexts:
+///
+///   r*_{vij} = sum( R_{vi} ⊙ Θ_j )          (conv value of context i,
+///                                             filter j)
+///   z_v      = mean_i r*_{vi·}              (average pooling)
+///
+/// Each filter Θ_j is a c x d weight matrix; per position p it holds a
+/// d-vector, so the parameters are stored as c position matrices W_p of
+/// shape d x d' (column j of W_p = position-p slice of filter j). Padding
+/// slots contribute a zero attribute vector.
+///
+/// The fully-connected ablation of Fig. 6a ("each node's features in the
+/// context are learned by the same parameters") shares one W across all
+/// positions.
+class ContextEncoder {
+ public:
+  enum class Kind {
+    kConvolution,     // position-specific filters (CoANE)
+    kFullyConnected,  // position-shared weights (Fig. 6a ablation)
+  };
+
+  /// `input_dim` = attribute dimension d; `output_dim` = embedding
+  /// dimension d'. Filters are Xavier-initialized with fan_in = c*d,
+  /// fan_out = d'.
+  ContextEncoder(int context_size, int64_t input_dim, int64_t output_dim,
+                 Kind kind, Rng* rng);
+
+  int context_size() const { return context_size_; }
+  int64_t input_dim() const { return input_dim_; }
+  int64_t output_dim() const { return output_dim_; }
+  Kind kind() const { return kind_; }
+
+  /// Computes z_v into `out` (length output_dim). Nodes without contexts
+  /// get the zero vector.
+  void EncodeNode(const ContextSet& contexts, const SparseMatrix& x,
+                  NodeId v, float* out) const;
+
+  /// Encodes every node into an n x d' matrix.
+  DenseMatrix EncodeAll(const ContextSet& contexts,
+                        const SparseMatrix& x) const;
+
+  /// Accumulates parameter gradients for node v given dL/dz_v.
+  void AccumulateGradient(const ContextSet& contexts, const SparseMatrix& x,
+                          NodeId v, const float* dz);
+
+  void ZeroGrad();
+  void RegisterParams(AdamOptimizer* optimizer);
+  void ApplyGrad(AdamOptimizer* optimizer);
+
+  /// Position-p weight matrix W_p (d x d'); with kFullyConnected every p
+  /// returns the same shared matrix. Used by the Fig. 6b filter analysis.
+  const DenseMatrix& PositionWeights(int p) const;
+
+  /// The Xavier-initialized weights W_p before any training step, kept so
+  /// filter analyses can measure how far training moved each attribute's
+  /// weights (Fig. 6b).
+  const DenseMatrix& InitialPositionWeights(int p) const;
+
+  /// Writes the trained filters (kind, shape, weights) to a text file so a
+  /// trained encoder can be reloaded in another process — e.g. to serve
+  /// inductive embeddings without retraining.
+  Status Save(const std::string& path) const;
+
+  /// Reloads an encoder written by Save. The initial-weights snapshot of
+  /// the loaded encoder equals the loaded weights.
+  static Result<std::unique_ptr<ContextEncoder>> Load(
+      const std::string& path);
+
+ private:
+  int num_position_matrices() const {
+    return kind_ == Kind::kConvolution ? context_size_ : 1;
+  }
+  int position_index(int p) const {
+    return kind_ == Kind::kConvolution ? p : 0;
+  }
+
+  int context_size_;
+  int64_t input_dim_;
+  int64_t output_dim_;
+  Kind kind_;
+  std::vector<DenseMatrix> weights_;  // per position (or 1 shared), d x d'
+  std::vector<DenseMatrix> initial_weights_;
+  std::vector<DenseMatrix> grads_;
+  std::vector<int> slots_;
+};
+
+}  // namespace coane
+
+#endif  // COANE_NN_CONTEXT_CONV_H_

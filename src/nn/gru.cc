@@ -1,0 +1,191 @@
+#include "nn/gru.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+namespace {
+
+// y += x M for row-vector x (1 x rows(M)).
+void VecMatAccum(const float* x, const DenseMatrix& m, float* y) {
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    const float xi = x[i];
+    if (xi == 0.0f) continue;
+    Axpy(xi, m.Row(i), y, m.cols());
+  }
+}
+
+// y += x M^T for row-vector x (1 x cols(M)).
+void VecMatTransposeAccum(const float* x, const DenseMatrix& m, float* y) {
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    y[i] += Dot(m.Row(i), x, m.cols());
+  }
+}
+
+// dM += outer(x, g) for row-vectors x (rows) and g (cols).
+void OuterAccum(const float* x, const float* g, DenseMatrix* dm) {
+  for (int64_t i = 0; i < dm->rows(); ++i) {
+    const float xi = x[i];
+    if (xi == 0.0f) continue;
+    Axpy(xi, g, dm->Row(i), dm->cols());
+  }
+}
+
+}  // namespace
+
+GruCell::GruCell(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  COANE_CHECK_GT(input_dim, 0);
+  COANE_CHECK_GT(hidden_dim, 0);
+  for (int g = 0; g < 3; ++g) {
+    w_[g] = DenseMatrix(input_dim, hidden_dim);
+    w_[g].XavierInit(rng);
+    u_[g] = DenseMatrix(hidden_dim, hidden_dim);
+    u_[g].XavierInit(rng);
+    b_[g] = DenseMatrix(1, hidden_dim, 0.0f);
+    dw_[g] = DenseMatrix(input_dim, hidden_dim, 0.0f);
+    du_[g] = DenseMatrix(hidden_dim, hidden_dim, 0.0f);
+    db_[g] = DenseMatrix(1, hidden_dim, 0.0f);
+  }
+}
+
+DenseMatrix GruCell::Forward(const DenseMatrix& inputs) {
+  COANE_CHECK_EQ(inputs.cols(), input_dim_);
+  const int64_t t_max = inputs.rows();
+  cached_inputs_ = inputs;
+  h_ = DenseMatrix(t_max, hidden_dim_, 0.0f);
+  gate_z_ = DenseMatrix(t_max, hidden_dim_, 0.0f);
+  gate_r_ = DenseMatrix(t_max, hidden_dim_, 0.0f);
+  gate_g_ = DenseMatrix(t_max, hidden_dim_, 0.0f);
+
+  std::vector<float> rh(static_cast<size_t>(hidden_dim_));
+  std::vector<float> zero(static_cast<size_t>(hidden_dim_), 0.0f);
+  for (int64_t t = 0; t < t_max; ++t) {
+    const float* x = inputs.Row(t);
+    const float* h_prev = t > 0 ? h_.Row(t - 1) : zero.data();
+    float* z = gate_z_.Row(t);
+    float* r = gate_r_.Row(t);
+    float* g = gate_g_.Row(t);
+    // Pre-activations.
+    for (int64_t j = 0; j < hidden_dim_; ++j) {
+      z[j] = b_[0].At(0, j);
+      r[j] = b_[1].At(0, j);
+      g[j] = b_[2].At(0, j);
+    }
+    VecMatAccum(x, w_[0], z);
+    VecMatAccum(h_prev, u_[0], z);
+    VecMatAccum(x, w_[1], r);
+    VecMatAccum(h_prev, u_[1], r);
+    for (int64_t j = 0; j < hidden_dim_; ++j) {
+      z[j] = Sigmoid(z[j]);
+      r[j] = Sigmoid(r[j]);
+      rh[static_cast<size_t>(j)] = r[j] * h_prev[j];
+    }
+    VecMatAccum(x, w_[2], g);
+    VecMatAccum(rh.data(), u_[2], g);
+    float* h = h_.Row(t);
+    for (int64_t j = 0; j < hidden_dim_; ++j) {
+      g[j] = std::tanh(g[j]);
+      h[j] = (1.0f - z[j]) * h_prev[j] + z[j] * g[j];
+    }
+  }
+  return h_;
+}
+
+void GruCell::Backward(const DenseMatrix& dh_in, DenseMatrix* dx) {
+  COANE_CHECK_EQ(dh_in.rows(), h_.rows());
+  COANE_CHECK_EQ(dh_in.cols(), hidden_dim_);
+  const int64_t t_max = h_.rows();
+  if (dx != nullptr) *dx = DenseMatrix(t_max, input_dim_, 0.0f);
+
+  std::vector<float> dh(static_cast<size_t>(hidden_dim_), 0.0f);
+  std::vector<float> dh_prev(static_cast<size_t>(hidden_dim_), 0.0f);
+  std::vector<float> dz_pre(static_cast<size_t>(hidden_dim_));
+  std::vector<float> dr_pre(static_cast<size_t>(hidden_dim_));
+  std::vector<float> dg_pre(static_cast<size_t>(hidden_dim_));
+  std::vector<float> drh(static_cast<size_t>(hidden_dim_));
+  std::vector<float> rh(static_cast<size_t>(hidden_dim_));
+  std::vector<float> zero(static_cast<size_t>(hidden_dim_), 0.0f);
+
+  for (int64_t t = t_max - 1; t >= 0; --t) {
+    const float* x = cached_inputs_.Row(t);
+    const float* h_prev = t > 0 ? h_.Row(t - 1) : zero.data();
+    const float* z = gate_z_.Row(t);
+    const float* r = gate_r_.Row(t);
+    const float* g = gate_g_.Row(t);
+    // Total gradient at h_t: from the loss plus the recurrent carry.
+    for (int64_t j = 0; j < hidden_dim_; ++j) {
+      dh[static_cast<size_t>(j)] =
+          dh_in.At(t, j) + dh_prev[static_cast<size_t>(j)];
+      dh_prev[static_cast<size_t>(j)] = 0.0f;
+    }
+    for (int64_t j = 0; j < hidden_dim_; ++j) {
+      const float dhj = dh[static_cast<size_t>(j)];
+      // h = (1-z) h_prev + z g.
+      const float dz = dhj * (g[j] - h_prev[j]);
+      const float dg = dhj * z[j];
+      dh_prev[static_cast<size_t>(j)] += dhj * (1.0f - z[j]);
+      dz_pre[static_cast<size_t>(j)] = dz * z[j] * (1.0f - z[j]);
+      dg_pre[static_cast<size_t>(j)] = dg * (1.0f - g[j] * g[j]);
+      rh[static_cast<size_t>(j)] = r[j] * h_prev[j];
+    }
+    // g pre-activation: x Wh + (r.h_prev) Uh + bh.
+    OuterAccum(x, dg_pre.data(), &dw_[2]);
+    OuterAccum(rh.data(), dg_pre.data(), &du_[2]);
+    Axpy(1.0f, dg_pre.data(), db_[2].Row(0), hidden_dim_);
+    std::fill(drh.begin(), drh.end(), 0.0f);
+    VecMatTransposeAccum(dg_pre.data(), u_[2], drh.data());
+    for (int64_t j = 0; j < hidden_dim_; ++j) {
+      const float dr = drh[static_cast<size_t>(j)] * h_prev[j];
+      dh_prev[static_cast<size_t>(j)] +=
+          drh[static_cast<size_t>(j)] * r[j];
+      dr_pre[static_cast<size_t>(j)] = dr * r[j] * (1.0f - r[j]);
+    }
+    // z and r pre-activations.
+    OuterAccum(x, dz_pre.data(), &dw_[0]);
+    OuterAccum(h_prev, dz_pre.data(), &du_[0]);
+    Axpy(1.0f, dz_pre.data(), db_[0].Row(0), hidden_dim_);
+    OuterAccum(x, dr_pre.data(), &dw_[1]);
+    OuterAccum(h_prev, dr_pre.data(), &du_[1]);
+    Axpy(1.0f, dr_pre.data(), db_[1].Row(0), hidden_dim_);
+    VecMatTransposeAccum(dz_pre.data(), u_[0], dh_prev.data());
+    VecMatTransposeAccum(dr_pre.data(), u_[1], dh_prev.data());
+    if (dx != nullptr) {
+      float* dx_row = dx->Row(t);
+      VecMatTransposeAccum(dz_pre.data(), w_[0], dx_row);
+      VecMatTransposeAccum(dr_pre.data(), w_[1], dx_row);
+      VecMatTransposeAccum(dg_pre.data(), w_[2], dx_row);
+    }
+  }
+}
+
+void GruCell::ZeroGrad() {
+  for (int g = 0; g < 3; ++g) {
+    dw_[g].Fill(0.0f);
+    du_[g].Fill(0.0f);
+    db_[g].Fill(0.0f);
+  }
+}
+
+void GruCell::RegisterParams(AdamOptimizer* optimizer) {
+  slots_.clear();
+  for (int g = 0; g < 3; ++g) {
+    slots_.push_back(optimizer->Register(&w_[g]));
+    slots_.push_back(optimizer->Register(&u_[g]));
+    slots_.push_back(optimizer->Register(&b_[g]));
+  }
+}
+
+void GruCell::ApplyGrad(AdamOptimizer* optimizer) {
+  COANE_CHECK_EQ(slots_.size(), 9u);
+  int s = 0;
+  for (int g = 0; g < 3; ++g) {
+    optimizer->Step(slots_[static_cast<size_t>(s++)], dw_[g]);
+    optimizer->Step(slots_[static_cast<size_t>(s++)], du_[g]);
+    optimizer->Step(slots_[static_cast<size_t>(s++)], db_[g]);
+  }
+}
+
+}  // namespace coane

@@ -1,0 +1,64 @@
+#ifndef COANE_NN_GRU_H_
+#define COANE_NN_GRU_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "la/dense_matrix.h"
+#include "nn/adam.h"
+
+namespace coane {
+
+/// Gated recurrent unit (Cho et al. 2014) with hand-written backpropagation
+/// through time — the recurrent substrate for the STNE baseline's
+/// sequence-to-sequence translation. Standard equations:
+///
+///   z_t = sigmoid(x_t Wz + h_{t-1} Uz + bz)
+///   r_t = sigmoid(x_t Wr + h_{t-1} Ur + br)
+///   g_t = tanh   (x_t Wh + (r_t . h_{t-1}) Uh + bh)
+///   h_t = (1 - z_t) . h_{t-1} + z_t . g_t
+///
+/// Forward processes one sequence at a time (the graph scales here do not
+/// need batched BPTT) and caches every intermediate; Backward consumes
+/// per-step dL/dh_t and accumulates parameter gradients, optionally
+/// returning dL/dx_t.
+class GruCell {
+ public:
+  GruCell(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  int64_t input_dim() const { return input_dim_; }
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+  /// Runs the GRU over `inputs` (T rows of input_dim) starting from the
+  /// zero state; returns the T hidden states (T x hidden_dim) and caches
+  /// the intermediates for Backward.
+  DenseMatrix Forward(const DenseMatrix& inputs);
+
+  /// Backpropagates through the cached sequence. `dh` is (T x hidden_dim):
+  /// the loss gradient arriving at each step's hidden state (from the
+  /// loss; recurrent gradients are handled internally). Accumulates
+  /// parameter gradients; when `dx` is non-null it receives dL/dinputs.
+  void Backward(const DenseMatrix& dh, DenseMatrix* dx);
+
+  void ZeroGrad();
+  void RegisterParams(AdamOptimizer* optimizer);
+  void ApplyGrad(AdamOptimizer* optimizer);
+
+ private:
+  // Parameter blocks: W* (input_dim x hidden), U* (hidden x hidden),
+  // b* (1 x hidden); grouped in arrays [z, r, h].
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  DenseMatrix w_[3], u_[3], b_[3];
+  DenseMatrix dw_[3], du_[3], db_[3];
+  std::vector<int> slots_;
+
+  // Caches from the last Forward.
+  DenseMatrix cached_inputs_;
+  DenseMatrix h_;      // T x hidden (post-step states)
+  DenseMatrix gate_z_, gate_r_, gate_g_;
+};
+
+}  // namespace coane
+
+#endif  // COANE_NN_GRU_H_

@@ -1,0 +1,45 @@
+#include "nn/mlp.h"
+
+#include "common/logging.h"
+
+namespace coane {
+
+Mlp::Mlp(const std::vector<int64_t>& dims, Rng* rng) {
+  COANE_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+  relus_.resize(layers_.size() - 1);
+}
+
+DenseMatrix Mlp::Forward(const DenseMatrix& x) {
+  DenseMatrix h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = relus_[i].Forward(h);
+  }
+  return h;
+}
+
+DenseMatrix Mlp::Backward(const DenseMatrix& dout) {
+  DenseMatrix d = dout;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    if (i + 1 < layers_.size()) d = relus_[i].Backward(d);
+    d = layers_[i].Backward(d);
+  }
+  return d;
+}
+
+void Mlp::ZeroGrad() {
+  for (Linear& layer : layers_) layer.ZeroGrad();
+}
+
+void Mlp::RegisterParams(AdamOptimizer* optimizer) {
+  for (Linear& layer : layers_) layer.RegisterParams(optimizer);
+}
+
+void Mlp::ApplyGrad(AdamOptimizer* optimizer) {
+  for (Linear& layer : layers_) layer.ApplyGrad(optimizer);
+}
+
+}  // namespace coane

@@ -1,0 +1,43 @@
+#ifndef COANE_NN_MLP_H_
+#define COANE_NN_MLP_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+
+namespace coane {
+
+/// Multi-layer perceptron with ReLU between layers (no activation after the
+/// last). CoANE's attribute-preservation decoder is MLP(z) with two hidden
+/// layers (Sec. 3.3.3); the attribute autoencoder baseline reuses this too.
+class Mlp {
+ public:
+  /// `dims` lists layer widths input-first, e.g. {128, 256, 256, 1433}
+  /// builds two hidden layers of 256. Needs at least {in, out}.
+  Mlp(const std::vector<int64_t>& dims, Rng* rng);
+
+  /// Forward pass; caches activations for Backward.
+  DenseMatrix Forward(const DenseMatrix& x);
+
+  /// Backpropagates dL/dout; accumulates all layer gradients and returns
+  /// dL/dx.
+  DenseMatrix Backward(const DenseMatrix& dout);
+
+  void ZeroGrad();
+  void RegisterParams(AdamOptimizer* optimizer);
+  void ApplyGrad(AdamOptimizer* optimizer);
+
+  int64_t in_dim() const { return layers_.front().in_dim(); }
+  int64_t out_dim() const { return layers_.back().out_dim(); }
+  size_t num_layers() const { return layers_.size(); }
+  const Linear& layer(size_t i) const { return layers_[i]; }
+
+ private:
+  std::vector<Linear> layers_;
+  std::vector<ReluActivation> relus_;  // one per non-final layer
+};
+
+}  // namespace coane
+
+#endif  // COANE_NN_MLP_H_

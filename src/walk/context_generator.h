@@ -1,0 +1,76 @@
+#ifndef COANE_WALK_CONTEXT_GENERATOR_H_
+#define COANE_WALK_CONTEXT_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "walk/random_walk.h"
+
+namespace coane {
+
+/// Sentinel filling the empty window slots at walk boundaries ("padding like
+/// the image padding for CNN" in Sec. 3.1). Padding positions contribute a
+/// zero attribute vector to the convolution.
+inline constexpr NodeId kPaddingNode = -1;
+
+/// Options for scanning contexts out of random walks.
+struct ContextOptions {
+  /// Window size c (odd, >= 1). Each context is the window centered on one
+  /// walk position: c' = (c-1)/2 previous and c' later neighbors.
+  int context_size = 5;
+  /// Subsampling threshold t (paper uses 1e-5); negative disables
+  /// subsampling entirely.
+  double subsample_t = 1e-5;
+};
+
+/// The collection of per-node contexts — context(v) in the paper. Every
+/// context is exactly `context_size` ids, padded with kPaddingNode, with the
+/// midst node at index (context_size-1)/2.
+class ContextSet {
+ public:
+  ContextSet(int64_t num_nodes, int context_size)
+      : context_size_(context_size),
+        contexts_(static_cast<size_t>(num_nodes)) {}
+
+  int context_size() const { return context_size_; }
+  int64_t num_nodes() const {
+    return static_cast<int64_t>(contexts_.size());
+  }
+
+  /// Number of contexts with midst node v, i.e. |context(v)|.
+  int64_t NumContexts(NodeId v) const {
+    return static_cast<int64_t>(contexts_[static_cast<size_t>(v)].size());
+  }
+
+  /// All contexts whose midst is v.
+  const std::vector<std::vector<NodeId>>& Contexts(NodeId v) const {
+    return contexts_[static_cast<size_t>(v)];
+  }
+
+  /// Adds one context for midst v (must have length context_size).
+  void Add(NodeId v, std::vector<NodeId> context);
+
+  /// max_v |context(v)| — the paper's latent neighborhood size k_p.
+  int64_t MaxContextsPerNode() const;
+
+  /// Total number of contexts over all nodes.
+  int64_t TotalContexts() const;
+
+ private:
+  int context_size_;
+  std::vector<std::vector<std::vector<NodeId>>> contexts_;
+};
+
+/// Scans every window of every walk (Sec. 3.1): the window slides over all
+/// positions, boundary slots are padded, and each window becomes a context
+/// of its midst node. Subsampling discards contexts of over-frequent midst
+/// nodes — except at position 0 (the walk's start node), which is always
+/// kept so every node retains at least one context.
+Result<ContextSet> GenerateContexts(const std::vector<Walk>& walks,
+                                    int64_t num_nodes,
+                                    const ContextOptions& options, Rng* rng);
+
+}  // namespace coane
+
+#endif  // COANE_WALK_CONTEXT_GENERATOR_H_

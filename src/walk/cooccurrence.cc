@@ -1,0 +1,64 @@
+#include "walk/cooccurrence.h"
+
+#include <algorithm>
+
+namespace coane {
+
+CooccurrenceMatrices BuildCooccurrence(const Graph& graph,
+                                       const ContextSet& contexts) {
+  const int64_t n = contexts.num_nodes();
+  std::vector<SparseMatrix::Triplet> d_triplets;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const auto& context : contexts.Contexts(v)) {
+      for (NodeId u : context) {
+        if (u == kPaddingNode || u == v) continue;
+        d_triplets.push_back({v, u, 1.0f});
+      }
+    }
+  }
+  CooccurrenceMatrices out;
+  out.d = SparseMatrix::FromTriplets(n, n, std::move(d_triplets));
+
+  std::vector<SparseMatrix::Triplet> d1_triplets;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const SparseEntry& e : out.d.Row(v)) {
+      if (graph.HasEdge(v, static_cast<NodeId>(e.col))) {
+        d1_triplets.push_back({v, e.col, e.value});
+      }
+    }
+  }
+  out.d1 = SparseMatrix::FromTriplets(n, n, std::move(d1_triplets));
+  out.d_tilde = SparseMatrix::Add(out.d.RowNormalized(), out.d1);
+  out.k_p = contexts.MaxContextsPerNode();
+  return out;
+}
+
+std::vector<std::vector<PositivePair>> TopKPositivePairs(
+    const SparseMatrix& d_tilde, int64_t k) {
+  std::vector<std::vector<PositivePair>> out(
+      static_cast<size_t>(d_tilde.rows()));
+  std::vector<PositivePair> row_pairs;
+  for (int64_t i = 0; i < d_tilde.rows(); ++i) {
+    row_pairs.clear();
+    for (const SparseEntry& e : d_tilde.Row(i)) {
+      row_pairs.push_back({static_cast<NodeId>(e.col), e.value});
+    }
+    if (static_cast<int64_t>(row_pairs.size()) > k) {
+      std::nth_element(row_pairs.begin(), row_pairs.begin() + k,
+                       row_pairs.end(),
+                       [](const PositivePair& a, const PositivePair& b) {
+                         return a.weight != b.weight ? a.weight > b.weight
+                                                     : a.j < b.j;
+                       });
+      row_pairs.resize(static_cast<size_t>(k));
+    }
+    std::sort(row_pairs.begin(), row_pairs.end(),
+              [](const PositivePair& a, const PositivePair& b) {
+                return a.j < b.j;
+              });
+    out[static_cast<size_t>(i)] = row_pairs;
+  }
+  return out;
+}
+
+}  // namespace coane

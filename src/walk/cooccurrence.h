@@ -1,0 +1,45 @@
+#ifndef COANE_WALK_COOCCURRENCE_H_
+#define COANE_WALK_COOCCURRENCE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "la/sparse_matrix.h"
+#include "walk/context_generator.h"
+
+namespace coane {
+
+/// The structural-context co-occurrence statistics of Sec. 3.1 / 3.3.1:
+///   D_ij   = number of times v_j appears in contexts of v_i,
+///   D^1_ij = D_ij restricted to one-hop neighbors (E_ij > 0),
+///   D~     = D^N + D^1 where D^N row-normalizes D (one-hop emphasis —
+///            deliberately NOT normalize(D + D^1); see the paper's RWR
+///            argument).
+/// Diagonal entries (the midst counting itself) are excluded since L_pos
+/// sums over i != j.
+struct CooccurrenceMatrices {
+  SparseMatrix d;        // raw context co-occurrence counts
+  SparseMatrix d1;       // one-hop restriction of d
+  SparseMatrix d_tilde;  // D^N + D^1, the positive-likelihood weights
+  int64_t k_p = 0;       // max_v |context(v)|, the top-k truncation size
+};
+
+/// Builds all three matrices from the generated contexts.
+CooccurrenceMatrices BuildCooccurrence(const Graph& graph,
+                                       const ContextSet& contexts);
+
+/// One retained positive pair for the graph likelihood: j with weight
+/// D~_ij, for the top-k_p entries of row i.
+struct PositivePair {
+  NodeId j;
+  float weight;
+};
+
+/// Selects, for each row i of `d_tilde`, the k entries with the largest
+/// weights (all entries when a row has fewer). Ties broken by smaller j.
+std::vector<std::vector<PositivePair>> TopKPositivePairs(
+    const SparseMatrix& d_tilde, int64_t k);
+
+}  // namespace coane
+
+#endif  // COANE_WALK_COOCCURRENCE_H_

@@ -1,0 +1,128 @@
+#include "walk/negative_sampler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace coane {
+namespace {
+
+// True when u appears in context(target), i.e. D_{target,u} > 0, or is the
+// target itself.
+bool InContext(const SparseMatrix& d, NodeId target, NodeId u) {
+  return u == target || d.At(target, u) > 0.0f;
+}
+
+}  // namespace
+
+std::vector<double> ContextualDistribution(const ContextSet& contexts) {
+  std::vector<double> dist(static_cast<size_t>(contexts.num_nodes()), 0.0);
+  double total = 0.0;
+  for (NodeId v = 0; v < contexts.num_nodes(); ++v) {
+    dist[static_cast<size_t>(v)] =
+        static_cast<double>(contexts.NumContexts(v));
+    total += dist[static_cast<size_t>(v)];
+  }
+  if (total > 0.0) {
+    for (double& p : dist) p /= total;
+  }
+  return dist;
+}
+
+PreSampledNegativeSampler::PreSampledNegativeSampler(
+    const ContextSet& contexts, const SparseMatrix* d, int64_t pool_size,
+    Rng* rng)
+    : d_(d) {
+  COANE_CHECK_GT(pool_size, 0);
+  std::vector<double> dist = ContextualDistribution(contexts);
+  // A graph where nothing has contexts degenerates to uniform.
+  bool all_zero = true;
+  for (double p : dist) {
+    if (p > 0.0) {
+      all_zero = false;
+      break;
+    }
+  }
+  if (all_zero) dist.assign(dist.size(), 1.0);
+  alias_ = std::make_unique<AliasTable>(dist);
+  pool_.reserve(static_cast<size_t>(pool_size));
+  for (int64_t i = 0; i < pool_size; ++i) {
+    pool_.push_back(static_cast<NodeId>(alias_->Sample(rng)));
+  }
+}
+
+std::vector<NodeId> PreSampledNegativeSampler::Sample(
+    NodeId target, int k, const std::vector<NodeId>& /*batch*/, Rng* rng) {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(k));
+  // Scan the pool from the cursor; refill with fresh draws if exhausted.
+  size_t scanned = 0;
+  const size_t max_scan = pool_.size() * 2;
+  while (static_cast<int>(out.size()) < k && scanned < max_scan) {
+    if (cursor_ >= pool_.size()) cursor_ = 0;
+    NodeId cand = pool_[cursor_++];
+    ++scanned;
+    if (!InContext(*d_, target, cand)) out.push_back(cand);
+  }
+  // Rare fallback: draw directly until filled (or provably impossible).
+  size_t direct_attempts = 0;
+  while (static_cast<int>(out.size()) < k &&
+         direct_attempts < 50 * static_cast<size_t>(k)) {
+    NodeId cand = static_cast<NodeId>(alias_->Sample(rng));
+    ++direct_attempts;
+    if (!InContext(*d_, target, cand)) out.push_back(cand);
+  }
+  return out;
+}
+
+BatchNegativeSampler::BatchNegativeSampler(const ContextSet& contexts,
+                                           const SparseMatrix* d)
+    : d_(d), distribution_(ContextualDistribution(contexts)) {}
+
+std::vector<NodeId> BatchNegativeSampler::Sample(
+    NodeId target, int k, const std::vector<NodeId>& batch, Rng* rng) {
+  std::vector<NodeId> candidates;
+  std::vector<double> weights;
+  for (NodeId u : batch) {
+    if (InContext(*d_, target, u)) continue;
+    candidates.push_back(u);
+    weights.push_back(distribution_[static_cast<size_t>(u)]);
+  }
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(k));
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (!candidates.empty() && total > 0.0) {
+    for (int i = 0; i < k; ++i) {
+      int64_t pick = rng->SampleDiscrete(weights);
+      out.push_back(candidates[static_cast<size_t>(pick)]);
+    }
+    return out;
+  }
+  // Batch has no eligible candidate: fall back to whole-graph sampling.
+  const int64_t n = static_cast<int64_t>(distribution_.size());
+  size_t attempts = 0;
+  while (static_cast<int>(out.size()) < k &&
+         attempts < 100 * static_cast<size_t>(k)) {
+    NodeId cand = static_cast<NodeId>(rng->UniformInt(n));
+    ++attempts;
+    if (!InContext(*d_, target, cand)) out.push_back(cand);
+  }
+  return out;
+}
+
+std::vector<NodeId> UniformNegativeSampler::Sample(
+    NodeId target, int k, const std::vector<NodeId>& /*batch*/, Rng* rng) {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(k));
+  size_t attempts = 0;
+  while (static_cast<int>(out.size()) < k &&
+         attempts < 100 * static_cast<size_t>(k)) {
+    NodeId cand = static_cast<NodeId>(rng->UniformInt(num_nodes_));
+    ++attempts;
+    if (cand != target) out.push_back(cand);
+  }
+  return out;
+}
+
+}  // namespace coane

@@ -1,0 +1,88 @@
+#ifndef COANE_WALK_NEGATIVE_SAMPLER_H_
+#define COANE_WALK_NEGATIVE_SAMPLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/sparse_matrix.h"
+#include "walk/context_generator.h"
+
+namespace coane {
+
+/// The contextual noise distribution of Sec. 3.3.2:
+/// P_V(v) = |context(v)| / sum_u |context(u)| — nodes whose contexts cover a
+/// larger region of the network are more informative negatives.
+std::vector<double> ContextualDistribution(const ContextSet& contexts);
+
+/// Interface for drawing the k contextually-negative samples of a target
+/// node: candidates must lie *outside* context(target) (checked against the
+/// co-occurrence matrix D) and are weighted by P_V.
+class NegativeSampler {
+ public:
+  virtual ~NegativeSampler() = default;
+
+  /// Returns up to k negatives for `target`. `batch` is the current training
+  /// batch (used only by the batch-sampling strategy).
+  virtual std::vector<NodeId> Sample(NodeId target, int k,
+                                     const std::vector<NodeId>& batch,
+                                     Rng* rng) = 0;
+};
+
+/// Pre-sampling strategy (used by the paper for denser graphs — WebKB,
+/// Flickr): an offline pool is drawn once from P_V; at training time the
+/// first k pool entries outside context(target) are returned, refilling lazily.
+class PreSampledNegativeSampler : public NegativeSampler {
+ public:
+  /// `d` is the co-occurrence matrix (row v's columns = nodes in
+  /// context(v)); `pool_size` entries are drawn up front.
+  PreSampledNegativeSampler(const ContextSet& contexts,
+                            const SparseMatrix* d, int64_t pool_size,
+                            Rng* rng);
+
+  std::vector<NodeId> Sample(NodeId target, int k,
+                             const std::vector<NodeId>& batch,
+                             Rng* rng) override;
+
+ private:
+  const SparseMatrix* d_;
+  std::unique_ptr<AliasTable> alias_;
+  std::vector<NodeId> pool_;
+  size_t cursor_ = 0;
+};
+
+/// Batch-sampling strategy (used for sparser graphs — Cora, Citeseer,
+/// Pubmed): negatives are drawn from the current batch only, weighted by
+/// P_V, skipping nodes inside context(target). Falls back to the whole-graph
+/// distribution when the batch has no eligible candidate.
+class BatchNegativeSampler : public NegativeSampler {
+ public:
+  BatchNegativeSampler(const ContextSet& contexts, const SparseMatrix* d);
+
+  std::vector<NodeId> Sample(NodeId target, int k,
+                             const std::vector<NodeId>& batch,
+                             Rng* rng) override;
+
+ private:
+  const SparseMatrix* d_;
+  std::vector<double> distribution_;
+};
+
+/// Uniform negative sampling over all nodes, ignoring context coverage —
+/// the "NS" ablation case of Fig. 6c.
+class UniformNegativeSampler : public NegativeSampler {
+ public:
+  explicit UniformNegativeSampler(int64_t num_nodes)
+      : num_nodes_(num_nodes) {}
+
+  std::vector<NodeId> Sample(NodeId target, int k,
+                             const std::vector<NodeId>& batch,
+                             Rng* rng) override;
+
+ private:
+  int64_t num_nodes_;
+};
+
+}  // namespace coane
+
+#endif  // COANE_WALK_NEGATIVE_SAMPLER_H_

@@ -1,0 +1,110 @@
+#include "walk/random_walk.h"
+
+#include <algorithm>
+
+namespace coane {
+namespace {
+
+// Draws the next node from v proportionally to edge weights.
+NodeId StepFrom(const Graph& graph, NodeId v, Rng* rng) {
+  auto nbrs = graph.Neighbors(v);
+  double total = 0.0;
+  for (const NeighborEntry& e : nbrs) total += e.weight;
+  double u = rng->Uniform() * total;
+  double acc = 0.0;
+  for (const NeighborEntry& e : nbrs) {
+    acc += e.weight;
+    if (u < acc) return e.node;
+  }
+  return nbrs.back().node;
+}
+
+}  // namespace
+
+Result<std::vector<Walk>> GenerateRandomWalks(const Graph& graph,
+                                              const RandomWalkConfig& config,
+                                              Rng* rng) {
+  if (config.num_walks_per_node <= 0) {
+    return Status::InvalidArgument("num_walks_per_node must be positive");
+  }
+  if (config.walk_length <= 0) {
+    return Status::InvalidArgument("walk_length must be positive");
+  }
+  std::vector<Walk> walks;
+  walks.reserve(static_cast<size_t>(graph.num_nodes()) *
+                static_cast<size_t>(config.num_walks_per_node));
+  for (NodeId start = 0; start < graph.num_nodes(); ++start) {
+    for (int r = 0; r < config.num_walks_per_node; ++r) {
+      Walk walk;
+      walk.reserve(static_cast<size_t>(config.walk_length));
+      walk.push_back(start);
+      NodeId cur = start;
+      while (static_cast<int>(walk.size()) < config.walk_length) {
+        if (graph.Degree(cur) == 0) break;
+        cur = StepFrom(graph, cur, rng);
+        walk.push_back(cur);
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+Result<std::vector<Walk>> GenerateBiasedWalks(const Graph& graph,
+                                              const BiasedWalkConfig& config,
+                                              Rng* rng) {
+  if (config.num_walks_per_node <= 0 || config.walk_length <= 0) {
+    return Status::InvalidArgument("walk counts must be positive");
+  }
+  if (config.p <= 0.0 || config.q <= 0.0) {
+    return Status::InvalidArgument("p and q must be positive");
+  }
+  const double inv_p = 1.0 / config.p;
+  const double inv_q = 1.0 / config.q;
+
+  std::vector<Walk> walks;
+  walks.reserve(static_cast<size_t>(graph.num_nodes()) *
+                static_cast<size_t>(config.num_walks_per_node));
+  std::vector<double> weights;
+  for (int r = 0; r < config.num_walks_per_node; ++r) {
+    for (NodeId start = 0; start < graph.num_nodes(); ++start) {
+      Walk walk;
+      walk.reserve(static_cast<size_t>(config.walk_length));
+      walk.push_back(start);
+      while (static_cast<int>(walk.size()) < config.walk_length) {
+        NodeId cur = walk.back();
+        auto nbrs = graph.Neighbors(cur);
+        if (nbrs.empty()) break;
+        if (walk.size() == 1) {
+          // First step: plain weighted choice.
+          weights.assign(nbrs.size(), 0.0);
+          for (size_t i = 0; i < nbrs.size(); ++i) {
+            weights[i] = nbrs[i].weight;
+          }
+        } else {
+          // Second-order: bias by distance to the previous node.
+          NodeId prev = walk[walk.size() - 2];
+          weights.assign(nbrs.size(), 0.0);
+          for (size_t i = 0; i < nbrs.size(); ++i) {
+            const NodeId x = nbrs[i].node;
+            double bias;
+            if (x == prev) {
+              bias = inv_p;  // return
+            } else if (graph.HasEdge(prev, x)) {
+              bias = 1.0;    // distance 1 from prev
+            } else {
+              bias = inv_q;  // explore outward
+            }
+            weights[i] = nbrs[i].weight * bias;
+          }
+        }
+        const int64_t pick = rng->SampleDiscrete(weights);
+        walk.push_back(nbrs[static_cast<size_t>(pick)].node);
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+}  // namespace coane

@@ -1,0 +1,47 @@
+#ifndef COANE_WALK_RANDOM_WALK_H_
+#define COANE_WALK_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace coane {
+
+/// Configuration of the plain weighted random walk of Sec. 3.1: r walks of
+/// length l are started from every node; the next step is drawn with
+/// probability proportional to edge weight, p(v_j | v_i) = E_ij / sum_j E_ij.
+struct RandomWalkConfig {
+  int num_walks_per_node = 1;  // r (CoANE uses r = 1)
+  int walk_length = 80;        // l
+};
+
+/// One walk is a sequence of node ids; walks from isolated nodes contain
+/// just the start node.
+using Walk = std::vector<NodeId>;
+
+/// Generates r*n weighted random walks (n blocks of r walks, block v
+/// starting at node v). Deterministic given the rng state.
+Result<std::vector<Walk>> GenerateRandomWalks(const Graph& graph,
+                                              const RandomWalkConfig& config,
+                                              Rng* rng);
+
+/// Generates node2vec-style second-order biased walks with return parameter
+/// p and in-out parameter q (Grover & Leskovec 2016). With p = q = 1 the
+/// distribution matches the plain walk above (used for the node2vec
+/// baseline; the paper runs node2vec with p = q = 1).
+struct BiasedWalkConfig {
+  int num_walks_per_node = 10;
+  int walk_length = 80;
+  double p = 1.0;
+  double q = 1.0;
+};
+
+Result<std::vector<Walk>> GenerateBiasedWalks(const Graph& graph,
+                                              const BiasedWalkConfig& config,
+                                              Rng* rng);
+
+}  // namespace coane
+
+#endif  // COANE_WALK_RANDOM_WALK_H_

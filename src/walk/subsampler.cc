@@ -1,0 +1,29 @@
+#include "walk/subsampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coane {
+
+std::vector<double> ComputeNodeFrequencies(const std::vector<Walk>& walks,
+                                           int64_t num_nodes) {
+  std::vector<double> freq(static_cast<size_t>(num_nodes), 0.0);
+  int64_t total = 0;
+  for (const Walk& walk : walks) {
+    for (NodeId v : walk) {
+      freq[static_cast<size_t>(v)] += 1.0;
+      ++total;
+    }
+  }
+  if (total > 0) {
+    for (double& f : freq) f /= static_cast<double>(total);
+  }
+  return freq;
+}
+
+double SubsampleKeepProbability(double frequency, double t) {
+  if (frequency <= 0.0) return 1.0;
+  return std::min(1.0, std::sqrt(t / frequency));
+}
+
+}  // namespace coane

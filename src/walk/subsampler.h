@@ -1,0 +1,26 @@
+#ifndef COANE_WALK_SUBSAMPLER_H_
+#define COANE_WALK_SUBSAMPLER_H_
+
+#include <vector>
+
+#include "walk/random_walk.h"
+
+namespace coane {
+
+/// word2vec-style frequency subsampling (Sec. 3.1): contexts whose midst
+/// node v appears with relative frequency f(v) > t are discarded with
+/// probability p_sub(v) = 1 - sqrt(t / f(v)), so over-frequent nodes do not
+/// dominate training while rare nodes keep all their contexts.
+
+/// Relative frequency of each node over all walk tokens (sums to 1 over
+/// nodes that appear; nodes never visited get 0).
+std::vector<double> ComputeNodeFrequencies(const std::vector<Walk>& walks,
+                                           int64_t num_nodes);
+
+/// Probability of *keeping* a context with midst frequency `frequency`:
+/// min(1, sqrt(t / f)). A zero frequency keeps everything.
+double SubsampleKeepProbability(double frequency, double t);
+
+}  // namespace coane
+
+#endif  // COANE_WALK_SUBSAMPLER_H_

@@ -1,0 +1,111 @@
+#include "baselines/anrl.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/attributed_sbm.h"
+#include "graph/graph_builder.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+namespace {
+
+AttributedNetwork SmallNet(uint64_t seed = 53) {
+  AttributedSbmConfig c;
+  c.num_nodes = 100;
+  c.num_classes = 2;
+  c.num_attributes = 80;
+  c.circles_per_class = 2;
+  c.avg_degree = 8.0;
+  c.seed = seed;
+  return GenerateAttributedSbm(c).ValueOrDie();
+}
+
+TEST(AnrlTest, ShapeAndValidation) {
+  AttributedNetwork net = SmallNet();
+  AnrlConfig cfg;
+  cfg.epochs = 3;
+  cfg.hidden_dim = 16;
+  cfg.embedding_dim = 8;
+  auto z = TrainAnrl(net.graph, cfg);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  EXPECT_EQ(z.value().rows(), 100);
+  EXPECT_EQ(z.value().cols(), 8);
+  for (int64_t i = 0; i < z.value().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(z.value().data()[i]));
+  }
+
+  cfg.embedding_dim = 0;
+  EXPECT_FALSE(TrainAnrl(net.graph, cfg).ok());
+
+  GraphBuilder bare(4);
+  bare.AddEdge(0, 1);
+  Graph no_attrs = std::move(bare).Build().ValueOrDie();
+  cfg.embedding_dim = 8;
+  EXPECT_FALSE(TrainAnrl(no_attrs, cfg).ok());
+}
+
+TEST(AnrlTest, EmbeddingsSeparateClasses) {
+  AttributedNetwork net = SmallNet(57);
+  AnrlConfig cfg;
+  cfg.epochs = 20;
+  cfg.hidden_dim = 32;
+  cfg.embedding_dim = 16;
+  cfg.seed = 7;
+  auto z = TrainAnrl(net.graph, cfg).ValueOrDie();
+  const auto& labels = net.graph.labels();
+  double same = 0.0, cross = 0.0;
+  int64_t same_n = 0, cross_n = 0;
+  for (NodeId u = 0; u < z.rows(); ++u) {
+    for (NodeId v = u + 1; v < z.rows(); ++v) {
+      const double sim = CosineSimilarity(z.Row(u), z.Row(v), z.cols());
+      if (labels[static_cast<size_t>(u)] == labels[static_cast<size_t>(v)]) {
+        same += sim;
+        ++same_n;
+      } else {
+        cross += sim;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+TEST(AnrlTest, HandlesIsolatedNodes) {
+  // Isolated nodes reconstruct their own attributes; no crash, finite
+  // embeddings.
+  GraphBuilder b(6);
+  b.AddEdge(0, 1).AddEdge(1, 2).AddEdge(3, 4);  // node 5 isolated
+  b.SetAttributes(SparseMatrix::FromTriplets(
+      6, 4,
+      {{0, 0, 1.0f}, {1, 1, 1.0f}, {2, 2, 1.0f},
+       {3, 3, 1.0f}, {4, 0, 1.0f}, {5, 1, 1.0f}}));
+  Graph g = std::move(b).Build().ValueOrDie();
+  AnrlConfig cfg;
+  cfg.epochs = 2;
+  cfg.hidden_dim = 8;
+  cfg.embedding_dim = 4;
+  cfg.batch_size = 3;
+  auto z = TrainAnrl(g, cfg);
+  ASSERT_TRUE(z.ok());
+  for (int64_t i = 0; i < z.value().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(z.value().data()[i]));
+  }
+}
+
+TEST(AnrlTest, DeterministicGivenSeed) {
+  AttributedNetwork net = SmallNet();
+  AnrlConfig cfg;
+  cfg.epochs = 3;
+  cfg.hidden_dim = 8;
+  cfg.embedding_dim = 4;
+  auto a = TrainAnrl(net.graph, cfg).ValueOrDie();
+  auto b = TrainAnrl(net.graph, cfg).ValueOrDie();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace coane

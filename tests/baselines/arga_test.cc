@@ -1,0 +1,105 @@
+// Tests of the adversarial GAE variants (ARGA / ARVGA).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/gae.h"
+#include "datasets/attributed_sbm.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+namespace {
+
+AttributedNetwork SmallNet(uint64_t seed = 43) {
+  AttributedSbmConfig c;
+  c.num_nodes = 90;
+  c.num_classes = 2;
+  c.num_attributes = 70;
+  c.circles_per_class = 2;
+  c.avg_degree = 8.0;
+  c.seed = seed;
+  return GenerateAttributedSbm(c).ValueOrDie();
+}
+
+TEST(ArgaTest, TrainsAndStaysFinite) {
+  AttributedNetwork net = SmallNet();
+  GaeConfig cfg;
+  cfg.adversarial = true;
+  cfg.epochs = 40;
+  cfg.hidden_dim = 16;
+  cfg.embedding_dim = 8;
+  std::vector<GaeEpochStats> history;
+  auto z = TrainGae(net.graph, cfg, &history);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  EXPECT_EQ(z.value().cols(), 8);
+  for (int64_t i = 0; i < z.value().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(z.value().data()[i]));
+  }
+  ASSERT_EQ(history.size(), 40u);
+}
+
+TEST(ArvgaTest, AdversarialPlusVariationalTrains) {
+  AttributedNetwork net = SmallNet(47);
+  GaeConfig cfg;
+  cfg.adversarial = true;
+  cfg.variational = true;
+  cfg.epochs = 30;
+  cfg.hidden_dim = 16;
+  cfg.embedding_dim = 8;
+  auto z = TrainGae(net.graph, cfg);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  for (int64_t i = 0; i < z.value().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(z.value().data()[i]));
+  }
+}
+
+TEST(ArgaTest, KeepsEmbeddingScaleBounded) {
+  // At the default adversarial weight, the Gaussian-prior regularizer must
+  // keep the embedding scale in a sane range — neither collapsed to zero
+  // (the known GAN failure mode when the weight is cranked up: the prior's
+  // density peaks at the origin) nor exploded.
+  AttributedNetwork net = SmallNet(49);
+  GaeConfig adv;
+  adv.epochs = 60;
+  adv.hidden_dim = 16;
+  adv.embedding_dim = 8;
+  adv.adversarial = true;  // default adversarial_weight = 1
+  auto z_adv = TrainGae(net.graph, adv).ValueOrDie();
+  double s = 0.0;
+  for (int64_t i = 0; i < z_adv.size(); ++i) {
+    s += static_cast<double>(z_adv.data()[i]) * z_adv.data()[i];
+  }
+  const double rms = std::sqrt(s / static_cast<double>(z_adv.size()));
+  EXPECT_GT(rms, 1e-3) << "collapsed to the prior mode";
+  EXPECT_LT(rms, 20.0) << "exploded";
+}
+
+TEST(ArgaTest, EmbeddingsStillSeparateClasses) {
+  AttributedNetwork net = SmallNet(51);
+  GaeConfig cfg;
+  cfg.adversarial = true;
+  cfg.epochs = 80;
+  cfg.hidden_dim = 32;
+  cfg.embedding_dim = 16;
+  auto z = TrainGae(net.graph, cfg).ValueOrDie();
+  const auto& labels = net.graph.labels();
+  double same = 0.0, cross = 0.0;
+  int64_t same_n = 0, cross_n = 0;
+  for (NodeId u = 0; u < z.rows(); ++u) {
+    for (NodeId v = u + 1; v < z.rows(); ++v) {
+      const double sim = CosineSimilarity(z.Row(u), z.Row(v), z.cols());
+      if (labels[static_cast<size_t>(u)] == labels[static_cast<size_t>(v)]) {
+        same += sim;
+        ++same_n;
+      } else {
+        cross += sim;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,148 @@
+// Tests of the ASNE and DANE baselines.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/asne.h"
+#include "baselines/dane.h"
+#include "datasets/attributed_sbm.h"
+#include "graph/graph_builder.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+namespace {
+
+AttributedNetwork SmallNet(uint64_t seed = 63) {
+  AttributedSbmConfig c;
+  c.num_nodes = 100;
+  c.num_classes = 2;
+  c.num_attributes = 80;
+  c.circles_per_class = 2;
+  c.avg_degree = 8.0;
+  c.seed = seed;
+  return GenerateAttributedSbm(c).ValueOrDie();
+}
+
+double ClassSeparation(const DenseMatrix& z,
+                       const std::vector<int32_t>& labels) {
+  double same = 0.0, cross = 0.0;
+  int64_t same_n = 0, cross_n = 0;
+  for (NodeId u = 0; u < z.rows(); ++u) {
+    for (NodeId v = u + 1; v < z.rows(); ++v) {
+      const double sim = CosineSimilarity(z.Row(u), z.Row(v), z.cols());
+      if (labels[static_cast<size_t>(u)] == labels[static_cast<size_t>(v)]) {
+        same += sim;
+        ++same_n;
+      } else {
+        cross += sim;
+        ++cross_n;
+      }
+    }
+  }
+  return same / same_n - cross / cross_n;
+}
+
+TEST(AsneTest, ShapeAndValidation) {
+  AttributedNetwork net = SmallNet();
+  AsneConfig cfg;
+  cfg.embedding_dim = 16;
+  cfg.num_samples_per_edge = 5;
+  auto z = TrainAsne(net.graph, cfg);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  EXPECT_EQ(z.value().rows(), 100);
+  EXPECT_EQ(z.value().cols(), 16);
+
+  cfg.embedding_dim = 7;
+  EXPECT_FALSE(TrainAsne(net.graph, cfg).ok());
+
+  GraphBuilder bare(4);
+  bare.AddEdge(0, 1);
+  Graph no_attrs = std::move(bare).Build().ValueOrDie();
+  cfg.embedding_dim = 16;
+  EXPECT_FALSE(TrainAsne(no_attrs, cfg).ok());
+}
+
+TEST(AsneTest, SeparatesClasses) {
+  AttributedNetwork net = SmallNet(67);
+  AsneConfig cfg;
+  cfg.embedding_dim = 16;
+  cfg.num_samples_per_edge = 60;
+  cfg.seed = 3;
+  auto z = TrainAsne(net.graph, cfg).ValueOrDie();
+  EXPECT_GT(ClassSeparation(z, net.graph.labels()), 0.0);
+}
+
+TEST(AsneTest, DeterministicGivenSeed) {
+  AttributedNetwork net = SmallNet();
+  AsneConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.num_samples_per_edge = 5;
+  auto a = TrainAsne(net.graph, cfg).ValueOrDie();
+  auto b = TrainAsne(net.graph, cfg).ValueOrDie();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(DaneTest, ShapeAndValidation) {
+  AttributedNetwork net = SmallNet();
+  DaneConfig cfg;
+  cfg.epochs = 3;
+  cfg.hidden_dim = 16;
+  cfg.embedding_dim = 8;
+  auto z = TrainDane(net.graph, cfg);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  EXPECT_EQ(z.value().rows(), 100);
+  EXPECT_EQ(z.value().cols(), 8);
+  for (int64_t i = 0; i < z.value().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(z.value().data()[i]));
+  }
+
+  cfg.embedding_dim = 9;
+  EXPECT_FALSE(TrainDane(net.graph, cfg).ok());
+  cfg.embedding_dim = 8;
+  cfg.proximity_order = 0;
+  EXPECT_FALSE(TrainDane(net.graph, cfg).ok());
+
+  GraphBuilder bare(4);
+  bare.AddEdge(0, 1);
+  Graph no_attrs = std::move(bare).Build().ValueOrDie();
+  cfg.proximity_order = 2;
+  EXPECT_FALSE(TrainDane(no_attrs, cfg).ok());
+}
+
+TEST(DaneTest, SeparatesClasses) {
+  AttributedNetwork net = SmallNet(69);
+  DaneConfig cfg;
+  cfg.epochs = 15;
+  cfg.hidden_dim = 32;
+  cfg.embedding_dim = 16;
+  cfg.seed = 5;
+  auto z = TrainDane(net.graph, cfg).ValueOrDie();
+  EXPECT_GT(ClassSeparation(z, net.graph.labels()), 0.0);
+}
+
+TEST(DaneTest, ConsistencyPullsCodesTogether) {
+  // With a large consistency weight the two latent halves should end up
+  // closer (in relative terms) than with zero weight.
+  AttributedNetwork net = SmallNet(73);
+  auto halves_distance = [&](float weight) {
+    DaneConfig cfg;
+    cfg.epochs = 10;
+    cfg.hidden_dim = 16;
+    cfg.embedding_dim = 16;
+    cfg.consistency_weight = weight;
+    DenseMatrix z = TrainDane(net.graph, cfg).ValueOrDie();
+    double num = 0.0, denom = 0.0;
+    for (NodeId v = 0; v < z.rows(); ++v) {
+      num += SquaredDistance(z.Row(v), z.Row(v) + 8, 8);
+      denom += Dot(z.Row(v), z.Row(v), 16);
+    }
+    return num / (denom + 1e-12);
+  };
+  EXPECT_LT(halves_distance(20.0f), halves_distance(0.0f));
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,77 @@
+#include "baselines/attr_autoencoder.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/attributed_sbm.h"
+#include "graph/graph_builder.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+namespace {
+
+TEST(AttrAutoencoderTest, ShapeAndValidation) {
+  AttributedSbmConfig sc;
+  sc.num_nodes = 80;
+  sc.num_classes = 2;
+  sc.num_attributes = 60;
+  sc.circles_per_class = 2;
+  sc.seed = 17;
+  auto net = GenerateAttributedSbm(sc).ValueOrDie();
+
+  AttrAutoencoderConfig cfg;
+  cfg.epochs = 3;
+  cfg.hidden_dim = 16;
+  cfg.embedding_dim = 8;
+  auto z = TrainAttrAutoencoder(net.graph, cfg);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  EXPECT_EQ(z.value().rows(), 80);
+  EXPECT_EQ(z.value().cols(), 8);
+
+  cfg.embedding_dim = 0;
+  EXPECT_FALSE(TrainAttrAutoencoder(net.graph, cfg).ok());
+
+  GraphBuilder bare(5);
+  bare.AddEdge(0, 1);
+  Graph no_attrs = std::move(bare).Build().ValueOrDie();
+  cfg.embedding_dim = 8;
+  EXPECT_FALSE(TrainAttrAutoencoder(no_attrs, cfg).ok());
+}
+
+TEST(AttrAutoencoderTest, SimilarAttributesSimilarEmbeddings) {
+  // Same-class nodes share topic attributes, so an attribute autoencoder
+  // must embed them closer than cross-class pairs.
+  AttributedSbmConfig sc;
+  sc.num_nodes = 120;
+  sc.num_classes = 2;
+  sc.num_attributes = 80;
+  sc.circles_per_class = 2;
+  sc.noise_attrs_per_node = 1.0;
+  sc.seed = 23;
+  auto net = GenerateAttributedSbm(sc).ValueOrDie();
+
+  AttrAutoencoderConfig cfg;
+  cfg.epochs = 30;
+  cfg.hidden_dim = 32;
+  cfg.embedding_dim = 16;
+  cfg.seed = 3;
+  auto z = TrainAttrAutoencoder(net.graph, cfg).ValueOrDie();
+  const auto& labels = net.graph.labels();
+  double same = 0.0, cross = 0.0;
+  int64_t same_n = 0, cross_n = 0;
+  for (NodeId u = 0; u < z.rows(); ++u) {
+    for (NodeId v = u + 1; v < z.rows(); ++v) {
+      const double sim = CosineSimilarity(z.Row(u), z.Row(v), z.cols());
+      if (labels[static_cast<size_t>(u)] == labels[static_cast<size_t>(v)]) {
+        same += sim;
+        ++same_n;
+      } else {
+        cross += sim;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+}  // namespace
+}  // namespace coane

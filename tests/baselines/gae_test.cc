@@ -1,0 +1,136 @@
+#include "baselines/gae.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/attributed_sbm.h"
+#include "graph/graph_builder.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+namespace {
+
+AttributedNetwork SmallNet(uint64_t seed = 13) {
+  AttributedSbmConfig c;
+  c.num_nodes = 100;
+  c.num_classes = 2;
+  c.num_attributes = 80;
+  c.circles_per_class = 2;
+  c.avg_degree = 8.0;
+  c.seed = seed;
+  return GenerateAttributedSbm(c).ValueOrDie();
+}
+
+TEST(NormalizedAdjacencyTest, RowsMatchFormula) {
+  // Path 0-1-2. deg+1: 2, 3, 2.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).AddEdge(1, 2);
+  Graph g = std::move(b).Build().ValueOrDie();
+  SparseMatrix a_hat = NormalizedAdjacency(g);
+  EXPECT_NEAR(a_hat.At(0, 0), 1.0 / 2.0, 1e-6);
+  EXPECT_NEAR(a_hat.At(0, 1), 1.0 / std::sqrt(2.0 * 3.0), 1e-6);
+  EXPECT_NEAR(a_hat.At(1, 1), 1.0 / 3.0, 1e-6);
+  EXPECT_NEAR(a_hat.At(0, 2), 0.0, 1e-9);
+  // Symmetry.
+  EXPECT_NEAR(a_hat.At(1, 0), a_hat.At(0, 1), 1e-6);
+}
+
+TEST(GaeTest, ShapeAndValidation) {
+  AttributedNetwork net = SmallNet();
+  GaeConfig cfg;
+  cfg.epochs = 5;
+  cfg.hidden_dim = 16;
+  cfg.embedding_dim = 8;
+  auto z = TrainGae(net.graph, cfg);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  EXPECT_EQ(z.value().rows(), 100);
+  EXPECT_EQ(z.value().cols(), 8);
+
+  cfg.hidden_dim = 0;
+  EXPECT_FALSE(TrainGae(net.graph, cfg).ok());
+
+  GraphBuilder bare(5);
+  bare.AddEdge(0, 1);
+  Graph no_attrs = std::move(bare).Build().ValueOrDie();
+  cfg.hidden_dim = 16;
+  EXPECT_FALSE(TrainGae(no_attrs, cfg).ok());
+}
+
+TEST(GaeTest, LossDecreases) {
+  AttributedNetwork net = SmallNet();
+  GaeConfig cfg;
+  cfg.epochs = 60;
+  cfg.hidden_dim = 32;
+  cfg.embedding_dim = 16;
+  std::vector<GaeEpochStats> history;
+  auto z = TrainGae(net.graph, cfg, &history);
+  ASSERT_TRUE(z.ok());
+  ASSERT_EQ(history.size(), 60u);
+  // Average of the last 5 epochs must beat the first epoch.
+  double tail = 0.0;
+  for (size_t i = history.size() - 5; i < history.size(); ++i) {
+    tail += history[i].loss;
+  }
+  EXPECT_LT(tail / 5.0, history.front().loss);
+}
+
+TEST(GaeTest, EmbeddingsSeparateClasses) {
+  AttributedNetwork net = SmallNet(29);
+  GaeConfig cfg;
+  cfg.epochs = 80;
+  cfg.hidden_dim = 32;
+  cfg.embedding_dim = 16;
+  cfg.seed = 5;
+  auto z = TrainGae(net.graph, cfg).ValueOrDie();
+  const auto& labels = net.graph.labels();
+  double same = 0.0, cross = 0.0;
+  int64_t same_n = 0, cross_n = 0;
+  for (NodeId u = 0; u < z.rows(); ++u) {
+    for (NodeId v = u + 1; v < z.rows(); ++v) {
+      const double sim = CosineSimilarity(z.Row(u), z.Row(v), z.cols());
+      if (labels[static_cast<size_t>(u)] == labels[static_cast<size_t>(v)]) {
+        same += sim;
+        ++same_n;
+      } else {
+        cross += sim;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+TEST(VgaeTest, VariationalRunsAndConverges) {
+  AttributedNetwork net = SmallNet(31);
+  GaeConfig cfg;
+  cfg.variational = true;
+  cfg.epochs = 40;
+  cfg.hidden_dim = 16;
+  cfg.embedding_dim = 8;
+  std::vector<GaeEpochStats> history;
+  auto z = TrainGae(net.graph, cfg, &history);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  EXPECT_EQ(z.value().cols(), 8);
+  EXPECT_LT(history.back().loss, history.front().loss * 1.5)
+      << "VGAE must not diverge";
+  for (int64_t i = 0; i < z.value().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(z.value().data()[i]));
+  }
+}
+
+TEST(GaeTest, DeterministicGivenSeed) {
+  AttributedNetwork net = SmallNet();
+  GaeConfig cfg;
+  cfg.epochs = 10;
+  cfg.hidden_dim = 8;
+  cfg.embedding_dim = 4;
+  auto a = TrainGae(net.graph, cfg).ValueOrDie();
+  auto b = TrainGae(net.graph, cfg).ValueOrDie();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace coane

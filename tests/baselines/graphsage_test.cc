@@ -1,0 +1,93 @@
+#include "baselines/graphsage.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/attributed_sbm.h"
+#include "graph/graph_builder.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+namespace {
+
+AttributedNetwork SmallNet(uint64_t seed = 37) {
+  AttributedSbmConfig c;
+  c.num_nodes = 100;
+  c.num_classes = 2;
+  c.num_attributes = 80;
+  c.circles_per_class = 2;
+  c.avg_degree = 8.0;
+  c.seed = seed;
+  return GenerateAttributedSbm(c).ValueOrDie();
+}
+
+TEST(GraphSageTest, ShapeAndValidation) {
+  AttributedNetwork net = SmallNet();
+  GraphSageConfig cfg;
+  cfg.epochs = 5;
+  cfg.hidden_dim = 16;
+  cfg.embedding_dim = 8;
+  auto z = TrainGraphSage(net.graph, cfg);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  EXPECT_EQ(z.value().rows(), 100);
+  EXPECT_EQ(z.value().cols(), 8);
+  for (int64_t i = 0; i < z.value().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(z.value().data()[i]));
+  }
+
+  cfg.hidden_dim = 0;
+  EXPECT_FALSE(TrainGraphSage(net.graph, cfg).ok());
+
+  GraphBuilder bare(4);
+  bare.AddEdge(0, 1);
+  Graph no_attrs = std::move(bare).Build().ValueOrDie();
+  cfg.hidden_dim = 16;
+  EXPECT_FALSE(TrainGraphSage(no_attrs, cfg).ok());
+
+  GraphBuilder disconnected(4);
+  Graph no_edges = std::move(disconnected).Build().ValueOrDie();
+  EXPECT_FALSE(TrainGraphSage(no_edges, cfg).ok());
+}
+
+TEST(GraphSageTest, EmbeddingsSeparateClasses) {
+  AttributedNetwork net = SmallNet(39);
+  GraphSageConfig cfg;
+  cfg.epochs = 50;
+  cfg.hidden_dim = 32;
+  cfg.embedding_dim = 16;
+  cfg.seed = 5;
+  auto z = TrainGraphSage(net.graph, cfg).ValueOrDie();
+  const auto& labels = net.graph.labels();
+  double same = 0.0, cross = 0.0;
+  int64_t same_n = 0, cross_n = 0;
+  for (NodeId u = 0; u < z.rows(); ++u) {
+    for (NodeId v = u + 1; v < z.rows(); ++v) {
+      const double sim = CosineSimilarity(z.Row(u), z.Row(v), z.cols());
+      if (labels[static_cast<size_t>(u)] == labels[static_cast<size_t>(v)]) {
+        same += sim;
+        ++same_n;
+      } else {
+        cross += sim;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+TEST(GraphSageTest, DeterministicGivenSeed) {
+  AttributedNetwork net = SmallNet();
+  GraphSageConfig cfg;
+  cfg.epochs = 8;
+  cfg.hidden_dim = 8;
+  cfg.embedding_dim = 4;
+  auto a = TrainGraphSage(net.graph, cfg).ValueOrDie();
+  auto b = TrainGraphSage(net.graph, cfg).ValueOrDie();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,83 @@
+#include "baselines/line.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+namespace {
+
+Graph TwoCliquesBridged() {
+  GraphBuilder b(12);
+  for (int c = 0; c < 2; ++c) {
+    const int base = c * 6;
+    for (int i = 0; i < 6; ++i) {
+      for (int j = i + 1; j < 6; ++j) {
+        b.AddEdge(static_cast<NodeId>(base + i),
+                  static_cast<NodeId>(base + j));
+      }
+    }
+  }
+  b.AddEdge(0, 6);
+  return std::move(b).Build().ValueOrDie();
+}
+
+TEST(LineTest, ShapeAndValidation) {
+  Graph g = TwoCliquesBridged();
+  LineConfig cfg;
+  cfg.embedding_dim = 16;
+  cfg.num_samples = 5000;
+  auto z = TrainLine(g, cfg);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(z.value().rows(), 12);
+  EXPECT_EQ(z.value().cols(), 16);
+
+  cfg.embedding_dim = 7;  // odd
+  EXPECT_FALSE(TrainLine(g, cfg).ok());
+
+  GraphBuilder empty(3);
+  Graph no_edges = std::move(empty).Build().ValueOrDie();
+  cfg.embedding_dim = 8;
+  EXPECT_FALSE(TrainLine(no_edges, cfg).ok());
+}
+
+TEST(LineTest, CommunityStructurePreserved) {
+  Graph g = TwoCliquesBridged();
+  LineConfig cfg;
+  cfg.embedding_dim = 16;
+  cfg.num_samples = 60000;
+  cfg.seed = 4;
+  auto z = TrainLine(g, cfg).ValueOrDie();
+  double same = 0.0, cross = 0.0;
+  int same_n = 0, cross_n = 0;
+  for (NodeId u = 0; u < 12; ++u) {
+    for (NodeId v = u + 1; v < 12; ++v) {
+      const double sim = CosineSimilarity(z.Row(u), z.Row(v), 16);
+      if ((u < 6) == (v < 6)) {
+        same += sim;
+        ++same_n;
+      } else {
+        cross += sim;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+TEST(LineTest, DeterministicGivenSeed) {
+  Graph g = TwoCliquesBridged();
+  LineConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.num_samples = 2000;
+  cfg.seed = 11;
+  auto a = TrainLine(g, cfg).ValueOrDie();
+  auto b = TrainLine(g, cfg).ValueOrDie();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,106 @@
+#include "baselines/skipgram.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/deepwalk.h"
+#include "graph/graph_builder.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+namespace {
+
+// Two cliques joined by one bridge edge — walk co-occurrence should embed
+// clique-mates close together.
+Graph TwoCliques(int size_each) {
+  GraphBuilder b(2 * size_each);
+  for (int c = 0; c < 2; ++c) {
+    const int base = c * size_each;
+    for (int i = 0; i < size_each; ++i) {
+      for (int j = i + 1; j < size_each; ++j) {
+        b.AddEdge(static_cast<NodeId>(base + i),
+                  static_cast<NodeId>(base + j));
+      }
+    }
+  }
+  b.AddEdge(0, static_cast<NodeId>(size_each));
+  return std::move(b).Build().ValueOrDie();
+}
+
+TEST(SkipGramTest, ShapeAndValidation) {
+  std::vector<Walk> walks = {{0, 1, 2, 1, 0}};
+  SkipGramConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.epochs = 1;
+  auto z = TrainSkipGram(walks, 3, cfg);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(z.value().rows(), 3);
+  EXPECT_EQ(z.value().cols(), 8);
+
+  cfg.embedding_dim = 0;
+  EXPECT_FALSE(TrainSkipGram(walks, 3, cfg).ok());
+  cfg.embedding_dim = 8;
+  cfg.window_size = 0;
+  EXPECT_FALSE(TrainSkipGram(walks, 3, cfg).ok());
+  cfg.window_size = 5;
+  EXPECT_FALSE(TrainSkipGram({}, 3, cfg).ok());
+  EXPECT_FALSE(TrainSkipGram({{0, 99}}, 3, cfg).ok());
+}
+
+TEST(SkipGramTest, CliqueMatesCloserThanCrossClique) {
+  Graph g = TwoCliques(8);
+  DeepWalkConfig cfg;
+  cfg.num_walks = 8;
+  cfg.walk_length = 20;
+  cfg.skipgram.embedding_dim = 16;
+  cfg.skipgram.window_size = 4;
+  cfg.skipgram.epochs = 3;
+  cfg.skipgram.seed = 1;
+  auto z = TrainDeepWalk(g, cfg);
+  ASSERT_TRUE(z.ok());
+  const DenseMatrix& emb = z.value();
+  double same = 0.0, cross = 0.0;
+  int same_n = 0, cross_n = 0;
+  for (NodeId u = 0; u < 16; ++u) {
+    for (NodeId v = u + 1; v < 16; ++v) {
+      const double sim = CosineSimilarity(emb.Row(u), emb.Row(v), 16);
+      if ((u < 8) == (v < 8)) {
+        same += sim;
+        ++same_n;
+      } else {
+        cross += sim;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n + 0.2);
+}
+
+TEST(SkipGramTest, DeterministicGivenSeed) {
+  std::vector<Walk> walks = {{0, 1, 2, 3, 2, 1}, {3, 2, 1, 0, 1, 2}};
+  SkipGramConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.seed = 9;
+  auto a = TrainSkipGram(walks, 4, cfg).ValueOrDie();
+  auto b = TrainSkipGram(walks, 4, cfg).ValueOrDie();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(Node2VecTest, RunsAndHasShape) {
+  Graph g = TwoCliques(5);
+  Node2VecConfig cfg;
+  cfg.num_walks = 2;
+  cfg.walk_length = 10;
+  cfg.p = 0.5;
+  cfg.q = 2.0;
+  cfg.skipgram.embedding_dim = 8;
+  cfg.skipgram.epochs = 1;
+  auto z = TrainNode2Vec(g, cfg);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(z.value().rows(), 10);
+  EXPECT_EQ(z.value().cols(), 8);
+}
+
+}  // namespace
+}  // namespace coane

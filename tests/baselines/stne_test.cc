@@ -1,0 +1,114 @@
+#include "baselines/stne.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/attributed_sbm.h"
+#include "graph/graph_builder.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+namespace {
+
+AttributedNetwork SmallNet(uint64_t seed = 77) {
+  AttributedSbmConfig c;
+  c.num_nodes = 90;
+  c.num_classes = 2;
+  c.num_attributes = 70;
+  c.circles_per_class = 2;
+  c.avg_degree = 8.0;
+  c.seed = seed;
+  return GenerateAttributedSbm(c).ValueOrDie();
+}
+
+TEST(StneTest, ShapeAndValidation) {
+  AttributedNetwork net = SmallNet();
+  StneConfig cfg;
+  cfg.projection_dim = 16;
+  cfg.embedding_dim = 8;
+  cfg.walk_length = 10;
+  cfg.epochs = 1;
+  auto z = TrainStne(net.graph, cfg);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  EXPECT_EQ(z.value().rows(), 90);
+  EXPECT_EQ(z.value().cols(), 8);
+  for (int64_t i = 0; i < z.value().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(z.value().data()[i]));
+  }
+
+  cfg.walk_length = 1;
+  EXPECT_FALSE(TrainStne(net.graph, cfg).ok());
+  cfg.walk_length = 10;
+  cfg.embedding_dim = 0;
+  EXPECT_FALSE(TrainStne(net.graph, cfg).ok());
+
+  GraphBuilder bare(4);
+  bare.AddEdge(0, 1);
+  Graph no_attrs = std::move(bare).Build().ValueOrDie();
+  cfg.embedding_dim = 8;
+  EXPECT_FALSE(TrainStne(no_attrs, cfg).ok());
+}
+
+TEST(StneTest, SeparatesClasses) {
+  AttributedNetwork net = SmallNet(79);
+  StneConfig cfg;
+  cfg.projection_dim = 32;
+  cfg.embedding_dim = 16;
+  cfg.walk_length = 15;
+  cfg.epochs = 4;
+  cfg.seed = 3;
+  auto z = TrainStne(net.graph, cfg).ValueOrDie();
+  const auto& labels = net.graph.labels();
+  double same = 0.0, cross = 0.0;
+  int64_t same_n = 0, cross_n = 0;
+  for (NodeId u = 0; u < z.rows(); ++u) {
+    for (NodeId v = u + 1; v < z.rows(); ++v) {
+      const double sim = CosineSimilarity(z.Row(u), z.Row(v), z.cols());
+      if (labels[static_cast<size_t>(u)] == labels[static_cast<size_t>(v)]) {
+        same += sim;
+        ++same_n;
+      } else {
+        cross += sim;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+TEST(StneTest, DeterministicGivenSeed) {
+  AttributedNetwork net = SmallNet();
+  StneConfig cfg;
+  cfg.projection_dim = 8;
+  cfg.embedding_dim = 4;
+  cfg.walk_length = 8;
+  cfg.epochs = 1;
+  auto a = TrainStne(net.graph, cfg).ValueOrDie();
+  auto b = TrainStne(net.graph, cfg).ValueOrDie();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(StneTest, IsolatedNodesGetPooledEmbeddings) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 3).AddEdge(3, 4);
+  // node 5 isolated: its walk is a singleton (skipped), embedding stays 0.
+  std::vector<SparseMatrix::Triplet> attrs;
+  for (int v = 0; v < 6; ++v) attrs.push_back({v, v % 3, 1.0f});
+  b.SetAttributes(SparseMatrix::FromTriplets(6, 3, attrs));
+  Graph g = std::move(b).Build().ValueOrDie();
+  StneConfig cfg;
+  cfg.projection_dim = 8;
+  cfg.embedding_dim = 4;
+  cfg.walk_length = 6;
+  cfg.epochs = 1;
+  auto z = TrainStne(g, cfg);
+  ASSERT_TRUE(z.ok());
+  double norm0 = Norm2(z.value().Row(0), 4);
+  EXPECT_GT(norm0, 0.0) << "connected nodes must be pooled";
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,158 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace coane {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Uniform() != b.Uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t x = rng.UniformInt(5);
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 5);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "all values hit in 1000 draws";
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig) << "50 elements virtually never stay in place";
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleDiscreteRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> w = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) counts[rng.SampleDiscrete(w)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (int64_t x : sample) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 100);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(19);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(AliasTableTest, MatchesDistribution) {
+  Rng rng(21);
+  std::vector<double> w = {1.0, 2.0, 0.0, 5.0};
+  AliasTable table(w);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[table.Sample(&rng)]++;
+  EXPECT_EQ(counts[2], 0) << "zero-weight entries never sampled";
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 1.0 / 8, 0.015);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 2.0 / 8, 0.015);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / n, 5.0 / 8, 0.015);
+}
+
+TEST(AliasTableTest, SingleElement) {
+  Rng rng(23);
+  AliasTable table({3.0});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(table.Sample(&rng), 0);
+}
+
+TEST(AliasTableTest, UniformWeights) {
+  Rng rng(25);
+  AliasTable table(std::vector<double>(8, 1.0));
+  std::vector<int> counts(8, 0);
+  const int n = 16000;
+  for (int i = 0; i < n; ++i) counts[table.Sample(&rng)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.125, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,193 @@
+#include "core/coane_model.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/attributed_sbm.h"
+#include "graph/graph_builder.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+namespace {
+
+AttributedNetwork SmallNetwork(uint64_t seed = 11) {
+  AttributedSbmConfig c;
+  c.num_nodes = 120;
+  c.num_classes = 3;
+  c.num_attributes = 100;
+  c.circles_per_class = 2;
+  c.avg_degree = 6.0;
+  c.seed = seed;
+  return GenerateAttributedSbm(c).ValueOrDie();
+}
+
+CoaneConfig FastConfig() {
+  CoaneConfig c;
+  c.walk_length = 20;
+  c.context_size = 3;
+  c.embedding_dim = 16;
+  c.num_negative = 5;
+  c.max_epochs = 2;
+  c.batch_size = 64;
+  c.decoder_hidden = {32};
+  c.seed = 5;
+  return c;
+}
+
+TEST(CoaneModelTest, EndToEndProducesEmbeddings) {
+  AttributedNetwork net = SmallNetwork();
+  CoaneModel model(net.graph, FastConfig());
+  ASSERT_TRUE(model.Preprocess().ok());
+  auto history = model.Train();
+  ASSERT_TRUE(history.ok()) << history.status().ToString();
+  EXPECT_EQ(history.value().size(), 2u);
+  const DenseMatrix& z = model.embeddings();
+  EXPECT_EQ(z.rows(), 120);
+  EXPECT_EQ(z.cols(), 16);
+  EXPECT_GT(z.FrobeniusNorm(), 0.0);
+}
+
+TEST(CoaneModelTest, TrainingReducesTotalLoss) {
+  AttributedNetwork net = SmallNetwork();
+  CoaneConfig cfg = FastConfig();
+  cfg.max_epochs = 6;
+  CoaneModel model(net.graph, cfg);
+  ASSERT_TRUE(model.Preprocess().ok());
+  auto history = model.Train().ValueOrDie();
+  EXPECT_LT(history.back().total_loss, history.front().total_loss);
+}
+
+TEST(CoaneModelTest, TrainBeforePreprocessFails) {
+  AttributedNetwork net = SmallNetwork();
+  CoaneModel model(net.graph, FastConfig());
+  auto r = model.TrainEpoch();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CoaneModelTest, InvalidConfigRejected) {
+  AttributedNetwork net = SmallNetwork();
+  CoaneConfig cfg = FastConfig();
+  cfg.context_size = 4;  // even
+  EXPECT_FALSE(CoaneModel(net.graph, cfg).Preprocess().ok());
+  cfg = FastConfig();
+  cfg.embedding_dim = 15;  // odd
+  EXPECT_FALSE(CoaneModel(net.graph, cfg).Preprocess().ok());
+  cfg = FastConfig();
+  cfg.batch_size = 0;
+  EXPECT_FALSE(CoaneModel(net.graph, cfg).Preprocess().ok());
+}
+
+TEST(CoaneModelTest, DeterministicGivenSeed) {
+  AttributedNetwork net = SmallNetwork();
+  auto z1 = TrainCoaneEmbeddings(net.graph, FastConfig()).ValueOrDie();
+  auto z2 = TrainCoaneEmbeddings(net.graph, FastConfig()).ValueOrDie();
+  ASSERT_TRUE(z1.SameShape(z2));
+  for (int64_t i = 0; i < z1.size(); ++i) {
+    EXPECT_FLOAT_EQ(z1.data()[i], z2.data()[i]);
+  }
+}
+
+TEST(CoaneModelTest, AblationConfigsAllRun) {
+  AttributedNetwork net = SmallNetwork();
+  // WP, SG, WN, NS, WF, WAP, FC encoder — every switch must train.
+  std::vector<CoaneConfig> configs;
+  {
+    CoaneConfig c = FastConfig();
+    c.use_positive_loss = false;
+    configs.push_back(c);
+  }
+  {
+    CoaneConfig c = FastConfig();
+    c.skipgram_positive = true;
+    configs.push_back(c);
+  }
+  {
+    CoaneConfig c = FastConfig();
+    c.use_negative_loss = false;
+    configs.push_back(c);
+  }
+  {
+    CoaneConfig c = FastConfig();
+    c.negative_mode = NegativeSamplingMode::kUniform;
+    configs.push_back(c);
+  }
+  {
+    CoaneConfig c = FastConfig();
+    c.use_attributes = false;
+    configs.push_back(c);
+  }
+  {
+    CoaneConfig c = FastConfig();
+    c.use_attribute_loss = false;
+    configs.push_back(c);
+  }
+  {
+    CoaneConfig c = FastConfig();
+    c.encoder_kind = ContextEncoder::Kind::kFullyConnected;
+    configs.push_back(c);
+  }
+  {
+    CoaneConfig c = FastConfig();
+    c.negative_mode = NegativeSamplingMode::kPreSampled;
+    configs.push_back(c);
+  }
+  for (size_t i = 0; i < configs.size(); ++i) {
+    auto z = TrainCoaneEmbeddings(net.graph, configs[i]);
+    ASSERT_TRUE(z.ok()) << "config " << i << ": " << z.status().ToString();
+    EXPECT_GT(z.value().FrobeniusNorm(), 0.0) << "config " << i;
+  }
+}
+
+TEST(CoaneModelTest, EmbeddingsSeparateClasses) {
+  // Same-class pairs should be more similar than cross-class pairs after
+  // training — the core property every downstream task relies on.
+  AttributedNetwork net = SmallNetwork(21);
+  CoaneConfig cfg = FastConfig();
+  cfg.max_epochs = 5;
+  CoaneModel model(net.graph, cfg);
+  ASSERT_TRUE(model.Preprocess().ok());
+  ASSERT_TRUE(model.Train().ok());
+  const DenseMatrix& z = model.embeddings();
+  const auto& labels = net.graph.labels();
+  double same_sum = 0.0, diff_sum = 0.0;
+  int64_t same_n = 0, diff_n = 0;
+  for (NodeId u = 0; u < z.rows(); ++u) {
+    for (NodeId v = u + 1; v < z.rows(); ++v) {
+      const double sim = CosineSimilarity(z.Row(u), z.Row(v), z.cols());
+      if (labels[static_cast<size_t>(u)] == labels[static_cast<size_t>(v)]) {
+        same_sum += sim;
+        ++same_n;
+      } else {
+        diff_sum += sim;
+        ++diff_n;
+      }
+    }
+  }
+  EXPECT_GT(same_sum / same_n, diff_sum / diff_n + 0.05)
+      << "same-class embeddings must be measurably closer";
+}
+
+TEST(CoaneModelTest, NoAttributesGraphRequiresWfFlag) {
+  // A graph without attributes must be rejected unless use_attributes is
+  // false (WF mode uses identity features).
+  AttributedSbmConfig sc;
+  sc.num_nodes = 60;
+  sc.num_classes = 2;
+  sc.num_attributes = 60;
+  sc.circles_per_class = 2;
+  sc.seed = 3;
+  auto net = GenerateAttributedSbm(sc).ValueOrDie();
+  // Rebuild graph without attributes.
+  GraphBuilder b(net.graph.num_nodes());
+  b.AddEdges(net.graph.UndirectedEdges());
+  Graph bare = std::move(b).Build().ValueOrDie();
+
+  CoaneConfig cfg = FastConfig();
+  EXPECT_FALSE(CoaneModel(bare, cfg).Preprocess().ok());
+  cfg.use_attributes = false;
+  cfg.use_attribute_loss = false;
+  EXPECT_TRUE(CoaneModel(bare, cfg).Preprocess().ok());
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,161 @@
+#include "core/inductive.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/attributed_sbm.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+namespace {
+
+struct TrainedFixture {
+  TrainedFixture() {
+    AttributedSbmConfig sc;
+    sc.num_nodes = 120;
+    sc.num_classes = 2;
+    sc.num_attributes = 100;
+    sc.circles_per_class = 2;
+    sc.avg_degree = 8.0;
+    sc.seed = 31;
+    net = GenerateAttributedSbm(sc).ValueOrDie();
+    CoaneConfig cfg;
+    cfg.walk_length = 20;
+    cfg.embedding_dim = 16;
+    cfg.num_negative = 5;
+    cfg.max_epochs = 5;
+    cfg.batch_size = 64;
+    cfg.decoder_hidden = {32};
+    cfg.subsample_t = 1e-3;
+    cfg.learning_rate = 0.005f;
+    cfg.negative_weight = 1e-2f;
+    cfg.attribute_gamma = 1e3f;
+    model = std::make_unique<CoaneModel>(net.graph, cfg);
+    EXPECT_TRUE(model->Preprocess().ok());
+    EXPECT_TRUE(model->Train().ok());
+  }
+  AttributedNetwork net;
+  std::unique_ptr<CoaneModel> model;
+};
+
+TrainedFixture& Fixture() {
+  static TrainedFixture* fixture = new TrainedFixture();
+  return *fixture;
+}
+
+// Describes an existing node as if it were unseen (its own attributes and
+// real neighbors) — the encoded vector should then land near its trained
+// embedding's neighborhood.
+UnseenNode AsUnseen(const AttributedNetwork& net, NodeId v) {
+  UnseenNode node;
+  for (const SparseEntry& e : net.graph.attributes().Row(v)) {
+    node.attributes.push_back(e);
+  }
+  for (const NeighborEntry& e : net.graph.Neighbors(v)) {
+    node.neighbors.push_back(e.node);
+  }
+  return node;
+}
+
+TEST(InductiveTest, OutputShapeAndFiniteness) {
+  auto& f = Fixture();
+  Rng rng(1);
+  UnseenNode node = AsUnseen(f.net, 0);
+  auto z = EncodeUnseenNode(*f.model, f.net.graph, node,
+                            InductiveOptions{}, &rng);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  EXPECT_EQ(z.value().size(), 16u);
+  double norm = 0.0;
+  for (float v : z.value()) norm += std::abs(v);
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(InductiveTest, LandsOnTheCorrectSideOfTheEmbeddingSpace) {
+  // Encode several existing nodes as if unseen; each must be more similar
+  // (on average) to trained embeddings of its own class than to the other
+  // class.
+  auto& f = Fixture();
+  Rng rng(2);
+  const DenseMatrix& trained = f.model->embeddings();
+  const auto& labels = f.net.graph.labels();
+  int correct = 0, total = 0;
+  for (NodeId v = 0; v < 40; ++v) {
+    if (f.net.graph.Degree(v) == 0) continue;
+    UnseenNode node = AsUnseen(f.net, v);
+    InductiveOptions opt;
+    opt.num_contexts = 40;
+    auto z = EncodeUnseenNode(*f.model, f.net.graph, node, opt, &rng);
+    ASSERT_TRUE(z.ok());
+    double same = 0.0, other = 0.0;
+    int same_n = 0, other_n = 0;
+    for (NodeId u = 0; u < trained.rows(); ++u) {
+      if (u == v) continue;
+      const double sim =
+          CosineSimilarity(z.value().data(), trained.Row(u), 16);
+      if (labels[static_cast<size_t>(u)] == labels[static_cast<size_t>(v)]) {
+        same += sim;
+        ++same_n;
+      } else {
+        other += sim;
+        ++other_n;
+      }
+    }
+    ++total;
+    if (same / same_n > other / other_n) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.8)
+      << "inductive embeddings must side with their own class";
+}
+
+TEST(InductiveTest, ApproximatesTransductiveEmbedding) {
+  auto& f = Fixture();
+  Rng rng(3);
+  const DenseMatrix& trained = f.model->embeddings();
+  // The synthetic contexts differ from the training walks, so exact
+  // equality is impossible — but the inductive vector should correlate
+  // positively with the node's own trained embedding for most nodes.
+  int positive = 0, total = 0;
+  for (NodeId v = 0; v < 30; ++v) {
+    if (f.net.graph.Degree(v) == 0) continue;
+    InductiveOptions opt;
+    opt.num_contexts = 60;
+    auto z = EncodeUnseenNode(*f.model, f.net.graph, AsUnseen(f.net, v),
+                              opt, &rng);
+    ASSERT_TRUE(z.ok());
+    ++total;
+    if (CosineSimilarity(z.value().data(), trained.Row(v), 16) > 0.0) {
+      ++positive;
+    }
+  }
+  EXPECT_GT(static_cast<double>(positive) / total, 0.8);
+}
+
+TEST(InductiveTest, Validation) {
+  auto& f = Fixture();
+  Rng rng(4);
+  UnseenNode no_neighbors;
+  no_neighbors.attributes = {{0, 1.0f}};
+  EXPECT_FALSE(EncodeUnseenNode(*f.model, f.net.graph, no_neighbors,
+                                InductiveOptions{}, &rng)
+                   .ok());
+  UnseenNode bad_neighbor;
+  bad_neighbor.neighbors = {9999};
+  EXPECT_FALSE(EncodeUnseenNode(*f.model, f.net.graph, bad_neighbor,
+                                InductiveOptions{}, &rng)
+                   .ok());
+  UnseenNode bad_attr;
+  bad_attr.neighbors = {0};
+  bad_attr.attributes = {{100000, 1.0f}};
+  EXPECT_FALSE(EncodeUnseenNode(*f.model, f.net.graph, bad_attr,
+                                InductiveOptions{}, &rng)
+                   .ok());
+  UnseenNode ok_node;
+  ok_node.neighbors = {0};
+  ok_node.attributes = {{0, 1.0f}};
+  InductiveOptions bad_opt;
+  bad_opt.num_contexts = 0;
+  EXPECT_FALSE(
+      EncodeUnseenNode(*f.model, f.net.graph, ok_node, bad_opt, &rng).ok());
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,91 @@
+#include "datasets/attributed_ba.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph_stats.h"
+
+namespace coane {
+namespace {
+
+AttributedBaConfig SmallConfig() {
+  AttributedBaConfig c;
+  c.num_nodes = 300;
+  c.num_classes = 3;
+  c.num_attributes = 120;
+  c.circles_per_class = 3;
+  c.edges_per_node = 4;
+  c.seed = 81;
+  return c;
+}
+
+TEST(AttributedBaTest, ShapeMatchesConfig) {
+  auto net = GenerateAttributedBa(SmallConfig());
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  const Graph& g = net.value().graph;
+  EXPECT_EQ(g.num_nodes(), 300);
+  EXPECT_EQ(g.num_attributes(), 120);
+  EXPECT_EQ(g.num_classes(), 3);
+  // Each arriving node adds up to 4 edges.
+  EXPECT_GE(g.num_edges(), 250);
+  EXPECT_LE(g.num_edges(), 4 * 300);
+}
+
+TEST(AttributedBaTest, HeavyTailedDegrees) {
+  // Preferential attachment: the max degree should be far above the mean —
+  // the property the SBM generator lacks.
+  auto net = GenerateAttributedBa(SmallConfig()).ValueOrDie();
+  GraphStats stats = ComputeGraphStats(net.graph);
+  EXPECT_GT(static_cast<double>(stats.max_degree), 4.0 * stats.avg_degree);
+  EXPECT_EQ(stats.num_isolated, 0) << "every arriving node attaches";
+}
+
+TEST(AttributedBaTest, Homophilous) {
+  auto net = GenerateAttributedBa(SmallConfig()).ValueOrDie();
+  GraphStats stats = ComputeGraphStats(net.graph);
+  // Boost 8 with 3 classes: same-class edges must clearly dominate the
+  // 1/3 random baseline.
+  EXPECT_GT(stats.label_homophily, 0.6);
+}
+
+TEST(AttributedBaTest, DeterministicGivenSeed) {
+  auto a = GenerateAttributedBa(SmallConfig()).ValueOrDie();
+  auto b = GenerateAttributedBa(SmallConfig()).ValueOrDie();
+  EXPECT_EQ(a.graph.UndirectedEdges(), b.graph.UndirectedEdges());
+  EXPECT_EQ(a.graph.labels(), b.graph.labels());
+}
+
+TEST(AttributedBaTest, SharesAttributeModelWithSbm) {
+  auto net = GenerateAttributedBa(SmallConfig()).ValueOrDie();
+  // Same planted ground truth layout as the SBM generator.
+  EXPECT_EQ(net.circle_members.size(), 9u);
+  EXPECT_EQ(net.class_attributes.size(), 3u);
+  for (NodeId v = 0; v < net.graph.num_nodes(); ++v) {
+    EXPECT_GE(net.graph.attributes().RowNnz(v), 1);
+  }
+  for (size_t c = 0; c < net.circle_members.size(); ++c) {
+    for (NodeId v : net.circle_members[c]) {
+      EXPECT_EQ(net.graph.labels()[static_cast<size_t>(v)],
+                net.circle_class[c]);
+    }
+  }
+}
+
+TEST(AttributedBaTest, InvalidConfigsRejected) {
+  AttributedBaConfig c = SmallConfig();
+  c.num_nodes = 1;
+  EXPECT_FALSE(GenerateAttributedBa(c).ok());
+  c = SmallConfig();
+  c.edges_per_node = 0;
+  EXPECT_FALSE(GenerateAttributedBa(c).ok());
+  c = SmallConfig();
+  c.homophily_boost = 0.0;
+  EXPECT_FALSE(GenerateAttributedBa(c).ok());
+  c = SmallConfig();
+  c.num_attributes = 5;
+  EXPECT_FALSE(GenerateAttributedBa(c).ok());
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,88 @@
+#include "datasets/dataset_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+
+namespace coane {
+namespace {
+
+TEST(DatasetRegistryTest, ListsAllEight) {
+  auto names = ListDatasets();
+  EXPECT_EQ(names.size(), 8u);
+  EXPECT_EQ(names[0], "cora");
+  EXPECT_EQ(names.back(), "flickr");
+}
+
+TEST(DatasetRegistryTest, PaperStatsMatchTable1) {
+  auto cora = GetPaperStats("cora");
+  ASSERT_TRUE(cora.ok());
+  EXPECT_EQ(cora.value().num_nodes, 2708);
+  EXPECT_EQ(cora.value().num_attributes, 1433);
+  EXPECT_EQ(cora.value().num_edges, 5278);
+  EXPECT_EQ(cora.value().num_labels, 7);
+
+  auto flickr = GetPaperStats("flickr");
+  ASSERT_TRUE(flickr.ok());
+  EXPECT_EQ(flickr.value().num_nodes, 7575);
+  EXPECT_EQ(flickr.value().num_labels, 9);
+}
+
+TEST(DatasetRegistryTest, UnknownNameFails) {
+  EXPECT_FALSE(GetPaperStats("nope").ok());
+  EXPECT_FALSE(GetDatasetConfig("nope").ok());
+  EXPECT_FALSE(MakeDataset("nope").ok());
+}
+
+TEST(DatasetRegistryTest, ScaledDatasetShrinks) {
+  auto net = MakeDataset("cora", 0.1, 1);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  const Graph& g = net.value().graph;
+  EXPECT_NEAR(g.num_nodes(), 271, 5);
+  EXPECT_EQ(g.num_classes(), 7);
+  // Average degree is preserved under scaling.
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_NEAR(stats.avg_degree, 2.0 * 5278 / 2708.0, 1.0);
+}
+
+TEST(DatasetRegistryTest, InvalidScaleFails) {
+  EXPECT_FALSE(MakeDataset("cora", 0.0).ok());
+  EXPECT_FALSE(MakeDataset("cora", 1.5).ok());
+}
+
+TEST(DatasetRegistryTest, WebKbAtFullScaleMatchesPaperShape) {
+  auto net = MakeDataset("webkb-cornell", 1.0, 2);
+  ASSERT_TRUE(net.ok());
+  const Graph& g = net.value().graph;
+  EXPECT_EQ(g.num_nodes(), 195);
+  EXPECT_EQ(g.num_attributes(), 1703);
+  EXPECT_EQ(g.num_classes(), 5);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 286.0, 40.0);
+}
+
+TEST(DatasetRegistryTest, DefaultBenchScales) {
+  EXPECT_DOUBLE_EQ(DefaultBenchScale("webkb-cornell"), 1.0);
+  EXPECT_LT(DefaultBenchScale("pubmed"), 0.1);
+  EXPECT_LT(DefaultBenchScale("flickr"), 0.1);
+  EXPECT_LT(DefaultBenchScale("cora"), 0.5);
+}
+
+TEST(DatasetRegistryTest, WebKbNetworksListsFour) {
+  auto nets = WebKbNetworks();
+  EXPECT_EQ(nets.size(), 4u);
+  for (const auto& name : nets) {
+    EXPECT_TRUE(GetPaperStats(name).ok()) << name;
+  }
+}
+
+TEST(DatasetRegistryTest, MinimumSizesEnforcedAtTinyScale) {
+  // Even a microscopic scale keeps enough nodes/attributes for the planted
+  // structure.
+  auto net = MakeDataset("pubmed", 0.002, 3);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  EXPECT_GE(net.value().graph.num_nodes(),
+            3 * 4 * 4);  // classes * circles * 4
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,124 @@
+#include "datasets/planted_structure.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace coane {
+namespace {
+
+std::vector<int32_t> MakeLabels(int n, int classes, Rng* rng) {
+  std::vector<int32_t> labels(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    labels[static_cast<size_t>(i)] =
+        i < classes ? i : static_cast<int32_t>(rng->UniformInt(classes));
+  }
+  return labels;
+}
+
+TEST(AssignCirclesTest, EveryNodeInOneOrTwoCirclesOfItsClass) {
+  Rng rng(1);
+  auto labels = MakeLabels(200, 3, &rng);
+  AttributedNetwork out;
+  auto node_circles = AssignCircles(labels, 3, 4, 0.5, &rng, &out);
+  ASSERT_EQ(out.circle_members.size(), 12u);
+  ASSERT_EQ(node_circles.size(), 200u);
+  int second_circle_count = 0;
+  for (size_t v = 0; v < node_circles.size(); ++v) {
+    ASSERT_GE(node_circles[v].size(), 1u);
+    ASSERT_LE(node_circles[v].size(), 2u);
+    if (node_circles[v].size() == 2) ++second_circle_count;
+    for (int32_t c : node_circles[v]) {
+      EXPECT_EQ(out.circle_class[static_cast<size_t>(c)], labels[v]);
+    }
+  }
+  // P(second) = 0.5 over 200 nodes: expect a healthy count.
+  EXPECT_GT(second_circle_count, 60);
+  EXPECT_LT(second_circle_count, 140);
+}
+
+TEST(AssignCirclesTest, MembershipListsConsistent) {
+  Rng rng(2);
+  auto labels = MakeLabels(100, 2, &rng);
+  AttributedNetwork out;
+  auto node_circles = AssignCircles(labels, 2, 3, 0.3, &rng, &out);
+  // circle_members must be the inverse of node_circles.
+  for (size_t c = 0; c < out.circle_members.size(); ++c) {
+    for (NodeId v : out.circle_members[c]) {
+      bool found = false;
+      for (int32_t vc : node_circles[static_cast<size_t>(v)]) {
+        if (vc == static_cast<int32_t>(c)) found = true;
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(AssignCirclesTest, SingleCirclePerClassNoSecond) {
+  Rng rng(3);
+  auto labels = MakeLabels(50, 2, &rng);
+  AttributedNetwork out;
+  auto node_circles = AssignCircles(labels, 2, 1, 0.9, &rng, &out);
+  for (const auto& circles : node_circles) {
+    EXPECT_EQ(circles.size(), 1u)
+        << "with one circle per class, a second membership is impossible";
+  }
+}
+
+TEST(ValidateTopicParamsTest, Budget) {
+  TopicAttributeParams p;
+  p.num_attributes = 100;
+  p.attrs_per_circle = 8;
+  p.attrs_per_class = 6;
+  EXPECT_TRUE(ValidateTopicParams(p, 2, 3).ok());   // 2*(24+6)=60
+  EXPECT_FALSE(ValidateTopicParams(p, 4, 3).ok());  // 4*30=120 > 100
+  p.circle_attr_pool_fraction = 0.0;
+  EXPECT_FALSE(ValidateTopicParams(p, 2, 3).ok());
+}
+
+TEST(GenerateTopicAttributesTest, ShapeAndGuarantees) {
+  Rng rng(4);
+  auto labels = MakeLabels(150, 3, &rng);
+  AttributedNetwork out;
+  auto node_circles = AssignCircles(labels, 3, 3, 0.3, &rng, &out);
+  TopicAttributeParams params;
+  params.num_attributes = 120;
+  SparseMatrix x = GenerateTopicAttributes(params, labels, 3, node_circles,
+                                           &rng, &out);
+  EXPECT_EQ(x.rows(), 150);
+  EXPECT_EQ(x.cols(), 120);
+  for (int64_t v = 0; v < x.rows(); ++v) {
+    EXPECT_GE(x.RowNnz(v), 1);
+  }
+  EXPECT_EQ(out.class_attributes.size(), 3u);
+  EXPECT_EQ(out.circle_attributes.size(), 9u);
+  // Class and circle attribute namespaces are disjoint.
+  std::set<int64_t> class_attrs;
+  for (const auto& ca : out.class_attributes) {
+    class_attrs.insert(ca.begin(), ca.end());
+  }
+  for (const auto& ca : out.circle_attributes) {
+    for (int64_t a : ca) EXPECT_EQ(class_attrs.count(a), 0u);
+  }
+}
+
+TEST(GenerateTopicAttributesTest, ZeroActivationStillGivesFallback) {
+  // With activation probability 0 every node falls back to exactly one
+  // owned circle attribute (plus Poisson noise at 0 expected).
+  Rng rng(5);
+  auto labels = MakeLabels(40, 2, &rng);
+  AttributedNetwork out;
+  auto node_circles = AssignCircles(labels, 2, 2, 0.0, &rng, &out);
+  TopicAttributeParams params;
+  params.num_attributes = 80;
+  params.topic_active_prob = 0.0;
+  params.noise_attrs_per_node = 0.0;
+  SparseMatrix x = GenerateTopicAttributes(params, labels, 2, node_circles,
+                                           &rng, &out);
+  for (int64_t v = 0; v < x.rows(); ++v) {
+    EXPECT_EQ(x.RowNnz(v), 1) << "fallback guarantees exactly one";
+  }
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "eval/kmeans.h"
+#include "eval/nmi.h"
+
+namespace coane {
+namespace {
+
+// Three tight blobs; k-means must recover them exactly.
+DenseMatrix ThreeBlobs(std::vector<int32_t>* truth, Rng* rng) {
+  const int per = 40;
+  DenseMatrix x(3 * per, 2);
+  truth->resize(3 * per);
+  const float cx[] = {0, 10, 0};
+  const float cy[] = {0, 0, 10};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per; ++i) {
+      const int64_t row = c * per + i;
+      x.At(row, 0) = cx[c] + static_cast<float>(rng->Normal(0, 0.3));
+      x.At(row, 1) = cy[c] + static_cast<float>(rng->Normal(0, 0.3));
+      (*truth)[static_cast<size_t>(row)] = c;
+    }
+  }
+  return x;
+}
+
+TEST(KMeansTest, RecoversBlobs) {
+  Rng rng(1);
+  std::vector<int32_t> truth;
+  DenseMatrix x = ThreeBlobs(&truth, &rng);
+  auto result = RunKMeans(x, 3, KMeansConfig{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(NormalizedMutualInformation(result.value().assignment, truth),
+              1.0, 1e-9);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(2);
+  std::vector<int32_t> truth;
+  DenseMatrix x = ThreeBlobs(&truth, &rng);
+  auto k1 = RunKMeans(x, 1, KMeansConfig{}).ValueOrDie();
+  auto k3 = RunKMeans(x, 3, KMeansConfig{}).ValueOrDie();
+  EXPECT_LT(k3.inertia, k1.inertia * 0.1);
+}
+
+TEST(KMeansTest, Validation) {
+  DenseMatrix x(3, 2, 0.0f);
+  EXPECT_FALSE(RunKMeans(x, 0, KMeansConfig{}).ok());
+  EXPECT_FALSE(RunKMeans(x, 4, KMeansConfig{}).ok());
+  KMeansConfig cfg;
+  cfg.num_restarts = 0;
+  EXPECT_FALSE(RunKMeans(x, 2, cfg).ok());
+}
+
+TEST(KMeansTest, KEqualsNIsPerfect) {
+  DenseMatrix x(4, 1);
+  for (int i = 0; i < 4; ++i) x.At(i, 0) = static_cast<float>(i * 10);
+  auto result = RunKMeans(x, 4, KMeansConfig{}).ValueOrDie();
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  Rng rng(3);
+  std::vector<int32_t> truth;
+  DenseMatrix x = ThreeBlobs(&truth, &rng);
+  KMeansConfig cfg;
+  cfg.seed = 77;
+  auto a = RunKMeans(x, 3, cfg).ValueOrDie();
+  auto b = RunKMeans(x, 3, cfg).ValueOrDie();
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(NmiTest, IdenticalLabelingsScoreOne) {
+  std::vector<int32_t> a = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(NormalizedMutualInformation(a, a), 1.0, 1e-12);
+}
+
+TEST(NmiTest, PermutedLabelsStillOne) {
+  std::vector<int32_t> a = {0, 0, 1, 1, 2, 2};
+  std::vector<int32_t> b = {5, 5, 9, 9, 7, 7};
+  EXPECT_NEAR(NormalizedMutualInformation(a, b), 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentLabelingsScoreLow) {
+  // a splits first/second half; b alternates -> zero MI.
+  std::vector<int32_t> a = {0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<int32_t> b = {0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_NEAR(NormalizedMutualInformation(a, b), 0.0, 1e-12);
+}
+
+TEST(NmiTest, TrivialPartitions) {
+  std::vector<int32_t> flat = {0, 0, 0};
+  std::vector<int32_t> split = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(flat, flat), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(flat, split), 0.0);
+}
+
+TEST(NmiTest, SymmetricInArguments) {
+  std::vector<int32_t> a = {0, 0, 1, 1, 2, 0};
+  std::vector<int32_t> b = {1, 1, 0, 2, 2, 1};
+  EXPECT_NEAR(NormalizedMutualInformation(a, b),
+              NormalizedMutualInformation(b, a), 1e-12);
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,111 @@
+#include "eval/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace coane {
+namespace {
+
+// Linearly separable 2-D data: y = 1 iff x0 + x1 > 0.
+void MakeSeparable(int n, Rng* rng, DenseMatrix* x, std::vector<int>* y) {
+  *x = DenseMatrix(n, 2);
+  y->resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const float a = static_cast<float>(rng->Uniform(-1, 1));
+    const float b = static_cast<float>(rng->Uniform(-1, 1));
+    x->At(i, 0) = a;
+    x->At(i, 1) = b;
+    (*y)[static_cast<size_t>(i)] = (a + b > 0) ? 1 : 0;
+  }
+}
+
+TEST(LogisticRegressionTest, FitsSeparableData) {
+  Rng rng(1);
+  DenseMatrix x;
+  std::vector<int> y;
+  MakeSeparable(200, &rng, &x, &y);
+  LogisticRegression model;
+  LogisticRegressionConfig cfg;
+  ASSERT_TRUE(model.Fit(x, y, cfg).ok());
+  int correct = 0;
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    correct += model.Predict(x.Row(i)) == y[static_cast<size_t>(i)];
+  }
+  EXPECT_GT(static_cast<double>(correct) / x.rows(), 0.95);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesAreCalibratedDirectionally) {
+  Rng rng(2);
+  DenseMatrix x;
+  std::vector<int> y;
+  MakeSeparable(200, &rng, &x, &y);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(x, y, LogisticRegressionConfig{}).ok());
+  float deep_pos[2] = {1.0f, 1.0f};
+  float deep_neg[2] = {-1.0f, -1.0f};
+  EXPECT_GT(model.PredictProba(deep_pos), 0.9);
+  EXPECT_LT(model.PredictProba(deep_neg), 0.1);
+}
+
+TEST(LogisticRegressionTest, ValidatesInput) {
+  LogisticRegression model;
+  DenseMatrix x(2, 2, 1.0f);
+  EXPECT_FALSE(model.Fit(x, {1}, LogisticRegressionConfig{}).ok());
+  EXPECT_FALSE(model.Fit(x, {1, 2}, LogisticRegressionConfig{}).ok());
+  DenseMatrix empty(0, 2);
+  EXPECT_FALSE(model.Fit(empty, {}, LogisticRegressionConfig{}).ok());
+}
+
+TEST(LogisticRegressionTest, L2ShrinksWeights) {
+  Rng rng(3);
+  DenseMatrix x;
+  std::vector<int> y;
+  MakeSeparable(100, &rng, &x, &y);
+  LogisticRegression weak, strong;
+  LogisticRegressionConfig cfg;
+  cfg.l2 = 1e-6f;
+  ASSERT_TRUE(weak.Fit(x, y, cfg).ok());
+  cfg.l2 = 1.0f;
+  ASSERT_TRUE(strong.Fit(x, y, cfg).ok());
+  const double weak_norm = std::abs(weak.weights()[0]) +
+                           std::abs(weak.weights()[1]);
+  const double strong_norm = std::abs(strong.weights()[0]) +
+                             std::abs(strong.weights()[1]);
+  EXPECT_LT(strong_norm, weak_norm);
+}
+
+TEST(OneVsRestTest, FitsThreeClasses) {
+  // Three Gaussian blobs at (0,0), (5,0), (0,5).
+  Rng rng(4);
+  const int per_class = 60;
+  DenseMatrix x(3 * per_class, 2);
+  std::vector<int32_t> y(3 * per_class);
+  const float cx[] = {0, 5, 0};
+  const float cy[] = {0, 0, 5};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      const int64_t row = c * per_class + i;
+      x.At(row, 0) = cx[c] + static_cast<float>(rng.Normal(0, 0.5));
+      x.At(row, 1) = cy[c] + static_cast<float>(rng.Normal(0, 0.5));
+      y[static_cast<size_t>(row)] = c;
+    }
+  }
+  OneVsRestClassifier clf;
+  ASSERT_TRUE(clf.Fit(x, y, 3, LogisticRegressionConfig{}).ok());
+  auto pred = clf.PredictBatch(x);
+  int correct = 0;
+  for (size_t i = 0; i < y.size(); ++i) correct += pred[i] == y[i];
+  EXPECT_GT(static_cast<double>(correct) / y.size(), 0.95);
+}
+
+TEST(OneVsRestTest, ValidatesInput) {
+  OneVsRestClassifier clf;
+  DenseMatrix x(2, 2, 1.0f);
+  EXPECT_FALSE(clf.Fit(x, {0, 1}, 1, LogisticRegressionConfig{}).ok());
+  EXPECT_FALSE(clf.Fit(x, {0, 5}, 3, LogisticRegressionConfig{}).ok());
+  EXPECT_FALSE(clf.Fit(x, {0}, 2, LogisticRegressionConfig{}).ok());
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,115 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace coane {
+namespace {
+
+TEST(F1Test, PerfectPrediction) {
+  std::vector<int32_t> y = {0, 1, 2, 1, 0};
+  F1Scores f1 = ComputeF1(y, y, 3);
+  EXPECT_DOUBLE_EQ(f1.macro, 1.0);
+  EXPECT_DOUBLE_EQ(f1.micro, 1.0);
+}
+
+TEST(F1Test, KnownConfusion) {
+  // truth:  0 0 1 1
+  // pred:   0 1 1 1
+  // class 0: tp=1 fp=0 fn=1 -> f1 = 2/3
+  // class 1: tp=2 fp=1 fn=0 -> f1 = 4/5
+  std::vector<int32_t> y_true = {0, 0, 1, 1};
+  std::vector<int32_t> y_pred = {0, 1, 1, 1};
+  F1Scores f1 = ComputeF1(y_true, y_pred, 2);
+  EXPECT_NEAR(f1.macro, (2.0 / 3.0 + 4.0 / 5.0) / 2.0, 1e-12);
+  // micro: tp=3 fp=1 fn=1 -> 6/8.
+  EXPECT_NEAR(f1.micro, 0.75, 1e-12);
+}
+
+TEST(F1Test, AbsentClassContributesZeroToMacro) {
+  std::vector<int32_t> y_true = {0, 0};
+  std::vector<int32_t> y_pred = {0, 0};
+  F1Scores f1 = ComputeF1(y_true, y_pred, 3);
+  EXPECT_NEAR(f1.macro, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f1.micro, 1.0);
+}
+
+TEST(AccuracyTest, Basic) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 0, 3}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(RocAucTest, PerfectSeparation) {
+  std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 1.0);
+}
+
+TEST(RocAucTest, PerfectlyWrong) {
+  std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.0);
+}
+
+TEST(RocAucTest, RandomIsHalf) {
+  // All scores tied: AUC = 0.5 by the average-rank convention.
+  std::vector<double> scores(10, 0.5);
+  std::vector<int> labels = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.5);
+}
+
+TEST(RocAucTest, KnownPartialValue) {
+  // scores: pos {0.8, 0.3}, neg {0.5, 0.1}.
+  // Pairs: (0.8>0.5) (0.8>0.1) (0.3<0.5) (0.3>0.1) -> 3/4.
+  std::vector<double> scores = {0.8, 0.3, 0.5, 0.1};
+  std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.75);
+}
+
+TEST(RocAucTest, DegenerateSingleClass) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {0, 0}), 0.5);
+}
+
+TEST(SilhouetteTest, WellSeparatedClustersScoreHigh) {
+  DenseMatrix pts(6, 2);
+  // Cluster 0 near origin; cluster 1 near (10, 10).
+  float coords[] = {0, 0, 0.5, 0, 0, 0.5, 10, 10, 10.5, 10, 10, 10.5};
+  for (int i = 0; i < 12; ++i) pts.data()[i] = coords[i];
+  std::vector<int32_t> assign = {0, 0, 0, 1, 1, 1};
+  EXPECT_GT(SilhouetteScore(pts, assign), 0.9);
+}
+
+TEST(SilhouetteTest, RandomAssignmentScoresLow) {
+  DenseMatrix pts(6, 2);
+  float coords[] = {0, 0, 0.5, 0, 0, 0.5, 10, 10, 10.5, 10, 10, 10.5};
+  for (int i = 0; i < 12; ++i) pts.data()[i] = coords[i];
+  std::vector<int32_t> assign = {0, 1, 0, 1, 0, 1};
+  EXPECT_LT(SilhouetteScore(pts, assign), 0.1);
+}
+
+TEST(SilhouetteTest, DegenerateCases) {
+  DenseMatrix pts(3, 1, 0.0f);
+  EXPECT_DOUBLE_EQ(SilhouetteScore(pts, {0, 0, 0}), 0.0);
+  DenseMatrix one(1, 1, 0.0f);
+  EXPECT_DOUBLE_EQ(SilhouetteScore(one, {0}), 0.0);
+}
+
+TEST(IntraInterTest, SeparatedClustersHaveLowRatio) {
+  DenseMatrix pts(4, 1);
+  pts.At(0, 0) = 0.0f;
+  pts.At(1, 0) = 1.0f;
+  pts.At(2, 0) = 100.0f;
+  pts.At(3, 0) = 101.0f;
+  std::vector<int32_t> assign = {0, 0, 1, 1};
+  const double ratio = IntraInterDistanceRatio(pts, assign);
+  EXPECT_GT(ratio, 0.0);
+  EXPECT_LT(ratio, 0.05);
+}
+
+TEST(IntraInterTest, DegenerateReturnsZero) {
+  DenseMatrix pts(2, 1, 0.0f);
+  EXPECT_DOUBLE_EQ(IntraInterDistanceRatio(pts, {0, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace coane

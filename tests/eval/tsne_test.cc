@@ -1,0 +1,79 @@
+#include "eval/tsne.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace coane {
+namespace {
+
+TEST(TsneTest, Validation) {
+  DenseMatrix tiny(3, 2, 0.0f);
+  EXPECT_FALSE(RunTsne(tiny, TsneConfig{}).ok());
+  DenseMatrix x(50, 4, 0.0f);
+  TsneConfig cfg;
+  cfg.perplexity = 30.0;  // 3*30 >= 50
+  EXPECT_FALSE(RunTsne(x, cfg).ok());
+  cfg.perplexity = 5.0;
+  cfg.output_dim = 0;
+  EXPECT_FALSE(RunTsne(x, cfg).ok());
+}
+
+TEST(TsneTest, OutputShapeAndFinite) {
+  Rng rng(1);
+  DenseMatrix x(60, 8);
+  x.GaussianInit(&rng, 0.0f, 1.0f);
+  TsneConfig cfg;
+  cfg.perplexity = 10.0;
+  cfg.iterations = 100;
+  auto y = RunTsne(x, cfg);
+  ASSERT_TRUE(y.ok()) << y.status().ToString();
+  EXPECT_EQ(y.value().rows(), 60);
+  EXPECT_EQ(y.value().cols(), 2);
+  for (int64_t i = 0; i < y.value().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(y.value().data()[i]));
+  }
+}
+
+TEST(TsneTest, PreservesClusterStructure) {
+  // Two well-separated blobs in 10-D must remain separated in 2-D.
+  Rng rng(2);
+  const int per = 30;
+  DenseMatrix x(2 * per, 10);
+  std::vector<int32_t> labels(2 * per);
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < per; ++i) {
+      const int64_t row = c * per + i;
+      for (int64_t j = 0; j < 10; ++j) {
+        x.At(row, j) = static_cast<float>(rng.Normal(c * 8.0, 0.5));
+      }
+      labels[static_cast<size_t>(row)] = c;
+    }
+  }
+  TsneConfig cfg;
+  cfg.perplexity = 8.0;
+  cfg.iterations = 250;
+  auto y = RunTsne(x, cfg).ValueOrDie();
+  EXPECT_GT(SilhouetteScore(y, labels), 0.5);
+}
+
+TEST(TsneTest, OutputIsCentered) {
+  Rng rng(3);
+  DenseMatrix x(40, 5);
+  x.GaussianInit(&rng, 0.0f, 1.0f);
+  TsneConfig cfg;
+  cfg.perplexity = 8.0;
+  cfg.iterations = 50;
+  auto y = RunTsne(x, cfg).ValueOrDie();
+  for (int64_t k = 0; k < 2; ++k) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < y.rows(); ++i) mean += y.At(i, k);
+    EXPECT_NEAR(mean / y.rows(), 0.0, 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,148 @@
+#include "graph/edge_split.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_stats.h"
+
+namespace coane {
+namespace {
+
+// A ring of n nodes plus chords, connected by construction.
+Graph MakeRing(int n, int chords = 0) {
+  GraphBuilder b(n);
+  for (int i = 0; i < n; ++i) {
+    b.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  }
+  for (int i = 0; i < chords; ++i) {
+    int u = i;
+    int v = (i + n / 2) % n;
+    if (u != v) b.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return std::move(b).Build().ValueOrDie();
+}
+
+TEST(EdgeSplitTest, FractionsRespected) {
+  Graph g = MakeRing(100, 50);
+  Rng rng(1);
+  EdgeSplitOptions opt;
+  opt.val_fraction = 0.1;
+  opt.test_fraction = 0.2;
+  auto split = SplitEdges(g, opt, &rng);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  const LinkSplit& s = split.value();
+  const int64_t m = g.num_edges();
+  EXPECT_EQ(static_cast<int64_t>(s.train_pos.size() + s.val_pos.size() +
+                                 s.test_pos.size()),
+            m);
+  EXPECT_NEAR(static_cast<double>(s.test_pos.size()) / m, 0.2, 0.05);
+  EXPECT_NEAR(static_cast<double>(s.val_pos.size()) / m, 0.1, 0.05);
+}
+
+TEST(EdgeSplitTest, TrainGraphHasOnlyTrainEdges) {
+  Graph g = MakeRing(60, 30);
+  Rng rng(2);
+  auto split = SplitEdges(g, EdgeSplitOptions{}, &rng);
+  ASSERT_TRUE(split.ok());
+  const LinkSplit& s = split.value();
+  EXPECT_EQ(s.train_graph.num_edges(),
+            static_cast<int64_t>(s.train_pos.size()));
+  for (const auto& [u, v] : s.train_pos) {
+    EXPECT_TRUE(s.train_graph.HasEdge(u, v));
+  }
+  for (const auto& [u, v] : s.test_pos) {
+    EXPECT_FALSE(s.train_graph.HasEdge(u, v));
+    EXPECT_TRUE(g.HasEdge(u, v)) << "test positives are real edges";
+  }
+}
+
+TEST(EdgeSplitTest, SpanningForestKeepsNodesCovered) {
+  Graph g = MakeRing(80, 40);
+  Rng rng(3);
+  auto split = SplitEdges(g, EdgeSplitOptions{}, &rng);
+  ASSERT_TRUE(split.ok());
+  // Original graph is connected, so train graph must have no isolated node.
+  GraphStats stats = ComputeGraphStats(split.value().train_graph);
+  EXPECT_EQ(stats.num_isolated, 0);
+  EXPECT_EQ(CountConnectedComponents(split.value().train_graph), 1);
+}
+
+TEST(EdgeSplitTest, NegativesAreNonEdgesAndDisjoint) {
+  Graph g = MakeRing(50, 25);
+  Rng rng(4);
+  auto split = SplitEdges(g, EdgeSplitOptions{}, &rng);
+  ASSERT_TRUE(split.ok());
+  const LinkSplit& s = split.value();
+  EXPECT_EQ(s.train_neg.size(), s.train_pos.size());
+  EXPECT_EQ(s.val_neg.size(), s.val_pos.size());
+  EXPECT_EQ(s.test_neg.size(), s.test_pos.size());
+  std::set<std::pair<NodeId, NodeId>> all_neg;
+  for (const auto* negs : {&s.train_neg, &s.val_neg, &s.test_neg}) {
+    for (const auto& [u, v] : *negs) {
+      EXPECT_FALSE(g.HasEdge(u, v));
+      EXPECT_LT(u, v);
+      EXPECT_TRUE(all_neg.insert({u, v}).second) << "duplicate negative";
+    }
+  }
+}
+
+TEST(EdgeSplitTest, InvalidFractionsFail) {
+  Graph g = MakeRing(10);
+  Rng rng(5);
+  EdgeSplitOptions opt;
+  opt.val_fraction = 0.6;
+  opt.test_fraction = 0.5;
+  auto split = SplitEdges(g, opt, &rng);
+  EXPECT_FALSE(split.ok());
+}
+
+TEST(EdgeSplitTest, EmptyGraphFails) {
+  GraphBuilder b(5);
+  Graph g = std::move(b).Build().ValueOrDie();
+  Rng rng(6);
+  auto split = SplitEdges(g, EdgeSplitOptions{}, &rng);
+  EXPECT_FALSE(split.ok());
+  EXPECT_EQ(split.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EdgeSplitTest, DeterministicGivenSeed) {
+  Graph g = MakeRing(40, 20);
+  Rng rng1(7), rng2(7);
+  auto s1 = SplitEdges(g, EdgeSplitOptions{}, &rng1);
+  auto s2 = SplitEdges(g, EdgeSplitOptions{}, &rng2);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(s1.value().test_pos, s2.value().test_pos);
+  EXPECT_EQ(s1.value().train_neg, s2.value().train_neg);
+}
+
+TEST(SampleNegativeEdgesTest, RespectsExclusions) {
+  Graph g = MakeRing(30);
+  Rng rng(8);
+  std::vector<std::pair<NodeId, NodeId>> exclude = {{0, 5}, {1, 7}};
+  auto negs = SampleNegativeEdges(g, 50, exclude, &rng);
+  ASSERT_TRUE(negs.ok());
+  EXPECT_EQ(negs.value().size(), 50u);
+  for (const auto& p : negs.value()) {
+    EXPECT_FALSE(g.HasEdge(p.first, p.second));
+    for (const auto& e : exclude) EXPECT_NE(p, e);
+  }
+}
+
+TEST(SampleNegativeEdgesTest, TooDenseFails) {
+  // Complete graph on 5 nodes: no negatives exist.
+  GraphBuilder b(5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      b.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  Graph g = std::move(b).Build().ValueOrDie();
+  Rng rng(9);
+  auto negs = SampleNegativeEdges(g, 3, {}, &rng);
+  EXPECT_FALSE(negs.ok());
+}
+
+}  // namespace
+}  // namespace coane

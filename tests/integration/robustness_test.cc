@@ -1,0 +1,151 @@
+// Failure-injection and degenerate-input tests: corrupted files, extreme
+// configurations, and pathological graphs must produce clean Status errors
+// or sensible results — never crashes or silent corruption.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/coane_model.h"
+#include "datasets/attributed_sbm.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+
+namespace coane {
+namespace {
+
+AttributedNetwork TinyNet() {
+  AttributedSbmConfig c;
+  c.num_nodes = 60;
+  c.num_classes = 2;
+  c.num_attributes = 60;
+  c.circles_per_class = 2;
+  c.seed = 71;
+  return GenerateAttributedSbm(c).ValueOrDie();
+}
+
+CoaneConfig TinyConfig() {
+  CoaneConfig c;
+  c.walk_length = 10;
+  c.embedding_dim = 8;
+  c.num_negative = 3;
+  c.max_epochs = 2;
+  c.batch_size = 16;
+  c.decoder_hidden = {16};
+  return c;
+}
+
+TEST(RobustnessTest, CorruptedEdgeFilesRejected) {
+  const std::string path = "/tmp/coane_robust_edges.txt";
+  const std::vector<std::string> bad_contents = {
+      "0 1\nnot numbers here\n",     // garbage tokens
+      "0\n",                          // too few fields
+      "0 1 2 3 4\n",                  // too many fields
+      "0 1\n1 1\n",                   // self loop
+      "0 -3\n",                       // negative id
+      "0 1 0\n",                      // zero weight
+  };
+  for (const std::string& contents : bad_contents) {
+    {
+      std::ofstream out(path);
+      out << contents;
+    }
+    auto g = LoadEdgeList(path);
+    EXPECT_FALSE(g.ok()) << "accepted: " << contents;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, BatchLargerThanGraph) {
+  AttributedNetwork net = TinyNet();
+  CoaneConfig cfg = TinyConfig();
+  cfg.batch_size = 100000;  // one batch containing every node
+  auto z = TrainCoaneEmbeddings(net.graph, cfg);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  EXPECT_EQ(z.value().rows(), 60);
+}
+
+TEST(RobustnessTest, WalkLengthOne) {
+  AttributedNetwork net = TinyNet();
+  CoaneConfig cfg = TinyConfig();
+  cfg.walk_length = 1;  // every walk is just the start node
+  cfg.context_size = 3;
+  auto z = TrainCoaneEmbeddings(net.graph, cfg);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+}
+
+TEST(RobustnessTest, ZeroNegativesAndZeroEpochs) {
+  AttributedNetwork net = TinyNet();
+  CoaneConfig cfg = TinyConfig();
+  cfg.num_negative = 0;
+  cfg.max_epochs = 0;  // preprocessing only; embeddings from init filters
+  auto z = TrainCoaneEmbeddings(net.graph, cfg);
+  ASSERT_TRUE(z.ok());
+  EXPECT_GT(z.value().FrobeniusNorm(), 0.0)
+      << "untrained encoder still produces non-zero pooled features";
+}
+
+TEST(RobustnessTest, GraphWithIsolatedNodesTrains) {
+  // Half the nodes are isolated: walks are singletons, contexts are pure
+  // padding around the midst.
+  GraphBuilder b(20);
+  for (int i = 0; i < 10; i += 2) {
+    b.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  std::vector<SparseMatrix::Triplet> attrs;
+  for (int v = 0; v < 20; ++v) attrs.push_back({v, v % 5, 1.0f});
+  b.SetAttributes(SparseMatrix::FromTriplets(20, 5, attrs));
+  Graph g = std::move(b).Build().ValueOrDie();
+  CoaneConfig cfg = TinyConfig();
+  auto z = TrainCoaneEmbeddings(g, cfg);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  for (int64_t i = 0; i < z.value().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(z.value().data()[i]));
+  }
+}
+
+TEST(RobustnessTest, SingleEdgeGraph) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  b.SetAttributes(SparseMatrix::FromTriplets(2, 3, {{0, 0, 1.0f},
+                                                    {1, 1, 1.0f}}));
+  Graph g = std::move(b).Build().ValueOrDie();
+  CoaneConfig cfg = TinyConfig();
+  cfg.num_negative = 1;
+  auto z = TrainCoaneEmbeddings(g, cfg);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  EXPECT_EQ(z.value().rows(), 2);
+}
+
+TEST(RobustnessTest, HugeContextRelativeToWalk) {
+  AttributedNetwork net = TinyNet();
+  CoaneConfig cfg = TinyConfig();
+  cfg.walk_length = 3;
+  cfg.context_size = 21;  // window far wider than any walk: mostly padding
+  auto z = TrainCoaneEmbeddings(net.graph, cfg);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+}
+
+TEST(RobustnessTest, EmbeddingFileRoundTripWithExtremeValues) {
+  DenseMatrix m(2, 3);
+  m.At(0, 0) = 1e-30f;
+  m.At(0, 1) = -3.4e38f;
+  m.At(0, 2) = 0.0f;
+  m.At(1, 0) = 3.4e38f;
+  m.At(1, 1) = 1.0f;
+  m.At(1, 2) = -1e-30f;
+  const std::string path = "/tmp/coane_robust_emb.txt";
+  ASSERT_TRUE(SaveEmbeddings(m, path).ok());
+  auto loaded = LoadEmbeddings(path);
+  ASSERT_TRUE(loaded.ok());
+  for (int64_t i = 0; i < m.size(); ++i) {
+    const float a = m.data()[i];
+    const float b = loaded.value().data()[i];
+    EXPECT_NEAR(b, a, std::abs(a) * 1e-4f + 1e-30f);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,134 @@
+#include "la/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace coane {
+namespace {
+
+TEST(DenseMatrixTest, ConstructAndFill) {
+  DenseMatrix m(3, 4, 1.5f);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(m.At(i, j), 1.5f);
+  }
+  m.Fill(-2.0f);
+  EXPECT_FLOAT_EQ(m.At(2, 3), -2.0f);
+}
+
+TEST(DenseMatrixTest, RowPointerMatchesAt) {
+  DenseMatrix m(2, 3);
+  m.At(1, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(m.Row(1)[2], 7.0f);
+  m.Row(0)[1] = 3.0f;
+  EXPECT_FLOAT_EQ(m.At(0, 1), 3.0f);
+}
+
+TEST(DenseMatrixTest, XavierInitBounds) {
+  Rng rng(1);
+  DenseMatrix m(50, 30);
+  m.XavierInit(&rng);
+  const double bound = std::sqrt(6.0 / (50 + 30));
+  double max_abs = 0.0;
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      max_abs = std::max(max_abs, std::abs(static_cast<double>(m.At(i, j))));
+    }
+  }
+  EXPECT_LE(max_abs, bound);
+  EXPECT_GT(max_abs, bound * 0.5) << "values should spread over the range";
+}
+
+TEST(DenseMatrixTest, XavierInitCustomFans) {
+  Rng rng(2);
+  DenseMatrix m(4, 4);
+  m.XavierInit(&rng, 10000, 10000);
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_LE(std::abs(m.data()[i]), std::sqrt(6.0 / 20000.0) + 1e-7);
+  }
+}
+
+TEST(DenseMatrixTest, AxpyAndScale) {
+  DenseMatrix a(2, 2, 1.0f);
+  DenseMatrix b(2, 2, 3.0f);
+  a.Axpy(2.0f, b);
+  EXPECT_FLOAT_EQ(a.At(0, 0), 7.0f);
+  a.Scale(0.5f);
+  EXPECT_FLOAT_EQ(a.At(1, 1), 3.5f);
+}
+
+TEST(DenseMatrixTest, FrobeniusNorm) {
+  DenseMatrix m(1, 2);
+  m.At(0, 0) = 3.0f;
+  m.At(0, 1) = 4.0f;
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(DenseMatrixTest, MatMulKnownValues) {
+  DenseMatrix a(2, 3);
+  DenseMatrix b(3, 2);
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  for (int i = 0; i < 6; ++i) a.data()[i] = av[i];
+  for (int i = 0; i < 6; ++i) b.data()[i] = bv[i];
+  DenseMatrix c = a.MatMul(b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(DenseMatrixTest, MatMulIdentity) {
+  Rng rng(5);
+  DenseMatrix a(4, 4);
+  a.GaussianInit(&rng, 0.0f, 1.0f);
+  DenseMatrix eye(4, 4, 0.0f);
+  for (int64_t i = 0; i < 4; ++i) eye.At(i, i) = 1.0f;
+  DenseMatrix c = a.MatMul(eye);
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_FLOAT_EQ(c.data()[i], a.data()[i]);
+  }
+}
+
+TEST(DenseMatrixTest, Transposed) {
+  DenseMatrix a(2, 3);
+  for (int i = 0; i < 6; ++i) a.data()[i] = static_cast<float>(i);
+  DenseMatrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(t.At(j, i), a.At(i, j));
+  }
+}
+
+TEST(DenseMatrixTest, SelectRows) {
+  DenseMatrix a(4, 2);
+  for (int i = 0; i < 8; ++i) a.data()[i] = static_cast<float>(i);
+  DenseMatrix s = a.SelectRows({3, 1});
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_FLOAT_EQ(s.At(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(s.At(0, 1), 7.0f);
+  EXPECT_FLOAT_EQ(s.At(1, 0), 2.0f);
+}
+
+TEST(DenseMatrixTest, GaussianInitMoments) {
+  Rng rng(6);
+  DenseMatrix m(100, 100);
+  m.GaussianInit(&rng, 1.0f, 2.0f);
+  double sum = 0.0, sum_sq = 0.0;
+  for (int64_t i = 0; i < m.size(); ++i) {
+    sum += m.data()[i];
+    sum_sq += static_cast<double>(m.data()[i]) * m.data()[i];
+  }
+  double mean = sum / m.size();
+  double var = sum_sq / m.size() - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,107 @@
+#include "la/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace coane {
+namespace {
+
+TEST(VectorOpsTest, Dot) {
+  float a[] = {1, 2, 3};
+  float b[] = {4, 5, 6};
+  EXPECT_FLOAT_EQ(Dot(a, b, 3), 32.0f);
+  EXPECT_FLOAT_EQ(Dot(a, b, 0), 0.0f);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  float x[] = {1, 1, 1};
+  float y[] = {1, 2, 3};
+  Axpy(2.0f, x, y, 3);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+  EXPECT_FLOAT_EQ(y[2], 5.0f);
+}
+
+TEST(VectorOpsTest, Norm2) {
+  float a[] = {3, 4};
+  EXPECT_DOUBLE_EQ(Norm2(a, 2), 5.0);
+}
+
+TEST(VectorOpsTest, SigmoidValues) {
+  EXPECT_FLOAT_EQ(Sigmoid(0.0f), 0.5f);
+  EXPECT_NEAR(Sigmoid(100.0f), 1.0f, 1e-6);
+  EXPECT_NEAR(Sigmoid(-100.0f), 0.0f, 1e-6);
+  EXPECT_NEAR(Sigmoid(1.0f), 1.0f / (1.0f + std::exp(-1.0f)), 1e-6);
+}
+
+TEST(VectorOpsTest, SigmoidSymmetry) {
+  for (float x : {0.1f, 0.7f, 2.3f, 9.0f}) {
+    EXPECT_NEAR(Sigmoid(x) + Sigmoid(-x), 1.0f, 1e-6);
+  }
+}
+
+TEST(VectorOpsTest, LogSigmoidMatchesLogOfSigmoid) {
+  for (float x : {-5.0f, -1.0f, 0.0f, 1.0f, 5.0f}) {
+    EXPECT_NEAR(LogSigmoid(x), std::log(Sigmoid(x)), 1e-5);
+  }
+}
+
+TEST(VectorOpsTest, LogSigmoidNoOverflow) {
+  EXPECT_NEAR(LogSigmoid(-500.0f), -500.0f, 1e-3);
+  EXPECT_NEAR(LogSigmoid(500.0f), 0.0f, 1e-6);
+}
+
+TEST(VectorOpsTest, SoftmaxSumsToOne) {
+  float a[] = {1.0f, 2.0f, 3.0f};
+  SoftmaxInPlace(a, 3);
+  EXPECT_NEAR(a[0] + a[1] + a[2], 1.0f, 1e-6);
+  EXPECT_GT(a[2], a[1]);
+  EXPECT_GT(a[1], a[0]);
+}
+
+TEST(VectorOpsTest, SoftmaxStableForLargeInputs) {
+  float a[] = {1000.0f, 1000.0f};
+  SoftmaxInPlace(a, 2);
+  EXPECT_NEAR(a[0], 0.5f, 1e-6);
+  EXPECT_NEAR(a[1], 0.5f, 1e-6);
+}
+
+TEST(VectorOpsTest, CosineSimilarity) {
+  float a[] = {1, 0};
+  float b[] = {0, 1};
+  float c[] = {2, 0};
+  float zero[] = {0, 0};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b, 2), 0.0);
+  EXPECT_NEAR(CosineSimilarity(a, c, 2), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, zero, 2), 0.0);
+}
+
+TEST(VectorOpsTest, SquaredDistance) {
+  float a[] = {1, 2};
+  float b[] = {4, 6};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b, 2), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, a, 2), 0.0);
+}
+
+TEST(VectorOpsTest, MeanAndStdDev) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(StdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(VectorOpsTest, PearsonCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> ny = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, ny), -1.0, 1e-12);
+  std::vector<double> flat = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, flat), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, {1.0}), 0.0) << "size mismatch";
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,137 @@
+#include "nn/gru.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace coane {
+namespace {
+
+TEST(GruTest, OutputShapeAndBoundedStates) {
+  Rng rng(1);
+  GruCell gru(4, 6, &rng);
+  DenseMatrix x(5, 4);
+  x.GaussianInit(&rng, 0.0f, 1.0f);
+  DenseMatrix h = gru.Forward(x);
+  EXPECT_EQ(h.rows(), 5);
+  EXPECT_EQ(h.cols(), 6);
+  // GRU states are convex combinations of tanh outputs: |h| <= 1.
+  for (int64_t i = 0; i < h.size(); ++i) {
+    EXPECT_LE(std::abs(h.data()[i]), 1.0f + 1e-6f);
+  }
+}
+
+TEST(GruTest, ZeroInputZeroParamsBiasDriven) {
+  Rng rng(2);
+  GruCell gru(3, 4, &rng);
+  DenseMatrix x(3, 3, 0.0f);
+  DenseMatrix h = gru.Forward(x);
+  // With zero initial state and zero input the state is driven purely by
+  // the biases (all zero at init): h stays 0.
+  for (int64_t i = 0; i < h.size(); ++i) {
+    EXPECT_NEAR(h.data()[i], 0.0f, 1e-6f);
+  }
+}
+
+// Full BPTT gradient check: L = 0.5 sum_t ||h_t||^2 so dL/dh_t = h_t.
+TEST(GruTest, ParameterGradientsMatchFiniteDifference) {
+  Rng rng(3);
+  const int64_t in = 3, hidden = 4, t_max = 4;
+  GruCell gru(in, hidden, &rng);
+  DenseMatrix x(t_max, in);
+  x.GaussianInit(&rng, 0.0f, 1.0f);
+
+  auto loss = [&]() {
+    DenseMatrix h = gru.Forward(x);
+    double s = 0.0;
+    for (int64_t i = 0; i < h.size(); ++i) {
+      s += 0.5 * static_cast<double>(h.data()[i]) * h.data()[i];
+    }
+    return s;
+  };
+
+  DenseMatrix h = gru.Forward(x);
+  gru.ZeroGrad();
+  DenseMatrix dx;
+  gru.Backward(h, &dx);
+
+  // dx check (covers every parameter path transitively).
+  const float eps = 1e-3f;
+  for (int64_t t = 0; t < t_max; ++t) {
+    for (int64_t j = 0; j < in; ++j) {
+      const float orig = x.At(t, j);
+      x.At(t, j) = orig + eps;
+      const double lp = loss();
+      x.At(t, j) = orig - eps;
+      const double lm = loss();
+      x.At(t, j) = orig;
+      const double fd = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(dx.At(t, j), fd, 5e-3) << "dx[" << t << "," << j << "]";
+    }
+  }
+}
+
+TEST(GruTest, TrainableOnToyMemoryTask) {
+  // Learn to output the sign of the FIRST input at the LAST step — requires
+  // carrying information through time (impossible without recurrence).
+  Rng rng(4);
+  const int64_t hidden = 8, t_max = 6;
+  GruCell gru(1, hidden, &rng);
+  DenseMatrix readout(hidden, 1);
+  readout.XavierInit(&rng);
+  AdamConfig adam_cfg;
+  adam_cfg.learning_rate = 0.01f;
+  AdamOptimizer opt(adam_cfg);
+  gru.RegisterParams(&opt);
+  const int readout_slot = opt.Register(&readout);
+
+  auto make_sequence = [&](float sign, DenseMatrix* x) {
+    *x = DenseMatrix(t_max, 1, 0.0f);
+    x->At(0, 0) = sign;
+    for (int64_t t = 1; t < t_max; ++t) {
+      x->At(t, 0) = static_cast<float>(rng.Normal(0.0, 0.2));
+    }
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    const float sign = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+    DenseMatrix x;
+    make_sequence(sign, &x);
+    DenseMatrix h = gru.Forward(x);
+    const float* last = h.Row(t_max - 1);
+    float pred = 0.0f;
+    for (int64_t j = 0; j < hidden; ++j) pred += last[j] * readout.At(j, 0);
+    const float err = pred - sign;
+    // dL/dh_last = err * readout; dL/dreadout = err * h_last.
+    DenseMatrix dh(t_max, hidden, 0.0f);
+    for (int64_t j = 0; j < hidden; ++j) {
+      dh.At(t_max - 1, j) = err * readout.At(j, 0);
+    }
+    DenseMatrix dreadout(hidden, 1);
+    for (int64_t j = 0; j < hidden; ++j) {
+      dreadout.At(j, 0) = err * last[j];
+    }
+    gru.ZeroGrad();
+    gru.Backward(dh, nullptr);
+    gru.ApplyGrad(&opt);
+    opt.Step(readout_slot, dreadout);
+  }
+  // Evaluate.
+  int correct = 0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    const float sign = (i % 2 == 0) ? 1.0f : -1.0f;
+    DenseMatrix x;
+    make_sequence(sign, &x);
+    DenseMatrix h = gru.Forward(x);
+    float pred = 0.0f;
+    for (int64_t j = 0; j < hidden; ++j) {
+      pred += h.At(t_max - 1, j) * readout.At(j, 0);
+    }
+    if ((pred > 0) == (sign > 0)) ++correct;
+  }
+  EXPECT_GT(correct, 44) << "GRU must remember the first input";
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,106 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace coane {
+namespace {
+
+TEST(MlpTest, ShapesThroughHiddenLayers) {
+  Rng rng(1);
+  Mlp mlp({4, 8, 8, 3}, &rng);
+  EXPECT_EQ(mlp.num_layers(), 3u);
+  EXPECT_EQ(mlp.in_dim(), 4);
+  EXPECT_EQ(mlp.out_dim(), 3);
+  DenseMatrix x(5, 4);
+  x.GaussianInit(&rng, 0.0f, 1.0f);
+  DenseMatrix y = mlp.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 3);
+}
+
+TEST(MlpTest, GradientMatchesFiniteDifference) {
+  Rng rng(2);
+  Mlp mlp({3, 5, 2}, &rng);
+  DenseMatrix x(2, 3);
+  x.GaussianInit(&rng, 0.0f, 1.0f);
+  DenseMatrix target(2, 2);
+  target.GaussianInit(&rng, 0.0f, 1.0f);
+
+  auto loss = [&](const DenseMatrix& input) {
+    DenseMatrix y = mlp.Forward(input);
+    return MseLoss(y, target, nullptr);
+  };
+
+  DenseMatrix y = mlp.Forward(x);
+  DenseMatrix grad;
+  MseLoss(y, target, &grad);
+  mlp.ZeroGrad();
+  DenseMatrix dx = mlp.Backward(grad);
+
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      DenseMatrix xp = x, xm = x;
+      xp.At(i, j) += eps;
+      xm.At(i, j) -= eps;
+      const double fd = (loss(xp) - loss(xm)) / (2.0 * eps);
+      EXPECT_NEAR(dx.At(i, j), fd, 5e-3) << "dx[" << i << "," << j << "]";
+    }
+  }
+}
+
+TEST(MlpTest, LearnsNonLinearFunction) {
+  // Learn y = |x| on [-1, 1] — impossible for a purely linear model.
+  Rng rng(3);
+  Mlp mlp({1, 16, 16, 1}, &rng);
+  AdamOptimizer opt;
+  mlp.RegisterParams(&opt);
+  for (int step = 0; step < 4000; ++step) {
+    DenseMatrix x(8, 1);
+    DenseMatrix target(8, 1);
+    for (int64_t i = 0; i < 8; ++i) {
+      const float v = static_cast<float>(rng.Uniform(-1, 1));
+      x.At(i, 0) = v;
+      target.At(i, 0) = std::abs(v);
+    }
+    DenseMatrix pred = mlp.Forward(x);
+    DenseMatrix grad;
+    MseLoss(pred, target, &grad);
+    mlp.ZeroGrad();
+    mlp.Backward(grad);
+    mlp.ApplyGrad(&opt);
+  }
+  // Evaluate.
+  DenseMatrix x(5, 1);
+  float pts[] = {-0.9f, -0.5f, 0.0f, 0.5f, 0.9f};
+  for (int64_t i = 0; i < 5; ++i) x.At(i, 0) = pts[i];
+  DenseMatrix pred = mlp.Forward(x);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(pred.At(i, 0), std::abs(pts[i]), 0.12f);
+  }
+}
+
+TEST(MlpTest, SingleLayerIsLinear) {
+  Rng rng(4);
+  Mlp mlp({2, 2}, &rng);
+  EXPECT_EQ(mlp.num_layers(), 1u);
+  // f(ax) = a f(x) - bias: linearity up to bias.
+  DenseMatrix x(1, 2);
+  x.At(0, 0) = 1.0f;
+  x.At(0, 1) = -1.0f;
+  DenseMatrix zero(1, 2, 0.0f);
+  DenseMatrix b = mlp.Forward(zero);
+  DenseMatrix y1 = mlp.Forward(x);
+  DenseMatrix x2 = x;
+  x2.Scale(2.0f);
+  DenseMatrix y2 = mlp.Forward(x2);
+  for (int64_t j = 0; j < 2; ++j) {
+    EXPECT_NEAR(y2.At(0, j) - b.At(0, j), 2.0f * (y1.At(0, j) - b.At(0, j)),
+                1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace coane

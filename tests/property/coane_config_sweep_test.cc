@@ -1,0 +1,95 @@
+// Parameterized sweep of CoANE configurations: every (embedding dim,
+// context size, negative-sampling mode) combination must train to a
+// usable embedding on a small circle-structured graph.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/coane_model.h"
+#include "datasets/attributed_sbm.h"
+#include "la/vector_ops.h"
+
+namespace coane {
+namespace {
+
+const AttributedNetwork& Network() {
+  static const AttributedNetwork& net = *new AttributedNetwork([] {
+    AttributedSbmConfig c;
+    c.num_nodes = 100;
+    c.num_classes = 2;
+    c.num_attributes = 80;
+    c.circles_per_class = 2;
+    c.avg_degree = 7.0;
+    c.seed = 61;
+    return GenerateAttributedSbm(c).ValueOrDie();
+  }());
+  return net;
+}
+
+using SweepParam = std::tuple<int64_t, int, NegativeSamplingMode>;
+
+class CoaneSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(CoaneSweepTest, TrainsAndSeparatesClasses) {
+  auto [dim, c, mode] = GetParam();
+  CoaneConfig cfg;
+  cfg.embedding_dim = dim;
+  cfg.context_size = c;
+  cfg.negative_mode = mode;
+  cfg.walk_length = 20;
+  cfg.num_walks = 2;
+  cfg.num_negative = 5;
+  cfg.max_epochs = 5;
+  cfg.batch_size = 50;
+  cfg.decoder_hidden = {32};
+  cfg.subsample_t = 1e-3;
+  cfg.learning_rate = 0.005f;
+  cfg.negative_weight = 1e-2f;
+  cfg.attribute_gamma = 1e3f;
+  cfg.seed = 5;
+
+  const Graph& g = Network().graph;
+  auto z_or = TrainCoaneEmbeddings(g, cfg);
+  ASSERT_TRUE(z_or.ok()) << z_or.status().ToString();
+  const DenseMatrix& z = z_or.value();
+  ASSERT_EQ(z.rows(), g.num_nodes());
+  ASSERT_EQ(z.cols(), dim);
+  for (int64_t i = 0; i < z.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(z.data()[i]));
+  }
+
+  const auto& labels = g.labels();
+  double same = 0.0, cross = 0.0;
+  int64_t same_n = 0, cross_n = 0;
+  for (NodeId u = 0; u < z.rows(); ++u) {
+    for (NodeId v = u + 1; v < z.rows(); ++v) {
+      const double sim = CosineSimilarity(z.Row(u), z.Row(v), z.cols());
+      if (labels[static_cast<size_t>(u)] == labels[static_cast<size_t>(v)]) {
+        same += sim;
+        ++same_n;
+      } else {
+        cross += sim;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n)
+      << "dim=" << dim << " c=" << c
+      << " mode=" << static_cast<int>(mode);
+}
+
+// c = 1 is excluded: a window of one slot contains only the midst, so the
+// co-occurrence matrices are empty by construction and no structural
+// signal exists to separate classes.
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoaneSweepTest,
+    ::testing::Combine(
+        ::testing::Values<int64_t>(8, 32),
+        ::testing::Values(3, 5, 7),
+        ::testing::Values(NegativeSamplingMode::kBatch,
+                          NegativeSamplingMode::kPreSampled,
+                          NegativeSamplingMode::kUniform)));
+
+}  // namespace
+}  // namespace coane

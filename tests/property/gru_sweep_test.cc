@@ -1,0 +1,77 @@
+// Parameterized gradient checks of the GRU over (input dim, hidden dim,
+// sequence length) combinations — BPTT must stay exact at every shape.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "nn/gru.h"
+
+namespace coane {
+namespace {
+
+using GruParam = std::tuple<int, int, int>;  // in, hidden, T
+
+class GruSweepTest : public ::testing::TestWithParam<GruParam> {};
+
+TEST_P(GruSweepTest, InputGradientMatchesFiniteDifference) {
+  auto [in, hidden, t_max] = GetParam();
+  Rng rng(static_cast<uint64_t>(in * 100 + hidden * 10 + t_max));
+  GruCell gru(in, hidden, &rng);
+  DenseMatrix x(t_max, in);
+  x.GaussianInit(&rng, 0.0f, 1.0f);
+
+  // L = 0.5 sum ||h_t||^2.
+  auto loss = [&]() {
+    DenseMatrix h = gru.Forward(x);
+    double s = 0.0;
+    for (int64_t i = 0; i < h.size(); ++i) {
+      s += 0.5 * static_cast<double>(h.data()[i]) * h.data()[i];
+    }
+    return s;
+  };
+  DenseMatrix h = gru.Forward(x);
+  gru.ZeroGrad();
+  DenseMatrix dx;
+  gru.Backward(h, &dx);
+
+  const float eps = 1e-3f;
+  for (int64_t t = 0; t < t_max; ++t) {
+    for (int64_t j = 0; j < in; ++j) {
+      const float orig = x.At(t, j);
+      x.At(t, j) = orig + eps;
+      const double lp = loss();
+      x.At(t, j) = orig - eps;
+      const double lm = loss();
+      x.At(t, j) = orig;
+      const double fd = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(dx.At(t, j), fd, 6e-3)
+          << "in=" << in << " hidden=" << hidden << " T=" << t_max
+          << " dx[" << t << "," << j << "]";
+    }
+  }
+}
+
+TEST_P(GruSweepTest, StatesStayBounded) {
+  auto [in, hidden, t_max] = GetParam();
+  Rng rng(static_cast<uint64_t>(in + hidden + t_max));
+  GruCell gru(in, hidden, &rng);
+  DenseMatrix x(t_max, in);
+  x.GaussianInit(&rng, 0.0f, 3.0f);  // large inputs
+  DenseMatrix h = gru.Forward(x);
+  for (int64_t i = 0; i < h.size(); ++i) {
+    EXPECT_LE(std::abs(h.data()[i]), 1.0f + 1e-6f)
+        << "GRU states are convex combinations of tanh outputs";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GruSweepTest,
+                         ::testing::Values(GruParam{1, 1, 1},
+                                           GruParam{1, 5, 7},
+                                           GruParam{4, 3, 2},
+                                           GruParam{3, 8, 5},
+                                           GruParam{6, 6, 6}));
+
+}  // namespace
+}  // namespace coane

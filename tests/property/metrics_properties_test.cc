@@ -1,0 +1,138 @@
+// Property-based tests of the evaluation metrics: invariances and bounds
+// checked over parameterized random inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "eval/kmeans.h"
+#include "eval/metrics.h"
+#include "eval/nmi.h"
+
+namespace coane {
+namespace {
+
+class SeededMetricsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededMetricsTest, AucInvariantUnderMonotoneTransform) {
+  Rng rng(GetParam());
+  const int n = 60;
+  std::vector<double> scores(n);
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    scores[static_cast<size_t>(i)] = rng.Uniform(-3, 3);
+    labels[static_cast<size_t>(i)] = rng.Bernoulli(0.4) ? 1 : 0;
+  }
+  const double base = RocAuc(scores, labels);
+  std::vector<double> transformed = scores;
+  for (double& s : transformed) s = std::exp(0.5 * s) + 7.0;
+  EXPECT_NEAR(RocAuc(transformed, labels), base, 1e-12)
+      << "AUC is rank-based";
+}
+
+TEST_P(SeededMetricsTest, AucOfNegatedScoresIsComplement) {
+  Rng rng(GetParam() + 1);
+  const int n = 50;
+  std::vector<double> scores(n);
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    // Distinct scores so complementarity is exact (ties average out).
+    scores[static_cast<size_t>(i)] = i + rng.Uniform(0, 0.5);
+    labels[static_cast<size_t>(i)] = rng.Bernoulli(0.5) ? 1 : 0;
+  }
+  labels[0] = 1;
+  labels[1] = 0;  // both classes present
+  std::vector<double> negated = scores;
+  for (double& s : negated) s = -s;
+  EXPECT_NEAR(RocAuc(scores, labels) + RocAuc(negated, labels), 1.0, 1e-12);
+}
+
+TEST_P(SeededMetricsTest, AucBounds) {
+  Rng rng(GetParam() + 2);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 40; ++i) {
+    scores.push_back(rng.Uniform(0, 1));
+    labels.push_back(rng.Bernoulli(0.3) ? 1 : 0);
+  }
+  const double auc = RocAuc(scores, labels);
+  EXPECT_GE(auc, 0.0);
+  EXPECT_LE(auc, 1.0);
+}
+
+TEST_P(SeededMetricsTest, MicroF1EqualsAccuracyForSingleLabel) {
+  Rng rng(GetParam() + 3);
+  const int n = 80;
+  std::vector<int32_t> y_true(n), y_pred(n);
+  for (int i = 0; i < n; ++i) {
+    y_true[static_cast<size_t>(i)] = static_cast<int32_t>(rng.UniformInt(4));
+    y_pred[static_cast<size_t>(i)] = static_cast<int32_t>(rng.UniformInt(4));
+  }
+  EXPECT_NEAR(ComputeF1(y_true, y_pred, 4).micro, Accuracy(y_true, y_pred),
+              1e-12)
+      << "for single-label multiclass, pooled F1 == accuracy";
+}
+
+TEST_P(SeededMetricsTest, NmiPermutationInvariant) {
+  Rng rng(GetParam() + 4);
+  const int n = 60;
+  std::vector<int32_t> a(n), b(n);
+  for (int i = 0; i < n; ++i) {
+    a[static_cast<size_t>(i)] = static_cast<int32_t>(rng.UniformInt(3));
+    b[static_cast<size_t>(i)] = static_cast<int32_t>(rng.UniformInt(4));
+  }
+  const double base = NormalizedMutualInformation(a, b);
+  // Relabel b through a fixed permutation of its label alphabet.
+  std::vector<int32_t> remap = {2, 0, 3, 1};
+  std::vector<int32_t> b2 = b;
+  for (int32_t& l : b2) l = remap[static_cast<size_t>(l)];
+  EXPECT_NEAR(NormalizedMutualInformation(a, b2), base, 1e-12);
+  // And NMI is bounded.
+  EXPECT_GE(base, -1e-12);
+  EXPECT_LE(base, 1.0 + 1e-12);
+}
+
+TEST_P(SeededMetricsTest, NmiSelfIsOne) {
+  Rng rng(GetParam() + 5);
+  std::vector<int32_t> a(50);
+  for (auto& l : a) l = static_cast<int32_t>(rng.UniformInt(5));
+  // Ensure at least two labels exist.
+  a[0] = 0;
+  a[1] = 1;
+  EXPECT_NEAR(NormalizedMutualInformation(a, a), 1.0, 1e-12);
+}
+
+TEST_P(SeededMetricsTest, SilhouetteBounded) {
+  Rng rng(GetParam() + 6);
+  DenseMatrix pts(30, 3);
+  pts.GaussianInit(&rng, 0.0f, 1.0f);
+  std::vector<int32_t> assign(30);
+  for (auto& a : assign) a = static_cast<int32_t>(rng.UniformInt(3));
+  const double s = SilhouetteScore(pts, assign);
+  EXPECT_GE(s, -1.0 - 1e-9);
+  EXPECT_LE(s, 1.0 + 1e-9);
+}
+
+TEST_P(SeededMetricsTest, KMeansInertiaMonotoneInK) {
+  Rng rng(GetParam() + 7);
+  DenseMatrix pts(40, 2);
+  pts.GaussianInit(&rng, 0.0f, 2.0f);
+  KMeansConfig cfg;
+  cfg.seed = GetParam();
+  cfg.num_restarts = 4;
+  double prev = 1e300;
+  for (int k : {1, 2, 4, 8}) {
+    auto result = RunKMeans(pts, k, cfg).ValueOrDie();
+    EXPECT_LE(result.inertia, prev * 1.001)
+        << "more clusters cannot increase best-of-restarts inertia";
+    prev = result.inertia;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededMetricsTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace coane

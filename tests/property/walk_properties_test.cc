@@ -1,0 +1,201 @@
+// Property-based tests of the random-walk / context / co-occurrence
+// pipeline: invariants checked over a parameterized sweep of graph families
+// and (walk length, context size) settings.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+#include "walk/context_generator.h"
+#include "walk/cooccurrence.h"
+#include "walk/random_walk.h"
+#include "walk/subsampler.h"
+
+namespace coane {
+namespace {
+
+Graph MakeFamily(const std::string& family, int n) {
+  GraphBuilder b(n);
+  if (family == "path") {
+    for (int i = 0; i + 1 < n; ++i) {
+      b.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+    }
+  } else if (family == "ring") {
+    for (int i = 0; i < n; ++i) {
+      b.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+    }
+  } else if (family == "star") {
+    for (int i = 1; i < n; ++i) {
+      b.AddEdge(0, static_cast<NodeId>(i));
+    }
+  } else {  // two-cliques
+    const int half = n / 2;
+    for (int c = 0; c < 2; ++c) {
+      const int base = c * half;
+      for (int i = 0; i < half; ++i) {
+        for (int j = i + 1; j < half; ++j) {
+          b.AddEdge(static_cast<NodeId>(base + i),
+                    static_cast<NodeId>(base + j));
+        }
+      }
+    }
+    b.AddEdge(0, static_cast<NodeId>(half));
+  }
+  return std::move(b).Build().ValueOrDie();
+}
+
+using WalkParam = std::tuple<std::string, int, int>;  // family, l, c
+
+class WalkPipelineTest : public ::testing::TestWithParam<WalkParam> {};
+
+TEST_P(WalkPipelineTest, EveryWalkStepIsAnEdge) {
+  auto [family, l, c] = GetParam();
+  (void)c;
+  Graph g = MakeFamily(family, 12);
+  Rng rng(1);
+  RandomWalkConfig cfg;
+  cfg.walk_length = l;
+  cfg.num_walks_per_node = 2;
+  auto walks = GenerateRandomWalks(g, cfg, &rng).ValueOrDie();
+  for (const Walk& w : walks) {
+    for (size_t i = 0; i + 1 < w.size(); ++i) {
+      EXPECT_TRUE(g.HasEdge(w[i], w[i + 1]));
+    }
+  }
+}
+
+TEST_P(WalkPipelineTest, ContextInvariants) {
+  auto [family, l, c] = GetParam();
+  Graph g = MakeFamily(family, 12);
+  Rng rng(2);
+  RandomWalkConfig wcfg;
+  wcfg.walk_length = l;
+  auto walks = GenerateRandomWalks(g, wcfg, &rng).ValueOrDie();
+  ContextOptions copt;
+  copt.context_size = c;
+  copt.subsample_t = -1.0;
+  ContextSet cs =
+      GenerateContexts(walks, g.num_nodes(), copt, &rng).ValueOrDie();
+
+  const int half = (c - 1) / 2;
+  int64_t total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& context : cs.Contexts(v)) {
+      ++total;
+      // Invariant 1: window length and centered midst.
+      ASSERT_EQ(static_cast<int>(context.size()), c);
+      EXPECT_EQ(context[static_cast<size_t>(half)], v);
+      // Invariant 2: padding only at a contiguous prefix/suffix.
+      int first_real = 0;
+      while (first_real < c &&
+             context[static_cast<size_t>(first_real)] == kPaddingNode) {
+        ++first_real;
+      }
+      int last_real = c - 1;
+      while (last_real >= 0 &&
+             context[static_cast<size_t>(last_real)] == kPaddingNode) {
+        --last_real;
+      }
+      for (int p = first_real; p <= last_real; ++p) {
+        EXPECT_NE(context[static_cast<size_t>(p)], kPaddingNode)
+            << "padding must not appear between real nodes";
+      }
+      // Invariant 3: consecutive real entries are graph edges (or equal for
+      // stuck walks on isolated nodes — impossible in these families).
+      for (int p = first_real; p < last_real; ++p) {
+        const NodeId a = context[static_cast<size_t>(p)];
+        const NodeId nb = context[static_cast<size_t>(p + 1)];
+        EXPECT_TRUE(g.HasEdge(a, nb)) << family << " c=" << c;
+      }
+    }
+  }
+  // Invariant 4: without subsampling, every walk position yields a context.
+  int64_t expected = 0;
+  for (const Walk& w : walks) expected += static_cast<int64_t>(w.size());
+  EXPECT_EQ(total, expected);
+}
+
+TEST_P(WalkPipelineTest, EveryNodeHasAtLeastOneContext) {
+  auto [family, l, c] = GetParam();
+  Graph g = MakeFamily(family, 12);
+  Rng rng(3);
+  RandomWalkConfig wcfg;
+  wcfg.walk_length = l;
+  auto walks = GenerateRandomWalks(g, wcfg, &rng).ValueOrDie();
+  ContextOptions copt;
+  copt.context_size = c;
+  copt.subsample_t = 1e-9;  // brutally aggressive subsampling
+  ContextSet cs =
+      GenerateContexts(walks, g.num_nodes(), copt, &rng).ValueOrDie();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(cs.NumContexts(v), 1)
+        << "walk starts are exempt from subsampling";
+  }
+}
+
+TEST_P(WalkPipelineTest, CooccurrenceConsistency) {
+  auto [family, l, c] = GetParam();
+  Graph g = MakeFamily(family, 12);
+  Rng rng(4);
+  RandomWalkConfig wcfg;
+  wcfg.walk_length = l;
+  auto walks = GenerateRandomWalks(g, wcfg, &rng).ValueOrDie();
+  ContextOptions copt;
+  copt.context_size = c;
+  copt.subsample_t = -1.0;
+  ContextSet cs =
+      GenerateContexts(walks, g.num_nodes(), copt, &rng).ValueOrDie();
+  auto co = BuildCooccurrence(g, cs);
+
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    double d_row_sum = 0.0;
+    for (const SparseEntry& e : co.d.Row(i)) {
+      const NodeId j = static_cast<NodeId>(e.col);
+      // D^1 is exactly the edge-restricted D.
+      if (g.HasEdge(i, j)) {
+        EXPECT_FLOAT_EQ(co.d1.At(i, j), e.value);
+      } else {
+        EXPECT_FLOAT_EQ(co.d1.At(i, j), 0.0f);
+      }
+      // No self column.
+      EXPECT_NE(j, i);
+      d_row_sum += e.value;
+      // D~ >= normalized D entry, with equality only for non-edges.
+      const float dn = static_cast<float>(e.value / co.d.RowSum(i));
+      EXPECT_GE(co.d_tilde.At(i, j), dn - 1e-5f);
+    }
+    // Row counts: every non-padding non-self context slot contributes one.
+    int64_t slots = 0;
+    for (const auto& context : cs.Contexts(i)) {
+      for (NodeId u : context) {
+        if (u != kPaddingNode && u != i) ++slots;
+      }
+    }
+    EXPECT_DOUBLE_EQ(d_row_sum, static_cast<double>(slots));
+  }
+  EXPECT_EQ(co.k_p, cs.MaxContextsPerNode());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, WalkPipelineTest,
+    ::testing::Combine(::testing::Values("path", "ring", "star",
+                                         "two-cliques"),
+                       ::testing::Values(5, 20),
+                       ::testing::Values(3, 5, 9)));
+
+TEST(SubsamplerPropertyTest, KeepProbabilityMonotoneInFrequency) {
+  double prev = 1.0;
+  for (double f = 1e-8; f < 1.0; f *= 3.0) {
+    const double keep = SubsampleKeepProbability(f, 1e-4);
+    EXPECT_LE(keep, prev + 1e-12) << "keep prob must not increase with f";
+    EXPECT_GE(keep, 0.0);
+    EXPECT_LE(keep, 1.0);
+    prev = keep;
+  }
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,134 @@
+#include "walk/context_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "walk/subsampler.h"
+
+namespace coane {
+namespace {
+
+TEST(SubsamplerTest, FrequenciesSumToOne) {
+  std::vector<Walk> walks = {{0, 1, 2}, {1, 1, 3}};
+  auto freq = ComputeNodeFrequencies(walks, 5);
+  EXPECT_DOUBLE_EQ(freq[0], 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(freq[1], 3.0 / 6.0);
+  EXPECT_DOUBLE_EQ(freq[2], 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(freq[3], 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(freq[4], 0.0);
+}
+
+TEST(SubsamplerTest, KeepProbability) {
+  EXPECT_DOUBLE_EQ(SubsampleKeepProbability(0.0, 1e-5), 1.0);
+  EXPECT_DOUBLE_EQ(SubsampleKeepProbability(1e-5, 1e-5), 1.0);
+  EXPECT_DOUBLE_EQ(SubsampleKeepProbability(4e-5, 1e-5), 0.5);
+  EXPECT_LT(SubsampleKeepProbability(0.5, 1e-5), 0.01);
+  // Rare nodes (f < t) are always kept.
+  EXPECT_DOUBLE_EQ(SubsampleKeepProbability(1e-9, 1e-5), 1.0);
+}
+
+TEST(ContextGeneratorTest, WindowsAndPadding) {
+  // One walk 0-1-2-3, c = 3: every position produces one context.
+  std::vector<Walk> walks = {{0, 1, 2, 3}};
+  ContextOptions opt;
+  opt.context_size = 3;
+  opt.subsample_t = -1.0;  // disabled
+  Rng rng(1);
+  auto ctx = GenerateContexts(walks, 4, opt, &rng);
+  ASSERT_TRUE(ctx.ok());
+  const ContextSet& cs = ctx.value();
+  EXPECT_EQ(cs.TotalContexts(), 4);
+  ASSERT_EQ(cs.NumContexts(0), 1);
+  EXPECT_EQ(cs.Contexts(0)[0],
+            (std::vector<NodeId>{kPaddingNode, 0, 1}));
+  EXPECT_EQ(cs.Contexts(1)[0], (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(cs.Contexts(2)[0], (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(cs.Contexts(3)[0],
+            (std::vector<NodeId>{2, 3, kPaddingNode}));
+}
+
+TEST(ContextGeneratorTest, MidstIsCenterSlot) {
+  std::vector<Walk> walks = {{5, 6, 7, 8, 9}};
+  ContextOptions opt;
+  opt.context_size = 5;
+  opt.subsample_t = -1.0;
+  Rng rng(2);
+  auto cs = GenerateContexts(walks, 10, opt, &rng).ValueOrDie();
+  for (NodeId v = 5; v <= 9; ++v) {
+    for (const auto& c : cs.Contexts(v)) {
+      EXPECT_EQ(c[2], v) << "midst must sit at the window center";
+    }
+  }
+}
+
+TEST(ContextGeneratorTest, ContextSizeOneIsJustTheNode) {
+  std::vector<Walk> walks = {{0, 1}};
+  ContextOptions opt;
+  opt.context_size = 1;
+  opt.subsample_t = -1.0;
+  Rng rng(3);
+  auto cs = GenerateContexts(walks, 2, opt, &rng).ValueOrDie();
+  EXPECT_EQ(cs.Contexts(0)[0], (std::vector<NodeId>{0}));
+  EXPECT_EQ(cs.Contexts(1)[0], (std::vector<NodeId>{1}));
+}
+
+TEST(ContextGeneratorTest, EvenContextSizeRejected) {
+  Rng rng(4);
+  ContextOptions opt;
+  opt.context_size = 4;
+  EXPECT_FALSE(GenerateContexts({{0}}, 1, opt, &rng).ok());
+  opt.context_size = 0;
+  EXPECT_FALSE(GenerateContexts({{0}}, 1, opt, &rng).ok());
+}
+
+TEST(ContextGeneratorTest, OutOfRangeNodeRejected) {
+  Rng rng(5);
+  ContextOptions opt;
+  opt.context_size = 3;
+  auto r = GenerateContexts({{0, 99}}, 2, opt, &rng);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ContextGeneratorTest, StartPositionAlwaysKept) {
+  // Node 0 is extremely frequent; with aggressive subsampling its
+  // non-start contexts mostly vanish but each walk keeps position 0.
+  std::vector<Walk> walks;
+  for (int i = 0; i < 50; ++i) walks.push_back({0, 0, 0, 0, 0});
+  ContextOptions opt;
+  opt.context_size = 3;
+  opt.subsample_t = 1e-12;  // discard essentially everything else
+  Rng rng(6);
+  auto cs = GenerateContexts(walks, 1, opt, &rng).ValueOrDie();
+  EXPECT_GE(cs.NumContexts(0), 50) << "one kept context per walk start";
+  EXPECT_LT(cs.NumContexts(0), 100) << "subsampling must drop most others";
+}
+
+TEST(ContextGeneratorTest, SubsamplingKeepsRareNodes) {
+  // Node 3 appears once; subsampling must never drop it.
+  std::vector<Walk> walks;
+  for (int i = 0; i < 30; ++i) walks.push_back({0, 1, 0, 1, 0});
+  walks.push_back({2, 3, 2});
+  ContextOptions opt;
+  opt.context_size = 3;
+  // f(3) = 1/153 < t = 0.01, so node 3's keep probability is 1; the
+  // frequent nodes 0/1 (f ~ 0.49) keep only ~14% of their contexts.
+  opt.subsample_t = 0.01;
+  Rng rng(7);
+  auto cs = GenerateContexts(walks, 4, opt, &rng).ValueOrDie();
+  EXPECT_GE(cs.NumContexts(3), 1);
+  EXPECT_LT(cs.NumContexts(0) + cs.NumContexts(1), 100)
+      << "frequent nodes must lose most contexts";
+}
+
+TEST(ContextSetTest, MaxAndTotal) {
+  ContextSet cs(3, 3);
+  cs.Add(0, {kPaddingNode, 0, 1});
+  cs.Add(0, {1, 0, 2});
+  cs.Add(2, {0, 2, kPaddingNode});
+  EXPECT_EQ(cs.MaxContextsPerNode(), 2);
+  EXPECT_EQ(cs.TotalContexts(), 3);
+  EXPECT_EQ(cs.NumContexts(1), 0);
+}
+
+}  // namespace
+}  // namespace coane

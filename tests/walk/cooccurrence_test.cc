@@ -1,0 +1,92 @@
+#include "walk/cooccurrence.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace coane {
+namespace {
+
+Graph MakePath4() {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 3);
+  return std::move(b).Build().ValueOrDie();
+}
+
+ContextSet MakeContexts() {
+  // Hand-built contexts (c = 3) as if from walk 0-1-2-3.
+  ContextSet cs(4, 3);
+  cs.Add(0, {kPaddingNode, 0, 1});
+  cs.Add(1, {0, 1, 2});
+  cs.Add(2, {1, 2, 3});
+  cs.Add(3, {2, 3, kPaddingNode});
+  // An extra context for node 1 seeing a non-adjacent node 3.
+  cs.Add(1, {3, 1, 2});
+  return cs;
+}
+
+TEST(CooccurrenceTest, CountsExcludePaddingAndSelf) {
+  Graph g = MakePath4();
+  auto co = BuildCooccurrence(g, MakeContexts());
+  EXPECT_FLOAT_EQ(co.d.At(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(co.d.At(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(co.d.At(1, 2), 2.0f);
+  EXPECT_FLOAT_EQ(co.d.At(1, 3), 1.0f);
+  EXPECT_FLOAT_EQ(co.d.At(1, 1), 0.0f) << "self excluded";
+  EXPECT_FLOAT_EQ(co.d.At(0, 0), 0.0f) << "padding ignored";
+}
+
+TEST(CooccurrenceTest, D1RestrictsToEdges) {
+  Graph g = MakePath4();
+  auto co = BuildCooccurrence(g, MakeContexts());
+  EXPECT_FLOAT_EQ(co.d1.At(1, 2), 2.0f);
+  EXPECT_FLOAT_EQ(co.d1.At(1, 3), 0.0f) << "1-3 is not an edge";
+  EXPECT_FLOAT_EQ(co.d1.At(2, 3), 1.0f);
+}
+
+TEST(CooccurrenceTest, DTildeIsNormalizedDPlusD1) {
+  Graph g = MakePath4();
+  auto co = BuildCooccurrence(g, MakeContexts());
+  // Row 1 of D: {0:1, 2:2, 3:1}, sum 4. D^N row: {0:.25, 2:.5, 3:.25}.
+  // D^1 row 1: {0:1, 2:2}. D~ row 1: {0:1.25, 2:2.5, 3:0.25}.
+  EXPECT_FLOAT_EQ(co.d_tilde.At(1, 0), 1.25f);
+  EXPECT_FLOAT_EQ(co.d_tilde.At(1, 2), 2.5f);
+  EXPECT_FLOAT_EQ(co.d_tilde.At(1, 3), 0.25f);
+}
+
+TEST(CooccurrenceTest, KpIsMaxContexts) {
+  Graph g = MakePath4();
+  auto co = BuildCooccurrence(g, MakeContexts());
+  EXPECT_EQ(co.k_p, 2);
+}
+
+TEST(TopKPositivePairsTest, TruncatesByWeight) {
+  SparseMatrix d = SparseMatrix::FromTriplets(
+      2, 4, {{0, 0, 0.5f}, {0, 1, 2.0f}, {0, 2, 1.0f}, {0, 3, 0.1f}});
+  auto pairs = TopKPositivePairs(d, 2);
+  ASSERT_EQ(pairs[0].size(), 2u);
+  // Top-2 by weight: cols 1 (2.0) and 2 (1.0); output sorted by j.
+  EXPECT_EQ(pairs[0][0].j, 1);
+  EXPECT_FLOAT_EQ(pairs[0][0].weight, 2.0f);
+  EXPECT_EQ(pairs[0][1].j, 2);
+  EXPECT_TRUE(pairs[1].empty());
+}
+
+TEST(TopKPositivePairsTest, KeepsAllWhenFewer) {
+  SparseMatrix d =
+      SparseMatrix::FromTriplets(1, 3, {{0, 0, 1.0f}, {0, 2, 1.0f}});
+  auto pairs = TopKPositivePairs(d, 10);
+  EXPECT_EQ(pairs[0].size(), 2u);
+}
+
+TEST(CooccurrenceTest, EmptyContextsYieldEmptyMatrices) {
+  Graph g = MakePath4();
+  ContextSet cs(4, 3);
+  auto co = BuildCooccurrence(g, cs);
+  EXPECT_EQ(co.d.nnz(), 0);
+  EXPECT_EQ(co.d1.nnz(), 0);
+  EXPECT_EQ(co.k_p, 0);
+}
+
+}  // namespace
+}  // namespace coane

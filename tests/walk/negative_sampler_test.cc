@@ -1,0 +1,119 @@
+#include "walk/negative_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace coane {
+namespace {
+
+// 6 nodes; node 0's contexts contain nodes 1 and 2; node 5 has many
+// contexts (dominant in P_V).
+struct Fixture {
+  Fixture() : contexts(6, 3) {
+    contexts.Add(0, {1, 0, 2});
+    contexts.Add(1, {0, 1, kPaddingNode});
+    for (int i = 0; i < 8; ++i) contexts.Add(5, {3, 5, 4});
+    d = SparseMatrix::FromTriplets(
+        6, 6,
+        {{0, 1, 1.0f}, {0, 2, 1.0f}, {1, 0, 1.0f},
+         {5, 3, 8.0f}, {5, 4, 8.0f}});
+  }
+  ContextSet contexts;
+  SparseMatrix d;
+};
+
+TEST(ContextualDistributionTest, ProportionalToContextCounts) {
+  Fixture f;
+  auto dist = ContextualDistribution(f.contexts);
+  ASSERT_EQ(dist.size(), 6u);
+  EXPECT_DOUBLE_EQ(dist[0], 1.0 / 10.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0 / 10.0);
+  EXPECT_DOUBLE_EQ(dist[5], 8.0 / 10.0);
+  EXPECT_DOUBLE_EQ(dist[2], 0.0);
+  double sum = 0;
+  for (double p : dist) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(PreSampledNegativeSamplerTest, ExcludesContextMembers) {
+  Fixture f;
+  Rng rng(1);
+  PreSampledNegativeSampler sampler(f.contexts, &f.d, 200, &rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto negs = sampler.Sample(0, 5, {}, &rng);
+    EXPECT_EQ(negs.size(), 5u);
+    for (NodeId u : negs) {
+      EXPECT_NE(u, 0) << "target excluded";
+      EXPECT_NE(u, 1) << "context member excluded";
+      EXPECT_NE(u, 2) << "context member excluded";
+    }
+  }
+}
+
+TEST(PreSampledNegativeSamplerTest, FavorsHighContextNodes) {
+  Fixture f;
+  Rng rng(2);
+  PreSampledNegativeSampler sampler(f.contexts, &f.d, 500, &rng);
+  int count5 = 0, total = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    for (NodeId u : sampler.Sample(0, 5, {}, &rng)) {
+      ++total;
+      if (u == 5) ++count5;
+    }
+  }
+  // P_V(5) = 0.8 before exclusion; after excluding {0,1,2} it dominates.
+  EXPECT_GT(static_cast<double>(count5) / total, 0.6);
+}
+
+TEST(BatchNegativeSamplerTest, DrawsFromBatchOnly) {
+  Fixture f;
+  Rng rng(3);
+  BatchNegativeSampler sampler(f.contexts, &f.d);
+  std::vector<NodeId> batch = {1, 5};  // 1 is in context(0), 5 is not
+  auto negs = sampler.Sample(0, 10, batch, &rng);
+  EXPECT_EQ(negs.size(), 10u);
+  for (NodeId u : negs) EXPECT_EQ(u, 5);
+}
+
+TEST(BatchNegativeSamplerTest, FallsBackWhenBatchIneligible) {
+  Fixture f;
+  Rng rng(4);
+  BatchNegativeSampler sampler(f.contexts, &f.d);
+  std::vector<NodeId> batch = {1, 2};  // all in context(0)
+  auto negs = sampler.Sample(0, 6, batch, &rng);
+  EXPECT_EQ(negs.size(), 6u);
+  for (NodeId u : negs) {
+    EXPECT_NE(u, 0);
+    EXPECT_NE(u, 1);
+    EXPECT_NE(u, 2);
+  }
+}
+
+TEST(UniformNegativeSamplerTest, ExcludesOnlyTarget) {
+  Rng rng(5);
+  UniformNegativeSampler sampler(4);
+  std::set<NodeId> seen;
+  for (int trial = 0; trial < 100; ++trial) {
+    for (NodeId u : sampler.Sample(2, 3, {}, &rng)) {
+      EXPECT_NE(u, 2);
+      EXPECT_GE(u, 0);
+      EXPECT_LT(u, 4);
+      seen.insert(u);
+    }
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(PreSampledNegativeSamplerTest, EmptyContextsDegradeGracefully) {
+  ContextSet empty(4, 3);
+  SparseMatrix d = SparseMatrix::FromTriplets(4, 4, {});
+  Rng rng(6);
+  PreSampledNegativeSampler sampler(empty, &d, 50, &rng);
+  auto negs = sampler.Sample(0, 4, {}, &rng);
+  EXPECT_EQ(negs.size(), 4u);
+  for (NodeId u : negs) EXPECT_NE(u, 0);
+}
+
+}  // namespace
+}  // namespace coane

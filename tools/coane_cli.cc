@@ -1,0 +1,261 @@
+// coane_cli — command-line front end to the CoANE library.
+//
+// Subcommands:
+//   generate  Write a synthetic attributed network to disk.
+//   stats     Print statistics of a graph on disk.
+//   train     Train CoANE embeddings from edge/attribute files.
+//   evaluate  Score saved embeddings on classification and clustering.
+//
+// Examples:
+//   coane_cli generate --dataset=cora --scale=0.2 --out=/tmp/cora
+//   coane_cli stats --edges=/tmp/cora.edges --attrs=/tmp/cora.attrs
+//       --labels=/tmp/cora.labels
+//   coane_cli train --edges=/tmp/cora.edges --attrs=/tmp/cora.attrs
+//       --out=/tmp/cora.emb --dim=64 --epochs=10
+//   coane_cli evaluate --embeddings=/tmp/cora.emb
+//       --labels=/tmp/cora.labels --train-ratio=0.5
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_utils.h"
+#include "common/table_printer.h"
+#include "core/coane_model.h"
+#include "datasets/dataset_registry.h"
+#include "eval/clustering_task.h"
+#include "eval/node_classification.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+
+namespace coane {
+namespace {
+
+// Parsed "--key=value" flags; bare "--key" maps to "true".
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (!StartsWith(arg, "--")) continue;
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it != values_.end() ? it->second : fallback;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it != values_.end() ? std::stod(it->second) : fallback;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it != values_.end() ? std::stoll(it->second) : fallback;
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: coane_cli <command> [--flags]\n"
+      "commands:\n"
+      "  generate --dataset=NAME [--scale=S] [--seed=N] --out=PREFIX\n"
+      "           writes PREFIX.edges / PREFIX.attrs / PREFIX.labels\n"
+      "  stats    --edges=FILE [--attrs=FILE] [--labels=FILE]\n"
+      "  train    --edges=FILE [--attrs=FILE] --out=FILE\n"
+      "           [--dim=128] [--epochs=10] [--context=5] [--walks=1]\n"
+      "           [--walk-length=80] [--negatives=20] [--gamma=1e5]\n"
+      "           [--lr=0.001] [--seed=42] [--presample]\n"
+      "  evaluate --embeddings=FILE --labels=FILE [--train-ratio=0.5]\n"
+      "           [--seed=42]\n"
+      "datasets: ");
+  for (const std::string& name : ListDatasets()) {
+    std::fprintf(stderr, "%s ", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunGenerate(const Flags& flags) {
+  const std::string dataset = flags.Get("dataset");
+  const std::string out = flags.Get("out");
+  if (dataset.empty() || out.empty()) return Usage();
+  auto net = MakeDataset(dataset, flags.GetDouble("scale", 1.0),
+                         static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  if (!net.ok()) return Fail(net.status());
+  Status st = SaveAttributedGraph(net.value().graph, out + ".edges",
+                                  out + ".attrs", out + ".labels");
+  if (!st.ok()) return Fail(st);
+  const GraphStats stats = ComputeGraphStats(net.value().graph);
+  std::printf("wrote %s.{edges,attrs,labels}: %lld nodes, %lld edges, "
+              "%lld attributes, %d labels\n",
+              out.c_str(), static_cast<long long>(stats.num_nodes),
+              static_cast<long long>(stats.num_edges),
+              static_cast<long long>(stats.num_attributes),
+              stats.num_labels);
+  return 0;
+}
+
+Result<Graph> LoadFromFlags(const Flags& flags) {
+  const std::string edges = flags.Get("edges");
+  if (edges.empty()) {
+    return Status::InvalidArgument("--edges is required");
+  }
+  return LoadAttributedGraph(edges, flags.Get("attrs"),
+                             flags.Get("labels"));
+}
+
+int RunStats(const Flags& flags) {
+  auto graph = LoadFromFlags(flags);
+  if (!graph.ok()) return Fail(graph.status());
+  const Graph& g = graph.value();
+  const GraphStats s = ComputeGraphStats(g);
+  TablePrinter table("Graph statistics");
+  table.SetHeader({"metric", "value"});
+  table.AddRow({"nodes", std::to_string(s.num_nodes)});
+  table.AddRow({"edges", std::to_string(s.num_edges)});
+  table.AddRow({"attributes", std::to_string(s.num_attributes)});
+  table.AddRow({"labels", std::to_string(s.num_labels)});
+  table.AddRow({"density", FormatDouble(s.density, 6)});
+  table.AddRow({"avg degree", FormatDouble(s.avg_degree, 2)});
+  table.AddRow({"max degree", std::to_string(s.max_degree)});
+  table.AddRow({"isolated nodes", std::to_string(s.num_isolated)});
+  table.AddRow({"avg attrs/node",
+                FormatDouble(s.avg_attributes_per_node, 2)});
+  table.AddRow({"label homophily", FormatDouble(s.label_homophily, 3)});
+  table.AddRow({"clustering coefficient",
+                FormatDouble(GlobalClusteringCoefficient(g), 3)});
+  table.AddRow({"connected components",
+                std::to_string(CountConnectedComponents(g))});
+  table.ToStdout();
+  return 0;
+}
+
+int RunTrain(const Flags& flags) {
+  const std::string out = flags.Get("out");
+  if (out.empty()) return Usage();
+  auto graph = LoadFromFlags(flags);
+  if (!graph.ok()) return Fail(graph.status());
+
+  CoaneConfig config;
+  config.embedding_dim = flags.GetInt("dim", 128);
+  config.max_epochs = static_cast<int>(flags.GetInt("epochs", 10));
+  config.context_size = static_cast<int>(flags.GetInt("context", 5));
+  config.num_walks = static_cast<int>(flags.GetInt("walks", 1));
+  config.walk_length = static_cast<int>(flags.GetInt("walk-length", 80));
+  config.num_negative = static_cast<int>(flags.GetInt("negatives", 20));
+  config.attribute_gamma =
+      static_cast<float>(flags.GetDouble("gamma", 1e5));
+  config.learning_rate = static_cast<float>(flags.GetDouble("lr", 0.001));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  if (flags.Has("presample")) {
+    config.negative_mode = NegativeSamplingMode::kPreSampled;
+  }
+  if (graph.value().num_attributes() == 0) {
+    std::printf("no attributes given; training structure-only (WF mode)\n");
+    config.use_attributes = false;
+    config.use_attribute_loss = false;
+  }
+
+  CoaneModel model(graph.value(), config);
+  Status st = model.Preprocess();
+  if (!st.ok()) return Fail(st);
+  auto history = model.Train();
+  if (!history.ok()) return Fail(history.status());
+  for (const EpochStats& e : history.value()) {
+    std::printf("epoch %d: L_pos %.2f  L_neg %.2f  L_att %.2f  (%.2fs)\n",
+                e.epoch, e.positive_loss, e.negative_loss,
+                e.attribute_loss, e.seconds);
+  }
+  st = SaveEmbeddings(model.embeddings(), out);
+  if (!st.ok()) return Fail(st);
+  std::printf("embeddings (%lld x %lld) written to %s\n",
+              static_cast<long long>(model.embeddings().rows()),
+              static_cast<long long>(model.embeddings().cols()),
+              out.c_str());
+  return 0;
+}
+
+int RunEvaluate(const Flags& flags) {
+  const std::string embeddings_path = flags.Get("embeddings");
+  const std::string labels_path = flags.Get("labels");
+  if (embeddings_path.empty() || labels_path.empty()) return Usage();
+  auto z = LoadEmbeddings(embeddings_path);
+  if (!z.ok()) return Fail(z.status());
+  // Reuse the graph loader for labels: an empty edge file is not available,
+  // so parse labels directly through LoadAttributedGraph is not possible —
+  // read as rows of "node label".
+  std::vector<int32_t> labels(static_cast<size_t>(z.value().rows()), 0);
+  {
+    std::FILE* f = std::fopen(labels_path.c_str(), "r");
+    if (f == nullptr) {
+      return Fail(Status::IoError("cannot open " + labels_path));
+    }
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+      if (line[0] == '#') continue;
+      long node = 0, label = 0;
+      if (std::sscanf(line, "%ld %ld", &node, &label) == 2 && node >= 0 &&
+          node < static_cast<long>(labels.size())) {
+        labels[static_cast<size_t>(node)] = static_cast<int32_t>(label);
+      }
+    }
+    std::fclose(f);
+  }
+  int num_classes = 0;
+  for (int32_t l : labels) num_classes = std::max(num_classes, l + 1);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  auto f1 = EvaluateNodeClassification(
+      z.value(), labels, num_classes,
+      flags.GetDouble("train-ratio", 0.5), seed, 2);
+  if (!f1.ok()) return Fail(f1.status());
+  auto nmi = EvaluateClusteringNmi(z.value(), labels, num_classes, seed);
+  if (!nmi.ok()) return Fail(nmi.status());
+
+  TablePrinter table("Evaluation of " + embeddings_path);
+  table.SetHeader({"task", "metric", "score"});
+  table.AddRow({"classification", "Macro-F1",
+                FormatDouble(f1.value().macro_f1, 3)});
+  table.AddRow({"classification", "Micro-F1",
+                FormatDouble(f1.value().micro_f1, 3)});
+  table.AddRow({"clustering", "NMI", FormatDouble(nmi.value(), 3)});
+  table.ToStdout();
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (command == "generate") return RunGenerate(flags);
+  if (command == "stats") return RunStats(flags);
+  if (command == "train") return RunTrain(flags);
+  if (command == "evaluate") return RunEvaluate(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace coane
+
+int main(int argc, char** argv) { return coane::Main(argc, argv); }
