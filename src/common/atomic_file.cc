@@ -1,0 +1,89 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/fault_injection.h"
+
+namespace coane {
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+// Writes all of [data, data+size) to fd, retrying on partial writes.
+bool WriteAll(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // short write (e.g. disk full)
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents,
+                       const std::string& fault_point) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("cannot open", tmp);
+
+  // First half, then the fault point, then the rest: an injected failure
+  // leaves a torn temp file behind (like a real crash), never a torn
+  // target.
+  const size_t half = contents.size() / 2;
+  bool ok = WriteAll(fd, contents.data(), half);
+  if (ok && !fault_point.empty() && fault::ShouldFail(fault_point)) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IoError("injected fault at " + fault_point);
+  }
+  if (ok) ok = WriteAll(fd, contents.data() + half, contents.size() - half);
+  if (!ok) {
+    const Status st = Errno("short write on", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::fsync(fd) != 0) {
+    const Status st = Errno("fsync failed on", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::close(fd) != 0) {
+    const Status st = Errno("close failed on", tmp);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status st = Errno("rename failed onto", path);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failure on " + path);
+  return buffer.str();
+}
+
+}  // namespace coane

@@ -1,0 +1,32 @@
+#ifndef COANE_COMMON_ATOMIC_FILE_H_
+#define COANE_COMMON_ATOMIC_FILE_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace coane {
+
+/// Crash-safe whole-file replacement: writes `contents` to `path + ".tmp"`,
+/// fsyncs, then renames over `path`. A reader therefore observes either the
+/// complete old file or the complete new file — never a truncated mix —
+/// and a mid-write kill leaves the previous `path` untouched.
+///
+/// When `fault_point` is non-empty it names a fault-injection point (see
+/// common/fault_injection.h) checked after roughly half the bytes are
+/// written; an armed fault aborts before the rename, leaving the target
+/// intact, exactly like a full disk or a kill would. The partially written
+/// temp file is unlinked on every failure path.
+///
+/// Returns IoError on open/short-write/fsync/rename failures (with errno
+/// text), including injected ones.
+Status WriteFileAtomic(const std::string& path, const std::string& contents,
+                       const std::string& fault_point = "");
+
+/// Reads the whole file into `contents`. Returns IoError when the file
+/// cannot be opened or read. Binary-safe.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace coane
+
+#endif  // COANE_COMMON_ATOMIC_FILE_H_

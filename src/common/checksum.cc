@@ -1,0 +1,37 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace coane {
+namespace {
+
+// Byte-at-a-time table for the reflected CRC-32 polynomial.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t running_crc) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  uint32_t c = running_crc ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const std::string& data) {
+  return Crc32(data.data(), data.size());
+}
+
+}  // namespace coane

@@ -1,0 +1,21 @@
+#ifndef COANE_COMMON_CHECKSUM_H_
+#define COANE_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace coane {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum that
+/// guards every checkpoint section against torn writes and bit rot. The
+/// running-crc overload allows incremental computation over scattered
+/// buffers: crc = Crc32(b, n, crc).
+uint32_t Crc32(const void* data, size_t size, uint32_t running_crc = 0);
+
+/// Convenience overload for in-memory buffers.
+uint32_t Crc32(const std::string& data);
+
+}  // namespace coane
+
+#endif  // COANE_COMMON_CHECKSUM_H_

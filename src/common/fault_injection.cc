@@ -1,0 +1,64 @@
+#include "common/fault_injection.h"
+
+#include <map>
+#include <mutex>
+
+namespace coane {
+namespace fault {
+namespace {
+
+struct PointState {
+  int hits = 0;          // ShouldFail calls seen so far
+  bool armed = false;
+  int trigger_hit = 0;   // 1-based hit index of the first failure
+  int fail_count = 0;    // consecutive failing hits from trigger_hit
+};
+
+std::mutex& Mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, PointState>& Points() {
+  static std::map<std::string, PointState> points;
+  return points;
+}
+
+}  // namespace
+
+void Arm(const std::string& point, int trigger_hit, int fail_count) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  PointState& s = Points()[point];
+  s.hits = 0;
+  s.armed = true;
+  s.trigger_hit = trigger_hit;
+  s.fail_count = fail_count;
+}
+
+void Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Points().find(point);
+  if (it != Points().end()) it->second.armed = false;
+}
+
+void Reset() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Points().clear();
+}
+
+int HitCount(const std::string& point) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Points().find(point);
+  return it != Points().end() ? it->second.hits : 0;
+}
+
+bool ShouldFail(const std::string& point) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  PointState& s = Points()[point];
+  s.hits += 1;
+  return s.armed && s.hits >= s.trigger_hit &&
+         s.hits < s.trigger_hit + s.fail_count;
+}
+
+}  // namespace fault
+}  // namespace coane

@@ -1,0 +1,50 @@
+#ifndef COANE_COMMON_FAULT_INJECTION_H_
+#define COANE_COMMON_FAULT_INJECTION_H_
+
+#include <string>
+
+namespace coane {
+namespace fault {
+
+/// Deterministic fault-injection registry for exercising recovery paths
+/// from tests. Production code threads named *fault points* through its
+/// failure-prone steps:
+///
+///   if (fault::ShouldFail("checkpoint.write")) {
+///     return Status::IoError("injected fault at checkpoint.write");
+///   }
+///
+/// and tests arm a point to fire on a precise hit:
+///
+///   fault::Arm("checkpoint.write", /*trigger_hit=*/2);  // 2nd call fails
+///
+/// When nothing is armed (the default, and always in production) every
+/// ShouldFail call is a cheap hash-map miss that only bumps a counter.
+/// Point names are dotted "<subsystem>.<step>" strings; the registry is
+/// process-global and thread-safe. Determinism: a point fires on exactly
+/// the trigger_hit-th ShouldFail call (1-based) and the fail_count-1
+/// calls after it, independent of timing.
+
+/// Arms `point` to fail on its trigger_hit-th hit (1-based, counted from
+/// the last Reset/Arm of that point) and for `fail_count` consecutive hits
+/// in total. Re-arming a point resets its hit counter.
+void Arm(const std::string& point, int trigger_hit, int fail_count = 1);
+
+/// Disarms `point`; its hit counter keeps counting.
+void Disarm(const std::string& point);
+
+/// Disarms every point and zeroes all hit counters.
+void Reset();
+
+/// Number of times ShouldFail(point) has been called since the last
+/// Reset (or Arm of that point). Lets tests assert a path was reached.
+int HitCount(const std::string& point);
+
+/// Registers one hit on `point` and returns true when the armed window
+/// covers this hit. Callers must treat `true` as "this operation failed".
+bool ShouldFail(const std::string& point);
+
+}  // namespace fault
+}  // namespace coane
+
+#endif  // COANE_COMMON_FAULT_INJECTION_H_

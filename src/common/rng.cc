@@ -2,10 +2,26 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 
 #include "common/logging.h"
 
 namespace coane {
+
+std::string Rng::SerializeState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+bool Rng::DeserializeState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) return false;
+  engine_ = restored;
+  return true;
+}
 
 double Rng::Uniform() {
   return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace coane {
@@ -46,6 +47,14 @@ class Rng {
   std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Full engine state as a portable text blob (the standard mt19937_64
+  /// stream format), so checkpoints can resume the exact random sequence.
+  std::string SerializeState() const;
+
+  /// Restores a state produced by SerializeState. Returns false (leaving
+  /// the engine untouched) when the blob does not parse.
+  bool DeserializeState(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

@@ -18,6 +18,11 @@ enum class StatusCode {
   kIoError,
   kFailedPrecondition,
   kInternal,
+  /// Unrecoverable corruption of stored data: checksum mismatches,
+  /// truncated or bit-flipped checkpoint/serialization payloads. Distinct
+  /// from kIoError (the medium failed) — here the medium worked but the
+  /// bytes are wrong.
+  kDataLoss,
 };
 
 /// A lightweight success-or-error value. Cheap to copy in the OK case
@@ -47,6 +52,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,61 @@
+#ifndef COANE_CORE_CHECKPOINT_H_
+#define COANE_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/coane_config.h"
+
+namespace coane {
+
+/// Versioned, checksummed container for the full CoANE training state.
+///
+/// File layout (all integers little-endian, fixed width):
+///
+///   magic   u32  0x434F414E ("COAN")
+///   version u32  kCheckpointFormatVersion
+///   count   u32  number of sections
+///   then per section:
+///     id    u32  SectionId below
+///     len   u64  payload byte length
+///     crc   u32  CRC-32 of the payload bytes
+///     payload
+///
+/// Every section is independently CRC-guarded: a truncated file, a
+/// bit-flipped byte, or a foreign file is rejected with kDataLoss and the
+/// caller's in-memory state is left untouched. Files are written via
+/// WriteFileAtomic (temp + fsync + rename), so a crash mid-save preserves
+/// the previous checkpoint. Section payloads use src/nn/serialize.h.
+constexpr uint32_t kCheckpointMagic = 0x434F414Eu;
+constexpr uint32_t kCheckpointFormatVersion = 1;
+
+/// The serialized training state, section-by-section. CoaneModel
+/// assembles/applies this; checkpoint.cc only handles framing + CRC.
+struct TrainingCheckpoint {
+  int64_t epochs_done = 0;
+  float learning_rate = 0.0f;      // current (possibly decayed) Adam lr
+  uint64_t config_fingerprint = 0; // rejects resume under a changed config
+  bool has_decoder = false;
+  std::string rng_state;       // Rng::SerializeState blob
+  std::string encoder_blob;    // AppendEncoderWeights payload
+  std::string decoder_blob;    // AppendMlpWeights payload (may be empty)
+  std::string optimizer_blob;  // AppendAdamState payload
+};
+
+/// Writes `ckpt` to `path` atomically. Fault point: "checkpoint.write".
+Status WriteCheckpointFile(const std::string& path,
+                           const TrainingCheckpoint& ckpt);
+
+/// Parses and CRC-verifies `path`. Returns kIoError when the file cannot
+/// be read and kDataLoss for any structural or checksum failure.
+Result<TrainingCheckpoint> ReadCheckpointFile(const std::string& path);
+
+/// FNV-1a digest of every CoaneConfig field that shapes parameters or the
+/// deterministic preprocessing stream. Two runs can only exchange
+/// checkpoints when their fingerprints match.
+uint64_t ConfigFingerprint(const CoaneConfig& config);
+
+}  // namespace coane
+
+#endif  // COANE_CORE_CHECKPOINT_H_

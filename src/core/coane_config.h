@@ -57,6 +57,22 @@ struct CoaneConfig {
   /// only structure is available.
   bool use_attributes = true;
 
+  // --- Robustness (crash-safe training; DESIGN.md "Crash-safe training").
+  /// Per-batch finite-ness checks on the three loss terms and on dL/dZ.
+  /// Leave on: the checks are O(batch gradient) and gate the
+  /// divergence-recovery policy below.
+  bool check_numerics = true;
+  /// Frobenius-norm threshold for clipping the batch gradient dL/dZ
+  /// before it reaches the encoder; 0 disables clipping.
+  float grad_clip_norm = 0.0f;
+  /// When a batch produces a non-finite loss or gradient, the epoch is
+  /// rolled back to its in-memory snapshot, the learning rate is
+  /// multiplied by divergence_lr_decay, and the epoch is retried — at
+  /// most divergence_max_retries times before training fails with a
+  /// clean error instead of NaN embeddings.
+  int divergence_max_retries = 2;
+  float divergence_lr_decay = 0.5f;
+
   // --- Optimization (Sec. 3.3.4).
   int max_epochs = 5;
   int batch_size = 256;

@@ -1,14 +1,19 @@
 #include "core/coane_model.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "core/checkpoint.h"
 #include "core/objective.h"
 #include "la/vector_ops.h"
 #include "nn/linear.h"
+#include "nn/serialize.h"
 #include "walk/random_walk.h"
 
 namespace coane {
@@ -37,7 +42,27 @@ Status ValidateConfig(const CoaneConfig& c) {
       c.embedding_dim % 2 != 0) {
     return Status::InvalidArgument("embedding_dim must be even");
   }
+  if (c.grad_clip_norm < 0.0f) {
+    return Status::InvalidArgument("grad_clip_norm must be non-negative");
+  }
+  if (c.divergence_max_retries < 0) {
+    return Status::InvalidArgument(
+        "divergence_max_retries must be non-negative");
+  }
+  if (!(c.divergence_lr_decay > 0.0f && c.divergence_lr_decay <= 1.0f)) {
+    return Status::InvalidArgument(
+        "divergence_lr_decay must be in (0, 1]");
+  }
   return Status::OK();
+}
+
+bool AllFinite(const DenseMatrix& m) {
+  const float* p = m.data();
+  const int64_t n = m.size();
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
 }
 
 // One-hot identity features for the WF (no attributes) ablation.
@@ -141,7 +166,7 @@ Status CoaneModel::Preprocess() {
 
 Result<std::vector<EpochStats>> CoaneModel::Train() {
   std::vector<EpochStats> history;
-  for (int e = 0; e < config_.max_epochs; ++e) {
+  while (epochs_done_ < config_.max_epochs) {
     auto stats = TrainEpoch();
     if (!stats.ok()) return stats.status();
     history.push_back(stats.value());
@@ -153,9 +178,39 @@ Result<EpochStats> CoaneModel::TrainEpoch() {
   if (!preprocessed_) {
     return Status::FailedPrecondition("call Preprocess() before training");
   }
+  // Divergence-recovery policy: snapshot the mutable state, and on a
+  // non-finite batch roll back, decay the learning rate, and retry the
+  // epoch — bounded, then fail cleanly instead of emitting NaN embeddings.
+  const std::string snapshot = SnapshotState();
+  const float base_lr = optimizer_.config().learning_rate;
+  for (int attempt = 0;; ++attempt) {
+    auto stats = TrainEpochOnce();
+    if (stats.ok()) return stats;
+    if (stats.status().code() != StatusCode::kInternal) {
+      return stats.status();
+    }
+    COANE_RETURN_IF_ERROR(RestoreState(snapshot));
+    RenewEmbeddings();
+    if (attempt >= config_.divergence_max_retries) {
+      return Status::Internal(
+          "training diverged at epoch " + std::to_string(epochs_done_ + 1) +
+          " and did not recover after " + std::to_string(attempt) +
+          " retry(ies); model rolled back to the epoch-start state: " +
+          stats.status().message());
+    }
+    const float lr = base_lr * std::pow(config_.divergence_lr_decay,
+                                        static_cast<float>(attempt + 1));
+    optimizer_.set_learning_rate(lr);
+    COANE_LOG(Warning) << "epoch " << (epochs_done_ + 1)
+                       << " diverged (" << stats.status().message()
+                       << "); rolled back, retrying with lr " << lr;
+  }
+}
+
+Result<EpochStats> CoaneModel::TrainEpochOnce() {
   Stopwatch watch;
   EpochStats stats;
-  stats.epoch = ++epochs_done_;
+  stats.epoch = epochs_done_ + 1;
 
   // RandomlySplitBatch: shuffle nodes, carve into batches of n_B.
   std::vector<NodeId> order(static_cast<size_t>(graph_.num_nodes()));
@@ -167,33 +222,44 @@ Result<EpochStats> CoaneModel::TrainEpoch() {
         order.size(), start + static_cast<size_t>(config_.batch_size));
     std::vector<NodeId> batch(order.begin() + static_cast<int64_t>(start),
                               order.begin() + static_cast<int64_t>(end));
-    TrainBatch(batch, &stats);
+    COANE_RETURN_IF_ERROR(TrainBatch(batch, &stats));
   }
   RenewEmbeddings();
   stats.total_loss =
       stats.positive_loss + stats.negative_loss + stats.attribute_loss;
   stats.seconds = watch.ElapsedSeconds();
+  ++epochs_done_;
   return stats;
 }
 
-void CoaneModel::TrainBatch(const std::vector<NodeId>& batch,
-                            EpochStats* stats) {
+Status CoaneModel::TrainBatch(const std::vector<NodeId>& batch,
+                              EpochStats* stats) {
   // --- Embedding Updating: refresh z_v for batch nodes from the encoder.
   for (NodeId v : batch) {
     encoder_->EncodeNode(*contexts_, features_, v, z_.Row(v));
     in_batch_[static_cast<size_t>(v)] = 1;
   }
+  // Whatever happens below, batch-membership flags must not leak into the
+  // next batch.
+  struct FlagReset {
+    const std::vector<NodeId>& batch;
+    std::vector<uint8_t>& flags;
+    ~FlagReset() {
+      for (NodeId v : batch) flags[static_cast<size_t>(v)] = 0;
+    }
+  } flag_reset{batch, in_batch_};
 
   DenseMatrix dz(z_.rows(), z_.cols(), 0.0f);
 
   // --- Loss Updating.
+  double positive = 0.0, negative = 0.0, attribute = 0.0;
   if (config_.use_positive_loss) {
-    stats->positive_loss += PositiveLikelihoodLoss(
+    positive = PositiveLikelihoodLoss(
         z_, positive_pairs_, batch, in_batch_,
         /*split_lr=*/!config_.skipgram_positive, &dz);
   }
   if (config_.use_negative_loss && config_.num_negative > 0) {
-    stats->negative_loss += ContextualNegativeLoss(
+    negative = ContextualNegativeLoss(
         z_, batch, in_batch_, config_.negative_weight, config_.num_negative,
         negative_sampler_.get(), &rng_, &dz);
   }
@@ -208,12 +274,39 @@ void CoaneModel::TrainBatch(const std::vector<NodeId>& batch,
     DenseMatrix x_hat = decoder_->Forward(z_batch);
     DenseMatrix dx_hat;
     const double mse = MseLoss(x_hat, x_batch, &dx_hat);
-    stats->attribute_loss += config_.attribute_gamma * mse;
+    attribute = config_.attribute_gamma * mse;
     dx_hat.Scale(config_.attribute_gamma);
     DenseMatrix dz_batch = decoder_->Backward(dx_hat);
     for (size_t b = 0; b < batch.size(); ++b) {
       Axpy(1.0f, dz_batch.Row(static_cast<int64_t>(b)),
            dz.Row(batch[b]), z_.cols());
+    }
+  }
+
+  if (fault::ShouldFail("train.batch_grad")) {
+    // Simulated divergence: poison the batch gradient exactly like an
+    // overflowing loss term would.
+    dz.Row(batch.front())[0] = std::numeric_limits<float>::quiet_NaN();
+  }
+
+  // --- Numerical health: reject the batch before any parameter is
+  // stepped, so rollback only ever has to undo whole epochs.
+  if (config_.check_numerics) {
+    if (!std::isfinite(positive) || !std::isfinite(negative) ||
+        !std::isfinite(attribute)) {
+      return Status::Internal("non-finite loss (L_pos=" +
+                              std::to_string(positive) + ", L_neg=" +
+                              std::to_string(negative) + ", L_att=" +
+                              std::to_string(attribute) + ")");
+    }
+    if (!AllFinite(dz)) {
+      return Status::Internal("non-finite batch gradient dL/dZ");
+    }
+  }
+  if (config_.grad_clip_norm > 0.0f) {
+    const double norm = dz.FrobeniusNorm();
+    if (norm > config_.grad_clip_norm) {
+      dz.Scale(static_cast<float>(config_.grad_clip_norm / norm));
     }
   }
 
@@ -224,7 +317,10 @@ void CoaneModel::TrainBatch(const std::vector<NodeId>& batch,
   encoder_->ApplyGrad(&optimizer_);
   if (config_.use_attribute_loss) decoder_->ApplyGrad(&optimizer_);
 
-  for (NodeId v : batch) in_batch_[static_cast<size_t>(v)] = 0;
+  stats->positive_loss += positive;
+  stats->negative_loss += negative;
+  stats->attribute_loss += attribute;
+  return Status::OK();
 }
 
 void CoaneModel::RenewEmbeddings() {
@@ -243,6 +339,112 @@ DenseMatrix CoaneModel::BatchFeatures(
     }
   }
   return x;
+}
+
+std::string CoaneModel::SnapshotState() const {
+  std::string blob;
+  AppendF32(&blob, optimizer_.config().learning_rate);
+  const std::string rng_state = rng_.SerializeState();
+  AppendU64(&blob, rng_state.size());
+  blob.append(rng_state);
+  AppendEncoderWeights(&blob, *encoder_);
+  AppendU32(&blob, decoder_ ? 1 : 0);
+  if (decoder_) AppendMlpWeights(&blob, *decoder_);
+  AppendAdamState(&blob, optimizer_);
+  return blob;
+}
+
+Status CoaneModel::RestoreState(const std::string& blob) {
+  ByteReader reader(blob);
+  float lr = 0.0f;
+  uint64_t rng_size = 0;
+  std::string rng_state;
+  if (!reader.ReadF32(&lr) || !reader.ReadU64(&rng_size) ||
+      !reader.ReadBytes(rng_size, &rng_state)) {
+    return Status::DataLoss("truncated model state blob");
+  }
+  if (!rng_.DeserializeState(rng_state)) {
+    return Status::DataLoss("corrupt RNG state in model state blob");
+  }
+  COANE_RETURN_IF_ERROR(ReadEncoderWeightsInto(&reader, encoder_.get()));
+  uint32_t has_decoder = 0;
+  if (!reader.ReadU32(&has_decoder)) {
+    return Status::DataLoss("truncated model state blob");
+  }
+  if ((has_decoder != 0) != (decoder_ != nullptr)) {
+    return Status::DataLoss("decoder presence mismatch in state blob");
+  }
+  if (decoder_) {
+    COANE_RETURN_IF_ERROR(ReadMlpWeightsInto(&reader, decoder_.get()));
+  }
+  COANE_RETURN_IF_ERROR(ReadAdamStateInto(&reader, &optimizer_));
+  optimizer_.set_learning_rate(lr);
+  return Status::OK();
+}
+
+Status CoaneModel::SaveCheckpoint(const std::string& path) const {
+  if (!preprocessed_) {
+    return Status::FailedPrecondition(
+        "call Preprocess() before SaveCheckpoint()");
+  }
+  TrainingCheckpoint ckpt;
+  ckpt.epochs_done = epochs_done_;
+  ckpt.learning_rate = optimizer_.config().learning_rate;
+  ckpt.config_fingerprint = ConfigFingerprint(config_);
+  ckpt.has_decoder = decoder_ != nullptr;
+  ckpt.rng_state = rng_.SerializeState();
+  AppendEncoderWeights(&ckpt.encoder_blob, *encoder_);
+  if (decoder_) AppendMlpWeights(&ckpt.decoder_blob, *decoder_);
+  AppendAdamState(&ckpt.optimizer_blob, optimizer_);
+  return WriteCheckpointFile(path, ckpt);
+}
+
+Status CoaneModel::LoadCheckpoint(const std::string& path) {
+  if (!preprocessed_) {
+    return Status::FailedPrecondition(
+        "call Preprocess() before LoadCheckpoint()");
+  }
+  auto loaded = ReadCheckpointFile(path);
+  if (!loaded.ok()) return loaded.status();
+  const TrainingCheckpoint& ckpt = loaded.value();
+  if (ckpt.config_fingerprint != ConfigFingerprint(config_)) {
+    return Status::FailedPrecondition(
+        "checkpoint " + path +
+        " was written under a different configuration");
+  }
+  if (ckpt.has_decoder != (decoder_ != nullptr)) {
+    return Status::DataLoss("decoder presence mismatch in " + path);
+  }
+
+  // All-or-nothing: restore section by section, and on any failure roll
+  // the model back to the state it had before this call.
+  const std::string backup = SnapshotState();
+  Status st = [&]() -> Status {
+    if (!rng_.DeserializeState(ckpt.rng_state)) {
+      return Status::DataLoss("corrupt RNG section in " + path);
+    }
+    ByteReader encoder_reader(ckpt.encoder_blob);
+    COANE_RETURN_IF_ERROR(
+        ReadEncoderWeightsInto(&encoder_reader, encoder_.get()));
+    if (decoder_) {
+      ByteReader decoder_reader(ckpt.decoder_blob);
+      COANE_RETURN_IF_ERROR(
+          ReadMlpWeightsInto(&decoder_reader, decoder_.get()));
+    }
+    ByteReader optimizer_reader(ckpt.optimizer_blob);
+    COANE_RETURN_IF_ERROR(
+        ReadAdamStateInto(&optimizer_reader, &optimizer_));
+    return Status::OK();
+  }();
+  if (!st.ok()) {
+    const Status rollback = RestoreState(backup);
+    COANE_CHECK(rollback.ok());
+    return st;
+  }
+  optimizer_.set_learning_rate(ckpt.learning_rate);
+  epochs_done_ = static_cast<int>(ckpt.epochs_done);
+  RenewEmbeddings();
+  return Status::OK();
 }
 
 Result<DenseMatrix> TrainCoaneEmbeddings(const Graph& graph,

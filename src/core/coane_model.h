@@ -47,12 +47,35 @@ class CoaneModel {
   /// TrainEpoch. Fails on invalid configuration.
   Status Preprocess();
 
-  /// Trains for config.max_epochs epochs (calls TrainEpoch repeatedly) and
-  /// refreshes all embeddings. Returns the per-epoch history.
+  /// Trains until epochs_done() reaches config.max_epochs (calls
+  /// TrainEpoch repeatedly) and refreshes all embeddings. Returns the
+  /// per-epoch history of the epochs run by this call — after
+  /// LoadCheckpoint it covers only the remaining epochs.
   Result<std::vector<EpochStats>> Train();
 
-  /// Runs one epoch of batch updates and refreshes all embeddings.
+  /// Runs one epoch of batch updates and refreshes all embeddings. When a
+  /// batch yields a non-finite loss or gradient, the epoch is rolled back
+  /// to its in-memory snapshot and retried with a decayed learning rate
+  /// (config.divergence_max_retries / divergence_lr_decay); persistent
+  /// divergence returns an Internal error with the model left at the
+  /// pre-epoch state.
   Result<EpochStats> TrainEpoch();
+
+  /// Number of completed training epochs (restored by LoadCheckpoint).
+  int epochs_done() const { return epochs_done_; }
+
+  /// Serializes the full training state — encoder filters, decoder
+  /// weights, Adam moments and step counts, RNG state, epochs_done — to a
+  /// CRC-guarded checkpoint file, written atomically (temp + fsync +
+  /// rename). Requires Preprocess(). Fault point: "checkpoint.write".
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Restores a checkpoint written by SaveCheckpoint into this model.
+  /// Requires Preprocess() with the same graph and config (enforced via a
+  /// config fingerprint). A corrupt checkpoint is rejected with kDataLoss
+  /// and the model keeps its current state. A resumed run is bit-identical
+  /// to an uninterrupted run with the same seed.
+  Status LoadCheckpoint(const std::string& path);
 
   /// Node embeddings Z (n x d'), refreshed after each epoch.
   const DenseMatrix& embeddings() const { return z_; }
@@ -68,8 +91,17 @@ class CoaneModel {
   const CoaneConfig& config() const { return config_; }
 
  private:
+  // One full pass over all batches; fails fast on the first unhealthy
+  // batch without stepping the optimizer on it.
+  Result<EpochStats> TrainEpochOnce();
   // Runs one batch update (Embedding Updating + Loss Updating of Alg. 1).
-  void TrainBatch(const std::vector<NodeId>& batch, EpochStats* stats);
+  // Returns Internal when numerical-health checks reject the batch.
+  Status TrainBatch(const std::vector<NodeId>& batch, EpochStats* stats);
+  // Serializes / restores the mutable training state (weights, optimizer
+  // moments, RNG, learning rate) for divergence rollback and for
+  // LoadCheckpoint's all-or-nothing guarantee.
+  std::string SnapshotState() const;
+  Status RestoreState(const std::string& blob);
   // Recomputes z_v for all nodes from the current encoder.
   void RenewEmbeddings();
   // Densifies feature rows of `batch` into a (batch x d) matrix.

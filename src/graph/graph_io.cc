@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/string_utils.h"
 #include "graph/graph_builder.h"
 
@@ -137,42 +138,43 @@ Result<Graph> LoadAttributedGraph(const std::string& edges_path,
 Status SaveAttributedGraph(const Graph& graph, const std::string& edges_path,
                            const std::string& attributes_path,
                            const std::string& labels_path) {
+  // All three files go through WriteFileAtomic: a killed `generate` or
+  // `train` never leaves a truncated file for a later run to consume.
   {
-    std::ofstream out(edges_path);
-    if (!out) return Status::IoError("cannot open " + edges_path);
+    std::ostringstream out;
     out << "# src dst weight\n";
     for (const Edge& e : graph.UndirectedEdges()) {
       out << e.src << " " << e.dst << " " << e.weight << "\n";
     }
-    if (!out) return Status::IoError("write failure on " + edges_path);
+    COANE_RETURN_IF_ERROR(
+        WriteFileAtomic(edges_path, out.str(), "graph_io.save"));
   }
   if (!attributes_path.empty() && graph.num_attributes() > 0) {
-    std::ofstream out(attributes_path);
-    if (!out) return Status::IoError("cannot open " + attributes_path);
+    std::ostringstream out;
     out << "# node attr_index value\n";
     for (int64_t v = 0; v < graph.num_nodes(); ++v) {
       for (const SparseEntry& e : graph.attributes().Row(v)) {
         out << v << " " << e.col << " " << e.value << "\n";
       }
     }
-    if (!out) return Status::IoError("write failure on " + attributes_path);
+    COANE_RETURN_IF_ERROR(
+        WriteFileAtomic(attributes_path, out.str(), "graph_io.save"));
   }
   if (!labels_path.empty() && !graph.labels().empty()) {
-    std::ofstream out(labels_path);
-    if (!out) return Status::IoError("cannot open " + labels_path);
+    std::ostringstream out;
     out << "# node label\n";
     for (int64_t v = 0; v < graph.num_nodes(); ++v) {
       out << v << " " << graph.labels()[static_cast<size_t>(v)] << "\n";
     }
-    if (!out) return Status::IoError("write failure on " + labels_path);
+    COANE_RETURN_IF_ERROR(
+        WriteFileAtomic(labels_path, out.str(), "graph_io.save"));
   }
   return Status::OK();
 }
 
 Status SaveEmbeddings(const DenseMatrix& embeddings,
                       const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path);
+  std::ostringstream out;
   out << "# node embedding[" << embeddings.cols() << "]\n";
   for (int64_t i = 0; i < embeddings.rows(); ++i) {
     out << i;
@@ -181,8 +183,7 @@ Status SaveEmbeddings(const DenseMatrix& embeddings,
     }
     out << "\n";
   }
-  if (!out) return Status::IoError("write failure on " + path);
-  return Status::OK();
+  return WriteFileAtomic(path, out.str(), "graph_io.save");
 }
 
 Result<DenseMatrix> LoadEmbeddings(const std::string& path) {

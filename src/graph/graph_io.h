@@ -31,11 +31,14 @@ Result<Graph> LoadAttributedGraph(const std::string& edges_path,
                                   int64_t num_attributes = 0);
 
 /// Writes the three files (edges always; attributes/labels when present).
+/// Each file is written atomically (temp + fsync + rename), so a crash
+/// mid-save never leaves a truncated file. Fault point: "graph_io.save".
 Status SaveAttributedGraph(const Graph& graph, const std::string& edges_path,
                            const std::string& attributes_path,
                            const std::string& labels_path);
 
-/// Writes an n x d' embedding matrix as "node v1 v2 ... vd" lines.
+/// Writes an n x d' embedding matrix as "node v1 v2 ... vd" lines,
+/// atomically (see SaveAttributedGraph). Fault point: "graph_io.save".
 Status SaveEmbeddings(const DenseMatrix& embeddings,
                       const std::string& path);
 

@@ -6,6 +6,12 @@
 
 namespace coane {
 
+size_t AdamOptimizer::Check(int id) const {
+  COANE_CHECK_GE(id, 0);
+  COANE_CHECK_LT(id, static_cast<int>(slots_.size()));
+  return static_cast<size_t>(id);
+}
+
 int AdamOptimizer::Register(DenseMatrix* param) {
   COANE_CHECK(param != nullptr);
   Slot slot;

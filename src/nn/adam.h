@@ -35,6 +35,17 @@ class AdamOptimizer {
   const AdamConfig& config() const { return config_; }
   void set_learning_rate(float lr) { config_.learning_rate = lr; }
 
+  /// State accessors for checkpointing (src/nn/serialize.cc) and for the
+  /// divergence-recovery snapshots taken by the training loop. Slot ids
+  /// run [0, num_slots()).
+  int num_slots() const { return static_cast<int>(slots_.size()); }
+  int64_t slot_step(int id) const { return slots_[Check(id)].t; }
+  void set_slot_step(int id, int64_t t) { slots_[Check(id)].t = t; }
+  const DenseMatrix& slot_moment1(int id) const { return slots_[Check(id)].m; }
+  const DenseMatrix& slot_moment2(int id) const { return slots_[Check(id)].v; }
+  DenseMatrix* mutable_slot_moment1(int id) { return &slots_[Check(id)].m; }
+  DenseMatrix* mutable_slot_moment2(int id) { return &slots_[Check(id)].v; }
+
  private:
   struct Slot {
     DenseMatrix* param;
@@ -42,6 +53,10 @@ class AdamOptimizer {
     DenseMatrix v;  // second moment
     int64_t t = 0;
   };
+  // Bounds-checks a slot id (COANE_CHECK lives in logging.h; keep this
+  // header light) and returns it as an index.
+  size_t Check(int id) const;
+
   AdamConfig config_;
   std::vector<Slot> slots_;
 };

@@ -70,6 +70,17 @@ class ContextEncoder {
   /// returns the same shared matrix. Used by the Fig. 6b filter analysis.
   const DenseMatrix& PositionWeights(int p) const;
 
+  /// Number of distinct parameter matrices actually stored: context_size
+  /// for kConvolution, 1 for kFullyConnected. Checkpointing iterates
+  /// [0, num_weight_matrices()).
+  int num_weight_matrices() const { return num_position_matrices(); }
+  const DenseMatrix& weight_matrix(int i) const {
+    return weights_[static_cast<size_t>(i)];
+  }
+  DenseMatrix* mutable_weight_matrix(int i) {
+    return &weights_[static_cast<size_t>(i)];
+  }
+
   /// The Xavier-initialized weights W_p before any training step, kept so
   /// filter analyses can measure how far training moved each attribute's
   /// weights (Fig. 6b).

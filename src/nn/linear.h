@@ -34,6 +34,7 @@ class Linear {
   const DenseMatrix& weight() const { return weight_; }
   DenseMatrix* mutable_weight() { return &weight_; }
   const DenseMatrix& bias() const { return bias_; }
+  DenseMatrix* mutable_bias() { return &bias_; }
   const DenseMatrix& weight_grad() const { return weight_grad_; }
   const DenseMatrix& bias_grad() const { return bias_grad_; }
 

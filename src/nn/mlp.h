@@ -32,6 +32,7 @@ class Mlp {
   int64_t out_dim() const { return layers_.back().out_dim(); }
   size_t num_layers() const { return layers_.size(); }
   const Linear& layer(size_t i) const { return layers_[i]; }
+  Linear& mutable_layer(size_t i) { return layers_[i]; }
 
  private:
   std::vector<Linear> layers_;

@@ -27,6 +27,14 @@ TEST(StatusTest, AllCodesRenderNames) {
   EXPECT_EQ(Status::FailedPrecondition("x").ToString(),
             "FailedPrecondition: x");
   EXPECT_EQ(Status::Internal("x").ToString(), "Internal: x");
+  EXPECT_EQ(Status::DataLoss("x").ToString(), "DataLoss: x");
+}
+
+TEST(StatusTest, DataLossCodeForCorruption) {
+  Status s = Status::DataLoss("checksum mismatch in checkpoint section 3");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "checksum mismatch in checkpoint section 3");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -5,8 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 
+#include "common/atomic_file.h"
+#include "common/fault_injection.h"
 #include "core/coane_model.h"
 #include "datasets/attributed_sbm.h"
 #include "graph/graph_builder.h"
@@ -14,6 +18,12 @@
 
 namespace coane {
 namespace {
+
+bool BitIdentical(const DenseMatrix& a, const DenseMatrix& b) {
+  return a.SameShape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
 
 AttributedNetwork TinyNet() {
   AttributedSbmConfig c;
@@ -145,6 +155,213 @@ TEST(RobustnessTest, EmbeddingFileRoundTripWithExtremeValues) {
     EXPECT_NEAR(b, a, std::abs(a) * 1e-4f + 1e-30f);
   }
   std::remove(path.c_str());
+}
+
+// --- Crash-safe training: checkpoint/restore, corruption rejection, and
+// --- the fault-injected recovery paths.
+
+TEST(RobustnessTest, KillAndResumeIsBitIdentical) {
+  fault::Reset();
+  AttributedNetwork net = TinyNet();
+  CoaneConfig cfg = TinyConfig();
+  cfg.max_epochs = 4;
+
+  // Straight run: 4 uninterrupted epochs.
+  CoaneModel straight(net.graph, cfg);
+  ASSERT_TRUE(straight.Preprocess().ok());
+  ASSERT_TRUE(straight.Train().ok());
+
+  // Interrupted run: 2 epochs, checkpoint, "kill".
+  const std::string path = "/tmp/coane_resume.ckpt";
+  {
+    CoaneModel first_half(net.graph, cfg);
+    ASSERT_TRUE(first_half.Preprocess().ok());
+    ASSERT_TRUE(first_half.TrainEpoch().ok());
+    ASSERT_TRUE(first_half.TrainEpoch().ok());
+    ASSERT_TRUE(first_half.SaveCheckpoint(path).ok());
+  }
+
+  // Fresh process: preprocess, restore, finish the remaining epochs.
+  CoaneModel resumed(net.graph, cfg);
+  ASSERT_TRUE(resumed.Preprocess().ok());
+  Status st = resumed.LoadCheckpoint(path);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(resumed.epochs_done(), 2);
+  auto history = resumed.Train();
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history.value().size(), 2u);  // only the remaining epochs
+  EXPECT_EQ(history.value().front().epoch, 3);
+
+  EXPECT_TRUE(BitIdentical(straight.embeddings(), resumed.embeddings()))
+      << "resumed run must match the uninterrupted run bit-for-bit";
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, CheckpointRejectedUnderDifferentConfig) {
+  AttributedNetwork net = TinyNet();
+  CoaneConfig cfg = TinyConfig();
+  const std::string path = "/tmp/coane_cfg_mismatch.ckpt";
+  CoaneModel model(net.graph, cfg);
+  ASSERT_TRUE(model.Preprocess().ok());
+  ASSERT_TRUE(model.SaveCheckpoint(path).ok());
+
+  CoaneConfig other = cfg;
+  other.seed = 12345;  // different RNG stream => not resumable
+  CoaneModel mismatched(net.graph, other);
+  ASSERT_TRUE(mismatched.Preprocess().ok());
+  Status st = mismatched.LoadCheckpoint(path);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, TruncatedCheckpointIsDataLossAndNeverLoaded) {
+  AttributedNetwork net = TinyNet();
+  CoaneConfig cfg = TinyConfig();
+  const std::string path = "/tmp/coane_truncated.ckpt";
+  CoaneModel model(net.graph, cfg);
+  ASSERT_TRUE(model.Preprocess().ok());
+  ASSERT_TRUE(model.TrainEpoch().ok());
+  ASSERT_TRUE(model.SaveCheckpoint(path).ok());
+  const DenseMatrix before = model.embeddings();
+
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  for (double keep : {0.9, 0.5, 0.1}) {
+    std::string cut = contents.value().substr(
+        0, static_cast<size_t>(keep * contents.value().size()));
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << cut;
+    Status st = model.LoadCheckpoint(path);
+    EXPECT_EQ(st.code(), StatusCode::kDataLoss)
+        << "keep=" << keep << ": " << st.ToString();
+    // The model must keep its previous state untouched.
+    EXPECT_TRUE(BitIdentical(model.embeddings(), before));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, BitFlippedCheckpointIsDataLossAndNeverLoaded) {
+  AttributedNetwork net = TinyNet();
+  CoaneConfig cfg = TinyConfig();
+  const std::string path = "/tmp/coane_bitflip.ckpt";
+  CoaneModel model(net.graph, cfg);
+  ASSERT_TRUE(model.Preprocess().ok());
+  ASSERT_TRUE(model.TrainEpoch().ok());
+  ASSERT_TRUE(model.SaveCheckpoint(path).ok());
+  const DenseMatrix before = model.embeddings();
+
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  const std::string& good = contents.value();
+  // Flip one bit at a spread of offsets: header, section framing, and
+  // payload bytes must all be caught.
+  for (size_t offset :
+       {size_t{0}, size_t{5}, size_t{13}, good.size() / 3,
+        good.size() / 2, good.size() - 1}) {
+    std::string bad = good;
+    bad[offset] = static_cast<char>(bad[offset] ^ 0x10);
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << bad;
+    Status st = model.LoadCheckpoint(path);
+    EXPECT_EQ(st.code(), StatusCode::kDataLoss)
+        << "offset=" << offset << ": " << st.ToString();
+    EXPECT_TRUE(BitIdentical(model.embeddings(), before));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, CheckpointWriteFaultLeavesPreviousCheckpoint) {
+  fault::Reset();
+  AttributedNetwork net = TinyNet();
+  CoaneConfig cfg = TinyConfig();
+  const std::string path = "/tmp/coane_ckpt_fault.ckpt";
+  CoaneModel model(net.graph, cfg);
+  ASSERT_TRUE(model.Preprocess().ok());
+  ASSERT_TRUE(model.SaveCheckpoint(path).ok());
+
+  ASSERT_TRUE(model.TrainEpoch().ok());
+  fault::Arm("checkpoint.write", /*trigger_hit=*/1);
+  Status st = model.SaveCheckpoint(path);
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  fault::Reset();
+
+  // The epoch-0 checkpoint survived the failed overwrite and still loads.
+  CoaneModel fresh(net.graph, cfg);
+  ASSERT_TRUE(fresh.Preprocess().ok());
+  ASSERT_TRUE(fresh.LoadCheckpoint(path).ok());
+  EXPECT_EQ(fresh.epochs_done(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, NanBatchRollsBackAndRecovers) {
+  fault::Reset();
+  AttributedNetwork net = TinyNet();
+  CoaneConfig cfg = TinyConfig();
+  cfg.max_epochs = 2;
+  CoaneModel model(net.graph, cfg);
+  ASSERT_TRUE(model.Preprocess().ok());
+
+  // Poison the first batch gradient of the first epoch; the retry (same
+  // epoch, decayed lr) must run clean and training must finish finite.
+  fault::Arm("train.batch_grad", /*trigger_hit=*/1);
+  auto history = model.Train();
+  fault::Reset();
+  ASSERT_TRUE(history.ok()) << history.status().ToString();
+  EXPECT_EQ(history.value().size(), 2u);
+  for (int64_t i = 0; i < model.embeddings().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(model.embeddings().data()[i]));
+  }
+}
+
+TEST(RobustnessTest, PersistentDivergenceFailsCleanly) {
+  fault::Reset();
+  AttributedNetwork net = TinyNet();
+  CoaneConfig cfg = TinyConfig();
+  cfg.divergence_max_retries = 1;
+  CoaneModel model(net.graph, cfg);
+  ASSERT_TRUE(model.Preprocess().ok());
+
+  // Every batch diverges: retries are exhausted and training reports a
+  // clean Internal error instead of NaN embeddings.
+  fault::Arm("train.batch_grad", /*trigger_hit=*/1,
+             /*fail_count=*/1 << 20);
+  auto history = model.Train();
+  fault::Reset();
+  ASSERT_FALSE(history.ok());
+  EXPECT_EQ(history.status().code(), StatusCode::kInternal);
+  // The rollback left the pre-epoch (initial) state, which is finite.
+  for (int64_t i = 0; i < model.embeddings().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(model.embeddings().data()[i]));
+  }
+}
+
+TEST(RobustnessTest, FullDiskEmbeddingSaveLeavesOldFileIntact) {
+  fault::Reset();
+  const std::string path = "/tmp/coane_fulldisk_emb.txt";
+  DenseMatrix good(2, 2, 1.0f);
+  ASSERT_TRUE(SaveEmbeddings(good, path).ok());
+
+  DenseMatrix update(2, 2, 2.0f);
+  fault::Arm("graph_io.save", /*trigger_hit=*/1);
+  Status st = SaveEmbeddings(update, path);
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  fault::Reset();
+
+  auto loaded = LoadEmbeddings(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(BitIdentical(loaded.value(), good))
+      << "failed save must not clobber the previous embeddings";
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, GradClipBoundsBatchGradient) {
+  AttributedNetwork net = TinyNet();
+  CoaneConfig cfg = TinyConfig();
+  cfg.grad_clip_norm = 0.5f;
+  cfg.max_epochs = 2;
+  auto z = TrainCoaneEmbeddings(net.graph, cfg);
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  for (int64_t i = 0; i < z.value().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(z.value().data()[i]));
+  }
 }
 
 }  // namespace

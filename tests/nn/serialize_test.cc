@@ -1,0 +1,157 @@
+// Round-trip tests for the binary training-state serialization layer that
+// backs checkpoints (src/nn/serialize.h).
+
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace coane {
+namespace {
+
+DenseMatrix RandomMatrix(int64_t rows, int64_t cols, Rng* rng) {
+  DenseMatrix m(rows, cols);
+  m.GaussianInit(rng, 0.0f, 1.0f);
+  return m;
+}
+
+bool BitIdentical(const DenseMatrix& a, const DenseMatrix& b) {
+  return a.SameShape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+TEST(SerializeTest, MatrixRoundTripIsBitIdentical) {
+  Rng rng(7);
+  DenseMatrix m = RandomMatrix(5, 9, &rng);
+  std::string blob;
+  AppendMatrix(&blob, m);
+
+  DenseMatrix restored(5, 9, 0.0f);
+  ByteReader reader(blob);
+  ASSERT_TRUE(ReadMatrixInto(&reader, &restored).ok());
+  EXPECT_TRUE(BitIdentical(m, restored));
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(SerializeTest, MatrixShapeMismatchIsDataLoss) {
+  Rng rng(7);
+  DenseMatrix m = RandomMatrix(4, 4, &rng);
+  std::string blob;
+  AppendMatrix(&blob, m);
+
+  DenseMatrix wrong(4, 5, 0.0f);
+  ByteReader reader(blob);
+  Status st = ReadMatrixInto(&reader, &wrong);
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializeTest, TruncatedMatrixIsDataLoss) {
+  Rng rng(7);
+  DenseMatrix m = RandomMatrix(6, 6, &rng);
+  std::string blob;
+  AppendMatrix(&blob, m);
+  blob.resize(blob.size() / 2);
+
+  DenseMatrix restored(6, 6, 0.0f);
+  ByteReader reader(blob);
+  Status st = ReadMatrixInto(&reader, &restored);
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializeTest, EncoderRoundTrip) {
+  Rng rng(11);
+  ContextEncoder original(3, 7, 4, ContextEncoder::Kind::kConvolution,
+                          &rng);
+  std::string blob;
+  AppendEncoderWeights(&blob, original);
+
+  Rng other(99);  // different init, fully overwritten by the restore
+  ContextEncoder restored(3, 7, 4, ContextEncoder::Kind::kConvolution,
+                          &other);
+  ByteReader reader(blob);
+  ASSERT_TRUE(ReadEncoderWeightsInto(&reader, &restored).ok());
+  for (int i = 0; i < original.num_weight_matrices(); ++i) {
+    EXPECT_TRUE(
+        BitIdentical(original.weight_matrix(i), restored.weight_matrix(i)));
+  }
+}
+
+TEST(SerializeTest, EncoderArchitectureMismatchIsDataLoss) {
+  Rng rng(11);
+  ContextEncoder conv(3, 7, 4, ContextEncoder::Kind::kConvolution, &rng);
+  std::string blob;
+  AppendEncoderWeights(&blob, conv);
+
+  // A fully-connected encoder stores 1 matrix, not context_size.
+  ContextEncoder fc(3, 7, 4, ContextEncoder::Kind::kFullyConnected, &rng);
+  ByteReader reader(blob);
+  EXPECT_EQ(ReadEncoderWeightsInto(&reader, &fc).code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(SerializeTest, MlpRoundTrip) {
+  Rng rng(13);
+  Mlp original({6, 10, 3}, &rng);
+  std::string blob;
+  AppendMlpWeights(&blob, original);
+
+  Rng other(5);
+  Mlp restored({6, 10, 3}, &other);
+  ByteReader reader(blob);
+  ASSERT_TRUE(ReadMlpWeightsInto(&reader, &restored).ok());
+  for (size_t i = 0; i < original.num_layers(); ++i) {
+    EXPECT_TRUE(BitIdentical(original.layer(i).weight(),
+                             restored.layer(i).weight()));
+    EXPECT_TRUE(
+        BitIdentical(original.layer(i).bias(), restored.layer(i).bias()));
+  }
+}
+
+TEST(SerializeTest, AdamStateRoundTripPreservesMomentsAndStep) {
+  Rng rng(17);
+  DenseMatrix p1 = RandomMatrix(3, 3, &rng);
+  DenseMatrix p2 = RandomMatrix(2, 5, &rng);
+  AdamOptimizer original;
+  const int id1 = original.Register(&p1);
+  const int id2 = original.Register(&p2);
+  // Take a few steps so moments and timesteps are non-trivial.
+  for (int s = 0; s < 3; ++s) {
+    original.Step(id1, RandomMatrix(3, 3, &rng));
+    original.Step(id2, RandomMatrix(2, 5, &rng));
+  }
+  std::string blob;
+  AppendAdamState(&blob, original);
+
+  DenseMatrix q1(3, 3, 0.0f), q2(2, 5, 0.0f);
+  AdamOptimizer restored;
+  restored.Register(&q1);
+  restored.Register(&q2);
+  ByteReader reader(blob);
+  ASSERT_TRUE(ReadAdamStateInto(&reader, &restored).ok());
+  EXPECT_EQ(restored.slot_step(0), 3);
+  EXPECT_EQ(restored.slot_step(1), 3);
+  EXPECT_TRUE(
+      BitIdentical(original.slot_moment1(0), restored.slot_moment1(0)));
+  EXPECT_TRUE(
+      BitIdentical(original.slot_moment2(1), restored.slot_moment2(1)));
+}
+
+TEST(SerializeTest, RngStateRoundTripContinuesSequence) {
+  Rng a(123);
+  for (int i = 0; i < 100; ++i) a.Uniform();
+  const std::string state = a.SerializeState();
+
+  Rng b(999);
+  ASSERT_TRUE(b.DeserializeState(state));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.engine()(), b.engine()());
+  }
+  EXPECT_FALSE(b.DeserializeState("not a valid engine state"));
+}
+
+}  // namespace
+}  // namespace coane

@@ -15,8 +15,15 @@
 //   coane_cli evaluate --embeddings=/tmp/cora.emb
 //       --labels=/tmp/cora.labels --train-ratio=0.5
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -33,7 +40,15 @@
 namespace coane {
 namespace {
 
-// Parsed "--key=value" flags; bare "--key" maps to "true".
+// Set by the SIGINT handler; the training loop finishes its epoch,
+// checkpoints, and exits 0.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void HandleSigint(int) { g_interrupted = 1; }
+
+// Parsed "--key=value" flags; bare "--key" maps to "true". Malformed
+// numeric values are a usage error (exit 2) — never an abort: the repo
+// convention is no exceptions, so parsing uses std::from_chars.
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
@@ -57,15 +72,35 @@ class Flags {
   }
   double GetDouble(const std::string& key, double fallback) const {
     auto it = values_.find(key);
-    return it != values_.end() ? std::stod(it->second) : fallback;
+    if (it == values_.end()) return fallback;
+    double v = 0.0;
+    const char* begin = it->second.data();
+    const char* end = begin + it->second.size();
+    auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc() || ptr != end) BadValue(key, it->second);
+    return v;
   }
   int64_t GetInt(const std::string& key, int64_t fallback) const {
     auto it = values_.find(key);
-    return it != values_.end() ? std::stoll(it->second) : fallback;
+    if (it == values_.end()) return fallback;
+    int64_t v = 0;
+    const char* begin = it->second.data();
+    const char* end = begin + it->second.size();
+    auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc() || ptr != end) BadValue(key, it->second);
+    return v;
   }
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
  private:
+  [[noreturn]] static void BadValue(const std::string& key,
+                                    const std::string& value) {
+    std::fprintf(stderr,
+                 "usage error: invalid numeric value '%s' for --%s\n",
+                 value.c_str(), key.c_str());
+    std::exit(2);
+  }
+
   std::map<std::string, std::string> values_;
 };
 
@@ -81,6 +116,10 @@ int Usage() {
       "           [--dim=128] [--epochs=10] [--context=5] [--walks=1]\n"
       "           [--walk-length=80] [--negatives=20] [--gamma=1e5]\n"
       "           [--lr=0.001] [--seed=42] [--presample]\n"
+      "           [--grad-clip=0] [--checkpoint-dir=DIR]\n"
+      "           [--checkpoint-every=1] [--resume]\n"
+      "           SIGINT finishes the batch in flight, checkpoints (when\n"
+      "           --checkpoint-dir is set), and exits 0\n"
       "  evaluate --embeddings=FILE --labels=FILE [--train-ratio=0.5]\n"
       "           [--seed=42]\n"
       "datasets: ");
@@ -168,6 +207,8 @@ int RunTrain(const Flags& flags) {
       static_cast<float>(flags.GetDouble("gamma", 1e5));
   config.learning_rate = static_cast<float>(flags.GetDouble("lr", 0.001));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.grad_clip_norm =
+      static_cast<float>(flags.GetDouble("grad-clip", 0.0));
   if (flags.Has("presample")) {
     config.negative_mode = NegativeSamplingMode::kPreSampled;
   }
@@ -177,16 +218,63 @@ int RunTrain(const Flags& flags) {
     config.use_attribute_loss = false;
   }
 
+  const std::string checkpoint_dir = flags.Get("checkpoint-dir");
+  const std::string checkpoint_path =
+      checkpoint_dir.empty() ? "" : checkpoint_dir + "/coane.ckpt";
+  const int64_t checkpoint_every =
+      std::max<int64_t>(1, flags.GetInt("checkpoint-every", 1));
+  if (!checkpoint_dir.empty() &&
+      ::mkdir(checkpoint_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    // Fail before training starts rather than on the first checkpoint write.
+    return Fail(Status::IoError("cannot create checkpoint dir " +
+                                checkpoint_dir + ": " +
+                                std::strerror(errno)));
+  }
+
   CoaneModel model(graph.value(), config);
   Status st = model.Preprocess();
   if (!st.ok()) return Fail(st);
-  auto history = model.Train();
-  if (!history.ok()) return Fail(history.status());
-  for (const EpochStats& e : history.value()) {
+
+  if (flags.Has("resume")) {
+    if (checkpoint_path.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--resume requires --checkpoint-dir"));
+    }
+    st = model.LoadCheckpoint(checkpoint_path);
+    if (!st.ok()) return Fail(st);
+    std::printf("resumed from %s at epoch %d\n", checkpoint_path.c_str(),
+                model.epochs_done());
+  }
+
+  // Graceful SIGINT: finish the epoch in flight, checkpoint, exit 0.
+  std::signal(SIGINT, HandleSigint);
+  while (model.epochs_done() < config.max_epochs && !g_interrupted) {
+    auto stats = model.TrainEpoch();
+    if (!stats.ok()) return Fail(stats.status());
+    const EpochStats& e = stats.value();
     std::printf("epoch %d: L_pos %.2f  L_neg %.2f  L_att %.2f  (%.2fs)\n",
                 e.epoch, e.positive_loss, e.negative_loss,
                 e.attribute_loss, e.seconds);
+    if (!checkpoint_path.empty() &&
+        (model.epochs_done() % checkpoint_every == 0 || g_interrupted ||
+         model.epochs_done() == config.max_epochs)) {
+      st = model.SaveCheckpoint(checkpoint_path);
+      if (!st.ok()) return Fail(st);
+    }
   }
+  std::signal(SIGINT, SIG_DFL);
+  if (g_interrupted && model.epochs_done() < config.max_epochs) {
+    if (!checkpoint_path.empty()) {
+      std::printf("interrupted at epoch %d; checkpoint saved to %s — "
+                  "restart with --resume to continue\n",
+                  model.epochs_done(), checkpoint_path.c_str());
+    } else {
+      std::printf("interrupted at epoch %d (no --checkpoint-dir; progress "
+                  "discarded)\n", model.epochs_done());
+    }
+    return 0;
+  }
+
   st = SaveEmbeddings(model.embeddings(), out);
   if (!st.ok()) return Fail(st);
   std::printf("embeddings (%lld x %lld) written to %s\n",
