@@ -1,0 +1,60 @@
+#include "common/run_context.h"
+
+#include <csignal>
+#include <limits>
+#include <string>
+
+namespace coane {
+namespace {
+
+std::atomic<bool> g_cancel_requested{false};
+
+void HandleStopSignal(int) {
+  g_cancel_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+RunContext RunContext::WithGlobalCancel() {
+  RunContext ctx;
+  ctx.SetCancelFlag(GlobalCancelToken());
+  return ctx;
+}
+
+double RunContext::RemainingSeconds() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(deadline_ - Clock::now()).count();
+}
+
+Status RunContext::Check(const char* stage) const {
+  if (Cancelled()) {
+    return Status::Cancelled(std::string("stopped at ") + stage);
+  }
+  if (Expired()) {
+    return Status::DeadlineExceeded(std::string("deadline expired at ") +
+                                    stage);
+  }
+  if (work_budget_ >= 0 && work_charged_ >= work_budget_) {
+    return Status::ResourceExhausted(
+        std::string("work budget of ") + std::to_string(work_budget_) +
+        " units exhausted at " + stage);
+  }
+  return Status::OK();
+}
+
+void InstallSignalCancellation() {
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+}
+
+const std::atomic<bool>* GlobalCancelToken() { return &g_cancel_requested; }
+
+void SetGlobalCancel(bool value) {
+  g_cancel_requested.store(value, std::memory_order_relaxed);
+}
+
+bool GlobalCancelRequested() {
+  return g_cancel_requested.load(std::memory_order_relaxed);
+}
+
+}  // namespace coane

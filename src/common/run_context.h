@@ -1,0 +1,134 @@
+#ifndef COANE_COMMON_RUN_CONTEXT_H_
+#define COANE_COMMON_RUN_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace coane {
+
+/// Cooperative cancellation, deadline, and work-budget propagation.
+///
+/// Long-running stages (random walks, context scanning, training epochs,
+/// t-SNE / k-means / logistic-regression loops) accept a `const RunContext*`
+/// and call Check("<subsystem>.<step>") once per unit of work — one walk,
+/// one batch, one iteration. A non-OK result means "stop now": the stage
+/// unwinds at that boundary, returns the status unchanged, and preserves
+/// partial results where the API allows (documented per function). Passing
+/// nullptr (the default everywhere) disables every limit, so existing call
+/// sites keep their unbounded behaviour.
+///
+///   RunContext ctx = RunContext::WithDeadline(30.0);   // 30 s from now
+///   ctx.SetCancelFlag(GlobalCancelToken());            // SIGINT/SIGTERM
+///   auto walks = GenerateRandomWalks(graph, cfg, &rng, &ctx);
+///   if (!walks.ok()) ...  // kCancelled or kDeadlineExceeded
+///
+/// A RunContext is a cheap value type; copies share the cancel flag but
+/// carry their own deadline and budget, so a sub-stage can be given a
+/// tighter deadline than its parent.
+class RunContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RunContext() = default;
+
+  /// Context with no deadline, no cancel flag, and no budget: Check()
+  /// always returns OK. Equivalent to passing nullptr.
+  static RunContext Background() { return RunContext(); }
+
+  /// Context whose deadline is `seconds` from now.
+  static RunContext WithDeadline(double seconds) {
+    RunContext ctx;
+    ctx.SetDeadlineAfter(seconds);
+    return ctx;
+  }
+
+  /// Context observing the process-wide SIGINT/SIGTERM token (see
+  /// InstallSignalCancellation below).
+  static RunContext WithGlobalCancel();
+
+  RunContext& SetDeadline(Clock::time_point deadline) {
+    has_deadline_ = true;
+    deadline_ = deadline;
+    return *this;
+  }
+  RunContext& SetDeadlineAfter(double seconds) {
+    return SetDeadline(Clock::now() +
+                       std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds)));
+  }
+  /// `flag` must outlive the context; nullptr clears it.
+  RunContext& SetCancelFlag(const std::atomic<bool>* flag) {
+    cancel_flag_ = flag;
+    return *this;
+  }
+  /// Caps the abstract work units this context may charge (walks, batches,
+  /// iterations); negative disables the budget. Exceeding it makes Check()
+  /// return kResourceExhausted.
+  RunContext& SetWorkBudget(int64_t units) {
+    work_budget_ = units;
+    return *this;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  bool Cancelled() const {
+    return cancel_flag_ != nullptr &&
+           cancel_flag_->load(std::memory_order_relaxed);
+  }
+  bool Expired() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+  /// Seconds until the deadline (negative once expired); +infinity when no
+  /// deadline is set.
+  double RemainingSeconds() const;
+
+  /// Registers `units` of completed work against the budget.
+  void ChargeWork(int64_t units) const { work_charged_ += units; }
+  int64_t work_charged() const { return work_charged_; }
+
+  /// The single cooperative gate. Returns, in precedence order,
+  /// kCancelled, kDeadlineExceeded, kResourceExhausted, or OK; the message
+  /// names `stage` ("walk.generate", "train.epoch", ...) so callers can
+  /// tell which loop stopped.
+  Status Check(const char* stage) const;
+
+ private:
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  const std::atomic<bool>* cancel_flag_ = nullptr;
+  int64_t work_budget_ = -1;
+  // The library is single-threaded per run; plain int keeps the type
+  // copyable (an atomic member would delete the copy constructor).
+  mutable int64_t work_charged_ = 0;
+};
+
+/// Checks `ctx` (which may be null) at a unit-of-work boundary and
+/// propagates the stop status to the caller.
+#define COANE_RETURN_IF_STOPPED(ctx, stage)             \
+  do {                                                  \
+    if ((ctx) != nullptr) {                             \
+      ::coane::Status _rc_st = (ctx)->Check(stage);     \
+      if (!_rc_st.ok()) return _rc_st;                  \
+    }                                                   \
+  } while (0)
+
+/// Installs SIGINT and SIGTERM handlers that set the process-wide cancel
+/// token. Idempotent. Any RunContext created via WithGlobalCancel (or
+/// given GlobalCancelToken() explicitly) then reports kCancelled at the
+/// next unit-of-work boundary after a signal arrives.
+void InstallSignalCancellation();
+
+/// The process-wide cancel token driven by InstallSignalCancellation.
+/// Never null; lock-free, safe to read from signal handlers and loops.
+const std::atomic<bool>* GlobalCancelToken();
+
+/// Programmatic access to the global token (tests; a CLI resetting between
+/// subcommands).
+void SetGlobalCancel(bool value);
+bool GlobalCancelRequested();
+
+}  // namespace coane
+
+#endif  // COANE_COMMON_RUN_CONTEXT_H_

@@ -23,6 +23,19 @@ enum class StatusCode {
   /// from kIoError (the medium failed) — here the medium worked but the
   /// bytes are wrong.
   kDataLoss,
+  /// The operation was cooperatively stopped before completion — a SIGINT/
+  /// SIGTERM token or an explicit cancel flag on the RunContext fired.
+  /// Partial results may have been preserved by the callee (documented per
+  /// function).
+  kCancelled,
+  /// The RunContext's absolute deadline passed before the operation
+  /// finished. Like kCancelled, the stage stops at its next unit-of-work
+  /// boundary and preserves partial results where meaningful.
+  kDeadlineExceeded,
+  /// A configured resource budget (node-count / attribute-dimension /
+  /// file-size cap, work-unit budget) would be exceeded. The operation
+  /// fails fast instead of exhausting memory or CPU.
+  kResourceExhausted,
 };
 
 /// A lightweight success-or-error value. Cheap to copy in the OK case
@@ -55,6 +68,15 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

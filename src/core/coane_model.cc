@@ -78,7 +78,7 @@ SparseMatrix IdentityFeatures(int64_t n) {
 CoaneModel::CoaneModel(const Graph& graph, const CoaneConfig& config)
     : graph_(graph), config_(config), rng_(config.seed) {}
 
-Status CoaneModel::Preprocess() {
+Status CoaneModel::Preprocess(const RunContext* ctx) {
   COANE_RETURN_IF_ERROR(ValidateConfig(config_));
   if (config_.use_attributes && graph_.num_attributes() == 0) {
     return Status::FailedPrecondition(
@@ -91,14 +91,14 @@ Status CoaneModel::Preprocess() {
   RandomWalkConfig walk_cfg;
   walk_cfg.num_walks_per_node = config_.num_walks;
   walk_cfg.walk_length = config_.walk_length;
-  auto walks = GenerateRandomWalks(graph_, walk_cfg, &rng_);
+  auto walks = GenerateRandomWalks(graph_, walk_cfg, &rng_, ctx);
   if (!walks.ok()) return walks.status();
 
   ContextOptions ctx_opt;
   ctx_opt.context_size = config_.context_size;
   ctx_opt.subsample_t = config_.subsample_t;
-  auto contexts =
-      GenerateContexts(walks.value(), graph_.num_nodes(), ctx_opt, &rng_);
+  auto contexts = GenerateContexts(walks.value(), graph_.num_nodes(),
+                                   ctx_opt, &rng_, ctx);
   if (!contexts.ok()) return contexts.status();
   contexts_ = std::make_unique<ContextSet>(std::move(contexts).ValueOrDie());
 
@@ -164,17 +164,17 @@ Status CoaneModel::Preprocess() {
   return Status::OK();
 }
 
-Result<std::vector<EpochStats>> CoaneModel::Train() {
+Result<std::vector<EpochStats>> CoaneModel::Train(const RunContext* ctx) {
   std::vector<EpochStats> history;
   while (epochs_done_ < config_.max_epochs) {
-    auto stats = TrainEpoch();
+    auto stats = TrainEpoch(ctx);
     if (!stats.ok()) return stats.status();
     history.push_back(stats.value());
   }
   return history;
 }
 
-Result<EpochStats> CoaneModel::TrainEpoch() {
+Result<EpochStats> CoaneModel::TrainEpoch(const RunContext* ctx) {
   if (!preprocessed_) {
     return Status::FailedPrecondition("call Preprocess() before training");
   }
@@ -184,9 +184,19 @@ Result<EpochStats> CoaneModel::TrainEpoch() {
   const std::string snapshot = SnapshotState();
   const float base_lr = optimizer_.config().learning_rate;
   for (int attempt = 0;; ++attempt) {
-    auto stats = TrainEpochOnce();
+    auto stats = TrainEpochOnce(ctx);
     if (stats.ok()) return stats;
     if (stats.status().code() != StatusCode::kInternal) {
+      // A cancel/deadline stop mid-epoch also rolls back to the epoch
+      // boundary: the model then sits exactly at `epochs_done_` completed
+      // epochs, so a checkpoint taken now resumes bit-identically.
+      const StatusCode code = stats.status().code();
+      if (code == StatusCode::kCancelled ||
+          code == StatusCode::kDeadlineExceeded ||
+          code == StatusCode::kResourceExhausted) {
+        COANE_RETURN_IF_ERROR(RestoreState(snapshot));
+        RenewEmbeddings();
+      }
       return stats.status();
     }
     COANE_RETURN_IF_ERROR(RestoreState(snapshot));
@@ -207,7 +217,7 @@ Result<EpochStats> CoaneModel::TrainEpoch() {
   }
 }
 
-Result<EpochStats> CoaneModel::TrainEpochOnce() {
+Result<EpochStats> CoaneModel::TrainEpochOnce(const RunContext* ctx) {
   Stopwatch watch;
   EpochStats stats;
   stats.epoch = epochs_done_ + 1;
@@ -218,6 +228,9 @@ Result<EpochStats> CoaneModel::TrainEpochOnce() {
   rng_.Shuffle(&order);
   for (size_t start = 0; start < order.size();
        start += static_cast<size_t>(config_.batch_size)) {
+    // Unit of work = one batch; TrainEpoch rolls the partial epoch back.
+    COANE_RETURN_IF_STOPPED(ctx, "train.batch");
+    if (ctx != nullptr) ctx->ChargeWork(1);
     const size_t end = std::min(
         order.size(), start + static_cast<size_t>(config_.batch_size));
     std::vector<NodeId> batch(order.begin() + static_cast<int64_t>(start),
@@ -448,10 +461,11 @@ Status CoaneModel::LoadCheckpoint(const std::string& path) {
 }
 
 Result<DenseMatrix> TrainCoaneEmbeddings(const Graph& graph,
-                                         const CoaneConfig& config) {
+                                         const CoaneConfig& config,
+                                         const RunContext* ctx) {
   CoaneModel model(graph, config);
-  COANE_RETURN_IF_ERROR(model.Preprocess());
-  auto stats = model.Train();
+  COANE_RETURN_IF_ERROR(model.Preprocess(ctx));
+  auto stats = model.Train(ctx);
   if (!stats.ok()) return stats.status();
   return model.embeddings();
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/run_context.h"
 #include "common/status.h"
 #include "core/coane_config.h"
 #include "graph/graph.h"
@@ -44,22 +45,28 @@ class CoaneModel {
   CoaneModel(const Graph& graph, const CoaneConfig& config);
 
   /// Runs the pre-processing phase. Must be called once before Train /
-  /// TrainEpoch. Fails on invalid configuration.
-  Status Preprocess();
+  /// TrainEpoch. Fails on invalid configuration. `ctx` (optional) bounds
+  /// the walk/context generation; a stopped run returns kCancelled /
+  /// kDeadlineExceeded before any training state is created.
+  Status Preprocess(const RunContext* ctx = nullptr);
 
   /// Trains until epochs_done() reaches config.max_epochs (calls
   /// TrainEpoch repeatedly) and refreshes all embeddings. Returns the
   /// per-epoch history of the epochs run by this call — after
-  /// LoadCheckpoint it covers only the remaining epochs.
-  Result<std::vector<EpochStats>> Train();
+  /// LoadCheckpoint it covers only the remaining epochs. `ctx` is checked
+  /// every batch; see TrainEpoch for the stop semantics.
+  Result<std::vector<EpochStats>> Train(const RunContext* ctx = nullptr);
 
   /// Runs one epoch of batch updates and refreshes all embeddings. When a
   /// batch yields a non-finite loss or gradient, the epoch is rolled back
   /// to its in-memory snapshot and retried with a decayed learning rate
   /// (config.divergence_max_retries / divergence_lr_decay); persistent
   /// divergence returns an Internal error with the model left at the
-  /// pre-epoch state.
-  Result<EpochStats> TrainEpoch();
+  /// pre-epoch state. A `ctx` cancel or deadline is honoured between
+  /// batches: the partial epoch is rolled back so the model sits exactly
+  /// at the last completed epoch — checkpointing then resuming is
+  /// bit-identical to an uninterrupted run.
+  Result<EpochStats> TrainEpoch(const RunContext* ctx = nullptr);
 
   /// Number of completed training epochs (restored by LoadCheckpoint).
   int epochs_done() const { return epochs_done_; }
@@ -92,8 +99,9 @@ class CoaneModel {
 
  private:
   // One full pass over all batches; fails fast on the first unhealthy
-  // batch without stepping the optimizer on it.
-  Result<EpochStats> TrainEpochOnce();
+  // batch without stepping the optimizer on it, and stops between batches
+  // when `ctx` is cancelled or expired.
+  Result<EpochStats> TrainEpochOnce(const RunContext* ctx);
   // Runs one batch update (Embedding Updating + Loss Updating of Alg. 1).
   // Returns Internal when numerical-health checks reject the batch.
   Status TrainBatch(const std::vector<NodeId>& batch, EpochStats* stats);
@@ -129,7 +137,8 @@ class CoaneModel {
 /// Convenience wrapper: build, preprocess, train, and return the embedding
 /// matrix.
 Result<DenseMatrix> TrainCoaneEmbeddings(const Graph& graph,
-                                         const CoaneConfig& config);
+                                         const CoaneConfig& config,
+                                         const RunContext* ctx = nullptr);
 
 }  // namespace coane
 

@@ -7,13 +7,14 @@ namespace coane {
 
 Result<double> EvaluateClusteringNmi(const DenseMatrix& embeddings,
                                      const std::vector<int32_t>& labels,
-                                     int num_classes, uint64_t seed) {
+                                     int num_classes, uint64_t seed,
+                                     const RunContext* ctx) {
   if (static_cast<int64_t>(labels.size()) != embeddings.rows()) {
     return Status::InvalidArgument("labels size mismatch");
   }
   KMeansConfig cfg;
   cfg.seed = seed;
-  auto clusters = RunKMeans(embeddings, num_classes, cfg);
+  auto clusters = RunKMeans(embeddings, num_classes, cfg, ctx);
   if (!clusters.ok()) return clusters.status();
   return NormalizedMutualInformation(clusters.value().assignment, labels);
 }

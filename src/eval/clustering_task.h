@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "la/dense_matrix.h"
 
@@ -11,10 +12,11 @@ namespace coane {
 
 /// The node-clustering protocol of Sec. 4.2: K-means on the embeddings with
 /// K = number of ground-truth labels, scored by NMI against the labels
-/// (Tables 4 and 5).
+/// (Tables 4 and 5). `ctx` (optional) bounds the underlying K-means run.
 Result<double> EvaluateClusteringNmi(const DenseMatrix& embeddings,
                                      const std::vector<int32_t>& labels,
-                                     int num_classes, uint64_t seed = 42);
+                                     int num_classes, uint64_t seed = 42,
+                                     const RunContext* ctx = nullptr);
 
 }  // namespace coane
 

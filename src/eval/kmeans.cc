@@ -10,8 +10,9 @@ namespace coane {
 namespace {
 
 // One full K-means run: k-means++ seeding then Lloyd iterations.
-KMeansResult RunOnce(const DenseMatrix& points, int k,
-                     const KMeansConfig& config, Rng* rng) {
+Result<KMeansResult> RunOnce(const DenseMatrix& points, int k,
+                             const KMeansConfig& config, Rng* rng,
+                             const RunContext* ctx) {
   const int64_t n = points.rows();
   const int64_t d = points.cols();
 
@@ -52,6 +53,8 @@ KMeansResult RunOnce(const DenseMatrix& points, int k,
   result.assignment.assign(static_cast<size_t>(n), 0);
   std::vector<int64_t> counts(static_cast<size_t>(k));
   for (int iter = 0; iter < config.max_iterations; ++iter) {
+    COANE_RETURN_IF_STOPPED(ctx, "eval.kmeans_iter");
+    if (ctx != nullptr) ctx->ChargeWork(1);
     bool changed = false;
     result.inertia = 0.0;
     for (int64_t i = 0; i < n; ++i) {
@@ -101,7 +104,8 @@ KMeansResult RunOnce(const DenseMatrix& points, int k,
 }  // namespace
 
 Result<KMeansResult> RunKMeans(const DenseMatrix& points, int k,
-                               const KMeansConfig& config) {
+                               const KMeansConfig& config,
+                               const RunContext* ctx) {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
   if (points.rows() < k) {
     return Status::InvalidArgument("fewer points than clusters");
@@ -113,8 +117,12 @@ Result<KMeansResult> RunKMeans(const DenseMatrix& points, int k,
   KMeansResult best;
   best.inertia = std::numeric_limits<double>::infinity();
   for (int r = 0; r < config.num_restarts; ++r) {
-    KMeansResult candidate = RunOnce(points, k, config, &rng);
-    if (candidate.inertia < best.inertia) best = std::move(candidate);
+    COANE_RETURN_IF_STOPPED(ctx, "eval.kmeans_restart");
+    auto candidate = RunOnce(points, k, config, &rng, ctx);
+    if (!candidate.ok()) return candidate.status();
+    if (candidate.value().inertia < best.inertia) {
+      best = std::move(candidate).ValueOrDie();
+    }
   }
   return best;
 }

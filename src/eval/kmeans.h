@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/run_context.h"
 #include "common/status.h"
 #include "la/dense_matrix.h"
 
@@ -26,8 +27,11 @@ struct KMeansResult {
 };
 
 /// Clusters the rows of `points` into k clusters. Requires 1 <= k <= rows.
+/// `ctx` (optional) is checked once per Lloyd iteration and per restart; a
+/// cancelled/expired run returns the stop status.
 Result<KMeansResult> RunKMeans(const DenseMatrix& points, int k,
-                               const KMeansConfig& config);
+                               const KMeansConfig& config,
+                               const RunContext* ctx = nullptr);
 
 }  // namespace coane
 

@@ -39,7 +39,8 @@ double PrecisionAtK(const std::vector<double>& scores,
 }
 
 Result<LinkPredictionResult> EvaluateLinkPrediction(
-    const DenseMatrix& embeddings, const LinkSplit& split, uint64_t seed) {
+    const DenseMatrix& embeddings, const LinkSplit& split, uint64_t seed,
+    const RunContext* ctx) {
   if (split.train_pos.empty() || split.train_neg.empty()) {
     return Status::InvalidArgument("split has no training pairs");
   }
@@ -54,7 +55,7 @@ Result<LinkPredictionResult> EvaluateLinkPrediction(
   LogisticRegression model;
   LogisticRegressionConfig cfg;
   cfg.seed = seed;
-  COANE_RETURN_IF_ERROR(model.Fit(train_x, train_labels, cfg));
+  COANE_RETURN_IF_ERROR(model.Fit(train_x, train_labels, cfg, ctx));
 
   auto auc_of = [&](const std::vector<std::pair<NodeId, NodeId>>& pos,
                     const std::vector<std::pair<NodeId, NodeId>>& neg) {
@@ -71,11 +72,14 @@ Result<LinkPredictionResult> EvaluateLinkPrediction(
   };
 
   LinkPredictionResult result;
+  COANE_RETURN_IF_STOPPED(ctx, "eval.linkpred_score");
   result.train_auc = auc_of(split.train_pos, split.train_neg);
   if (!split.val_pos.empty()) {
+    COANE_RETURN_IF_STOPPED(ctx, "eval.linkpred_score");
     result.val_auc = auc_of(split.val_pos, split.val_neg);
   }
   if (!split.test_pos.empty()) {
+    COANE_RETURN_IF_STOPPED(ctx, "eval.linkpred_score");
     result.test_auc = auc_of(split.test_pos, split.test_neg);
   }
   return result;

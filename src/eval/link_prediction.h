@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "graph/edge_split.h"
 #include "la/dense_matrix.h"
@@ -20,10 +21,11 @@ struct LinkPredictionResult {
 };
 
 /// Evaluates embeddings (trained on split.train_graph by the caller) on the
-/// given split.
+/// given split. `ctx` (optional) bounds the classifier fit and is checked
+/// before each split is scored.
 Result<LinkPredictionResult> EvaluateLinkPrediction(
     const DenseMatrix& embeddings, const LinkSplit& split,
-    uint64_t seed = 42);
+    uint64_t seed = 42, const RunContext* ctx = nullptr);
 
 /// Hadamard (elementwise product) pair features for a list of node pairs.
 DenseMatrix HadamardFeatures(

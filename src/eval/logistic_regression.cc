@@ -10,7 +10,8 @@ namespace coane {
 
 Status LogisticRegression::Fit(const DenseMatrix& x,
                                const std::vector<int>& y,
-                               const LogisticRegressionConfig& config) {
+                               const LogisticRegressionConfig& config,
+                               const RunContext* ctx) {
   if (x.rows() == 0) return Status::InvalidArgument("empty training set");
   if (static_cast<int64_t>(y.size()) != x.rows()) {
     return Status::InvalidArgument("labels size mismatch");
@@ -35,6 +36,8 @@ Status LogisticRegression::Fit(const DenseMatrix& x,
   DenseMatrix gb(1, 1, 0.0f);
   const float inv_m = 1.0f / static_cast<float>(m);
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    COANE_RETURN_IF_STOPPED(ctx, "eval.logreg_epoch");
+    if (ctx != nullptr) ctx->ChargeWork(1);
     gw.Fill(0.0f);
     gb.Fill(0.0f);
     for (int64_t i = 0; i < m; ++i) {
@@ -63,7 +66,8 @@ double LogisticRegression::PredictProba(const float* x) const {
 Status OneVsRestClassifier::Fit(const DenseMatrix& x,
                                 const std::vector<int32_t>& y,
                                 int num_classes,
-                                const LogisticRegressionConfig& config) {
+                                const LogisticRegressionConfig& config,
+                                const RunContext* ctx) {
   if (num_classes < 2) {
     return Status::InvalidArgument("need at least two classes");
   }
@@ -78,9 +82,10 @@ Status OneVsRestClassifier::Fit(const DenseMatrix& x,
   models_.assign(static_cast<size_t>(num_classes), LogisticRegression());
   std::vector<int> binary(y.size());
   for (int c = 0; c < num_classes; ++c) {
+    COANE_RETURN_IF_STOPPED(ctx, "eval.logreg_class");
     for (size_t i = 0; i < y.size(); ++i) binary[i] = (y[i] == c) ? 1 : 0;
     COANE_RETURN_IF_ERROR(
-        models_[static_cast<size_t>(c)].Fit(x, binary, config));
+        models_[static_cast<size_t>(c)].Fit(x, binary, config, ctx));
   }
   return Status::OK();
 }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "la/dense_matrix.h"
 
@@ -24,9 +25,12 @@ class LogisticRegression {
   LogisticRegression() = default;
 
   /// Fits on rows of `x` with labels in {0, 1}. Requires at least one
-  /// example and matching sizes.
+  /// example and matching sizes. `ctx` (optional) is checked once per
+  /// epoch; a cancelled/expired fit returns the stop status and leaves
+  /// the previous weights untouched.
   Status Fit(const DenseMatrix& x, const std::vector<int>& y,
-             const LogisticRegressionConfig& config);
+             const LogisticRegressionConfig& config,
+             const RunContext* ctx = nullptr);
 
   /// p(y=1|x) for a feature row of the fitted dimensionality.
   double PredictProba(const float* x) const;
@@ -48,9 +52,11 @@ class OneVsRestClassifier {
  public:
   OneVsRestClassifier() = default;
 
-  /// Labels must be in [0, num_classes).
+  /// Labels must be in [0, num_classes). `ctx` is checked per class and
+  /// per epoch of each underlying binary fit.
   Status Fit(const DenseMatrix& x, const std::vector<int32_t>& y,
-             int num_classes, const LogisticRegressionConfig& config);
+             int num_classes, const LogisticRegressionConfig& config,
+             const RunContext* ctx = nullptr);
 
   int32_t Predict(const float* x) const;
 

@@ -11,7 +11,8 @@ namespace coane {
 
 Result<ClassificationResult> EvaluateNodeClassification(
     const DenseMatrix& embeddings, const std::vector<int32_t>& labels,
-    int num_classes, double train_ratio, uint64_t seed, int num_trials) {
+    int num_classes, double train_ratio, uint64_t seed, int num_trials,
+    const RunContext* ctx) {
   const int64_t n = embeddings.rows();
   if (static_cast<int64_t>(labels.size()) != n) {
     return Status::InvalidArgument("labels size mismatch");
@@ -25,6 +26,7 @@ Result<ClassificationResult> EvaluateNodeClassification(
   Rng rng(seed);
   ClassificationResult total;
   for (int trial = 0; trial < num_trials; ++trial) {
+    COANE_RETURN_IF_STOPPED(ctx, "eval.classification_trial");
     std::vector<int64_t> order(static_cast<size_t>(n));
     std::iota(order.begin(), order.end(), 0);
     rng.Shuffle(&order);
@@ -51,7 +53,7 @@ Result<ClassificationResult> EvaluateNodeClassification(
     OneVsRestClassifier clf;
     LogisticRegressionConfig cfg;
     cfg.seed = seed + static_cast<uint64_t>(trial);
-    COANE_RETURN_IF_ERROR(clf.Fit(train_x, train_y, num_classes, cfg));
+    COANE_RETURN_IF_ERROR(clf.Fit(train_x, train_y, num_classes, cfg, ctx));
     const std::vector<int32_t> pred = clf.PredictBatch(test_x);
     const F1Scores f1 = ComputeF1(test_y, pred, num_classes);
     total.macro_f1 += f1.macro;

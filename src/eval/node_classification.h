@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "la/dense_matrix.h"
 
@@ -18,11 +19,12 @@ struct ClassificationResult {
 };
 
 /// `labels[i]` is node i's class in [0, num_classes). `train_ratio` in
-/// (0, 1). Averages over `num_trials` random splits.
+/// (0, 1). Averages over `num_trials` random splits. `ctx` (optional) is
+/// checked per trial and inside the classifier fit.
 Result<ClassificationResult> EvaluateNodeClassification(
     const DenseMatrix& embeddings, const std::vector<int32_t>& labels,
     int num_classes, double train_ratio, uint64_t seed = 42,
-    int num_trials = 1);
+    int num_trials = 1, const RunContext* ctx = nullptr);
 
 }  // namespace coane
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "la/vector_ops.h"
 
@@ -12,7 +13,8 @@ namespace {
 
 // Conditional probabilities p_{j|i} with bandwidth found by binary search so
 // the row's perplexity matches the target.
-std::vector<double> ComputeP(const DenseMatrix& x, double perplexity) {
+Result<std::vector<double>> ComputeP(const DenseMatrix& x, double perplexity,
+                                     const RunContext* ctx) {
   const int64_t n = x.rows();
   std::vector<double> sq_dist(static_cast<size_t>(n * n), 0.0);
   for (int64_t i = 0; i < n; ++i) {
@@ -26,6 +28,7 @@ std::vector<double> ComputeP(const DenseMatrix& x, double perplexity) {
   std::vector<double> p(static_cast<size_t>(n * n), 0.0);
   std::vector<double> row(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
+    COANE_RETURN_IF_STOPPED(ctx, "eval.tsne_perplexity");
     double beta = 1.0, beta_min = 0.0, beta_max = 1e12;
     bool has_max = false;
     for (int iter = 0; iter < 60; ++iter) {
@@ -74,7 +77,8 @@ std::vector<double> ComputeP(const DenseMatrix& x, double perplexity) {
 
 }  // namespace
 
-Result<DenseMatrix> RunTsne(const DenseMatrix& x, const TsneConfig& config) {
+Result<DenseMatrix> RunTsne(const DenseMatrix& x, const TsneConfig& config,
+                            const RunContext* ctx) {
   const int64_t n = x.rows();
   if (n < 5) return Status::InvalidArgument("t-SNE needs at least 5 points");
   if (3.0 * config.perplexity >= static_cast<double>(n)) {
@@ -86,7 +90,9 @@ Result<DenseMatrix> RunTsne(const DenseMatrix& x, const TsneConfig& config) {
   Rng rng(config.seed);
   const int64_t m = config.output_dim;
 
-  std::vector<double> p = ComputeP(x, config.perplexity);
+  auto p_result = ComputeP(x, config.perplexity, ctx);
+  if (!p_result.ok()) return p_result.status();
+  std::vector<double> p = std::move(p_result).ValueOrDie();
 
   DenseMatrix y(n, m);
   y.GaussianInit(&rng, 0.0f, 1e-2f);
@@ -95,6 +101,11 @@ Result<DenseMatrix> RunTsne(const DenseMatrix& x, const TsneConfig& config) {
   std::vector<double> num(static_cast<size_t>(n * n));
 
   for (int iter = 0; iter < config.iterations; ++iter) {
+    COANE_RETURN_IF_STOPPED(ctx, "eval.tsne_iter");
+    if (ctx != nullptr) ctx->ChargeWork(1);
+    if (fault::ShouldFail("eval.tsne_iter")) {
+      return Status::Cancelled("injected cancel at eval.tsne_iter");
+    }
     const double exaggeration =
         iter < config.exaggeration_iters ? config.exaggeration : 1.0;
     const double momentum = iter < config.momentum_switch_iter

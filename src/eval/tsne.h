@@ -1,6 +1,7 @@
 #ifndef COANE_EVAL_TSNE_H_
 #define COANE_EVAL_TSNE_H_
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "la/dense_matrix.h"
 
@@ -25,8 +26,11 @@ struct TsneConfig {
 };
 
 /// Embeds the rows of `x` into `output_dim` dimensions. Requires
-/// 3 * perplexity < n.
-Result<DenseMatrix> RunTsne(const DenseMatrix& x, const TsneConfig& config);
+/// 3 * perplexity < n. `ctx` (optional) is checked once per gradient
+/// iteration; a cancelled/expired run returns the stop status. Fault
+/// point: "eval.tsne_iter" (fires as an injected kCancelled).
+Result<DenseMatrix> RunTsne(const DenseMatrix& x, const TsneConfig& config,
+                            const RunContext* ctx = nullptr);
 
 }  // namespace coane
 

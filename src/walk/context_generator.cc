@@ -28,7 +28,8 @@ int64_t ContextSet::TotalContexts() const {
 
 Result<ContextSet> GenerateContexts(const std::vector<Walk>& walks,
                                     int64_t num_nodes,
-                                    const ContextOptions& options, Rng* rng) {
+                                    const ContextOptions& options, Rng* rng,
+                                    const RunContext* ctx) {
   const int c = options.context_size;
   if (c < 1 || c % 2 == 0) {
     return Status::InvalidArgument("context_size must be odd and >= 1");
@@ -51,6 +52,8 @@ Result<ContextSet> GenerateContexts(const std::vector<Walk>& walks,
   ContextSet out(num_nodes, c);
   std::vector<NodeId> window(static_cast<size_t>(c));
   for (const Walk& walk : walks) {
+    COANE_RETURN_IF_STOPPED(ctx, "walk.contexts");
+    if (ctx != nullptr) ctx->ChargeWork(1);
     const int len = static_cast<int>(walk.size());
     for (int pos = 0; pos < len; ++pos) {
       const NodeId midst = walk[static_cast<size_t>(pos)];

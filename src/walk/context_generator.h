@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/run_context.h"
 #include "common/status.h"
 #include "walk/random_walk.h"
 
@@ -66,10 +67,12 @@ class ContextSet {
 /// positions, boundary slots are padded, and each window becomes a context
 /// of its midst node. Subsampling discards contexts of over-frequent midst
 /// nodes — except at position 0 (the walk's start node), which is always
-/// kept so every node retains at least one context.
+/// kept so every node retains at least one context. `ctx` (optional) is
+/// checked once per walk; a cancelled/expired run stops at that boundary.
 Result<ContextSet> GenerateContexts(const std::vector<Walk>& walks,
                                     int64_t num_nodes,
-                                    const ContextOptions& options, Rng* rng);
+                                    const ContextOptions& options, Rng* rng,
+                                    const RunContext* ctx = nullptr);
 
 }  // namespace coane
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
+
 namespace coane {
 namespace {
 
@@ -21,20 +23,27 @@ NodeId StepFrom(const Graph& graph, NodeId v, Rng* rng) {
 
 }  // namespace
 
-Result<std::vector<Walk>> GenerateRandomWalks(const Graph& graph,
-                                              const RandomWalkConfig& config,
-                                              Rng* rng) {
+Status GenerateRandomWalksInto(const Graph& graph,
+                               const RandomWalkConfig& config, Rng* rng,
+                               const RunContext* ctx,
+                               std::vector<Walk>* out) {
   if (config.num_walks_per_node <= 0) {
     return Status::InvalidArgument("num_walks_per_node must be positive");
   }
   if (config.walk_length <= 0) {
     return Status::InvalidArgument("walk_length must be positive");
   }
-  std::vector<Walk> walks;
-  walks.reserve(static_cast<size_t>(graph.num_nodes()) *
-                static_cast<size_t>(config.num_walks_per_node));
+  out->reserve(out->size() +
+               static_cast<size_t>(graph.num_nodes()) *
+                   static_cast<size_t>(config.num_walks_per_node));
   for (NodeId start = 0; start < graph.num_nodes(); ++start) {
     for (int r = 0; r < config.num_walks_per_node; ++r) {
+      // Unit of work = one walk: a cancel or deadline stops before the
+      // next walk starts, keeping everything generated so far in `out`.
+      COANE_RETURN_IF_STOPPED(ctx, "walk.generate");
+      if (fault::ShouldFail("walk.generate")) {
+        return Status::Cancelled("injected cancel at walk.generate");
+      }
       Walk walk;
       walk.reserve(static_cast<size_t>(config.walk_length));
       walk.push_back(start);
@@ -44,15 +53,27 @@ Result<std::vector<Walk>> GenerateRandomWalks(const Graph& graph,
         cur = StepFrom(graph, cur, rng);
         walk.push_back(cur);
       }
-      walks.push_back(std::move(walk));
+      out->push_back(std::move(walk));
+      if (ctx != nullptr) ctx->ChargeWork(1);
     }
   }
+  return Status::OK();
+}
+
+Result<std::vector<Walk>> GenerateRandomWalks(const Graph& graph,
+                                              const RandomWalkConfig& config,
+                                              Rng* rng,
+                                              const RunContext* ctx) {
+  std::vector<Walk> walks;
+  COANE_RETURN_IF_ERROR(
+      GenerateRandomWalksInto(graph, config, rng, ctx, &walks));
   return walks;
 }
 
 Result<std::vector<Walk>> GenerateBiasedWalks(const Graph& graph,
                                               const BiasedWalkConfig& config,
-                                              Rng* rng) {
+                                              Rng* rng,
+                                              const RunContext* ctx) {
   if (config.num_walks_per_node <= 0 || config.walk_length <= 0) {
     return Status::InvalidArgument("walk counts must be positive");
   }
@@ -68,6 +89,7 @@ Result<std::vector<Walk>> GenerateBiasedWalks(const Graph& graph,
   std::vector<double> weights;
   for (int r = 0; r < config.num_walks_per_node; ++r) {
     for (NodeId start = 0; start < graph.num_nodes(); ++start) {
+      COANE_RETURN_IF_STOPPED(ctx, "walk.generate");
       Walk walk;
       walk.reserve(static_cast<size_t>(config.walk_length));
       walk.push_back(start);
@@ -102,6 +124,7 @@ Result<std::vector<Walk>> GenerateBiasedWalks(const Graph& graph,
         walk.push_back(nbrs[static_cast<size_t>(pick)].node);
       }
       walks.push_back(std::move(walk));
+      if (ctx != nullptr) ctx->ChargeWork(1);
     }
   }
   return walks;

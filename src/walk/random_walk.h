@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/run_context.h"
 #include "common/status.h"
 #include "graph/graph.h"
 
@@ -22,10 +23,23 @@ struct RandomWalkConfig {
 using Walk = std::vector<NodeId>;
 
 /// Generates r*n weighted random walks (n blocks of r walks, block v
-/// starting at node v). Deterministic given the rng state.
+/// starting at node v). Deterministic given the rng state. `ctx` (optional)
+/// is checked once per walk; a cancelled/expired run returns the stop
+/// status and discards the partial result.
 Result<std::vector<Walk>> GenerateRandomWalks(const Graph& graph,
                                               const RandomWalkConfig& config,
-                                              Rng* rng);
+                                              Rng* rng,
+                                              const RunContext* ctx = nullptr);
+
+/// Like GenerateRandomWalks but appends into `out` so the walks generated
+/// before a cancel/deadline stop are preserved for the caller (the partial
+/// corpus can seed a later resume or a best-effort embedding). Each walk
+/// charges one work unit to `ctx`. Fault point: "walk.generate" (fires as
+/// an injected kCancelled, for driving cancellation paths from tests).
+Status GenerateRandomWalksInto(const Graph& graph,
+                               const RandomWalkConfig& config, Rng* rng,
+                               const RunContext* ctx,
+                               std::vector<Walk>* out);
 
 /// Generates node2vec-style second-order biased walks with return parameter
 /// p and in-out parameter q (Grover & Leskovec 2016). With p = q = 1 the
@@ -40,7 +54,8 @@ struct BiasedWalkConfig {
 
 Result<std::vector<Walk>> GenerateBiasedWalks(const Graph& graph,
                                               const BiasedWalkConfig& config,
-                                              Rng* rng);
+                                              Rng* rng,
+                                              const RunContext* ctx = nullptr);
 
 }  // namespace coane
 

@@ -1,0 +1,126 @@
+// Unit tests of the cooperative cancellation / deadline / work-budget gate
+// that every long-running stage polls via COANE_RETURN_IF_STOPPED.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+
+#include "common/run_context.h"
+
+namespace coane {
+namespace {
+
+// Stand-in for a library stage: one gate, then success.
+Status GatedStage(const RunContext* ctx) {
+  COANE_RETURN_IF_STOPPED(ctx, "test.stage");
+  return Status::OK();
+}
+
+TEST(RunContextTest, BackgroundAlwaysOk) {
+  const RunContext ctx = RunContext::Background();
+  EXPECT_TRUE(ctx.Check("test.stage").ok());
+  EXPECT_FALSE(ctx.Cancelled());
+  EXPECT_FALSE(ctx.Expired());
+  EXPECT_TRUE(std::isinf(ctx.RemainingSeconds()));
+}
+
+TEST(RunContextTest, NullContextIsUnbounded) {
+  EXPECT_TRUE(GatedStage(nullptr).ok());
+}
+
+TEST(RunContextTest, ExpiredDeadlineNamesTheStage) {
+  const RunContext ctx = RunContext::WithDeadline(-1.0);  // already past
+  EXPECT_TRUE(ctx.Expired());
+  EXPECT_LT(ctx.RemainingSeconds(), 0.0);
+  const Status st = ctx.Check("walk.generate");
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(st.message().find("walk.generate"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(RunContextTest, FutureDeadlinePasses) {
+  const RunContext ctx = RunContext::WithDeadline(3600.0);
+  EXPECT_FALSE(ctx.Expired());
+  EXPECT_GT(ctx.RemainingSeconds(), 0.0);
+  EXPECT_TRUE(ctx.Check("test.stage").ok());
+}
+
+TEST(RunContextTest, CancelFlagStopsAtNextGate) {
+  std::atomic<bool> cancel{false};
+  RunContext ctx;
+  ctx.SetCancelFlag(&cancel);
+  EXPECT_TRUE(ctx.Check("test.stage").ok());
+  cancel.store(true);
+  EXPECT_TRUE(ctx.Cancelled());
+  EXPECT_EQ(ctx.Check("train.batch").code(), StatusCode::kCancelled);
+  EXPECT_EQ(GatedStage(&ctx).code(), StatusCode::kCancelled);
+  cancel.store(false);
+  EXPECT_TRUE(ctx.Check("train.batch").ok());
+}
+
+TEST(RunContextTest, CancelTakesPrecedenceOverDeadlineAndBudget) {
+  std::atomic<bool> cancel{true};
+  RunContext ctx = RunContext::WithDeadline(-1.0);
+  ctx.SetCancelFlag(&cancel).SetWorkBudget(0);
+  EXPECT_EQ(ctx.Check("test.stage").code(), StatusCode::kCancelled);
+  cancel.store(false);
+  EXPECT_EQ(ctx.Check("test.stage").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RunContextTest, WorkBudgetExhaustsAfterChargedUnits) {
+  RunContext ctx;
+  ctx.SetWorkBudget(2);
+  EXPECT_TRUE(ctx.Check("test.stage").ok());
+  ctx.ChargeWork(1);
+  EXPECT_TRUE(ctx.Check("test.stage").ok());
+  ctx.ChargeWork(1);
+  EXPECT_EQ(ctx.work_charged(), 2);
+  EXPECT_EQ(ctx.Check("test.stage").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(RunContextTest, NegativeBudgetDisablesTheCap) {
+  RunContext ctx;
+  ctx.SetWorkBudget(-1);
+  ctx.ChargeWork(1 << 20);
+  EXPECT_TRUE(ctx.Check("test.stage").ok());
+}
+
+TEST(RunContextTest, CopiesShareCancelFlagButOwnBudget) {
+  std::atomic<bool> cancel{false};
+  RunContext parent;
+  parent.SetCancelFlag(&cancel).SetWorkBudget(10);
+  RunContext child = parent;
+  child.SetWorkBudget(1);
+  child.ChargeWork(1);
+  EXPECT_EQ(child.Check("test.stage").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(parent.Check("test.stage").ok());
+  cancel.store(true);
+  EXPECT_EQ(parent.Check("test.stage").code(), StatusCode::kCancelled);
+  EXPECT_EQ(child.Check("test.stage").code(), StatusCode::kCancelled);
+}
+
+TEST(RunContextTest, GlobalCancelTokenDrivesWithGlobalCancel) {
+  SetGlobalCancel(false);
+  const RunContext ctx = RunContext::WithGlobalCancel();
+  EXPECT_TRUE(ctx.Check("test.stage").ok());
+  SetGlobalCancel(true);
+  EXPECT_TRUE(GlobalCancelRequested());
+  EXPECT_EQ(ctx.Check("test.stage").code(), StatusCode::kCancelled);
+  SetGlobalCancel(false);
+  EXPECT_FALSE(GlobalCancelRequested());
+  EXPECT_TRUE(ctx.Check("test.stage").ok());
+}
+
+TEST(RunContextTest, InstallSignalCancellationIsIdempotent) {
+  InstallSignalCancellation();
+  InstallSignalCancellation();
+  EXPECT_NE(GlobalCancelToken(), nullptr);
+  EXPECT_FALSE(GlobalCancelRequested());
+}
+
+}  // namespace
+}  // namespace coane

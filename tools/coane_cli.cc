@@ -20,7 +20,6 @@
 #include <algorithm>
 #include <cerrno>
 #include <charconv>
-#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/string_utils.h"
 #include "common/table_printer.h"
 #include "core/coane_model.h"
@@ -39,12 +39,6 @@
 
 namespace coane {
 namespace {
-
-// Set by the SIGINT handler; the training loop finishes its epoch,
-// checkpoints, and exits 0.
-volatile std::sig_atomic_t g_interrupted = 0;
-
-void HandleSigint(int) { g_interrupted = 1; }
 
 // Parsed "--key=value" flags; bare "--key" maps to "true". Malformed
 // numeric values are a usage error (exit 2) — never an abort: the repo
@@ -118,10 +112,19 @@ int Usage() {
       "           [--lr=0.001] [--seed=42] [--presample]\n"
       "           [--grad-clip=0] [--checkpoint-dir=DIR]\n"
       "           [--checkpoint-every=1] [--resume]\n"
-      "           SIGINT finishes the batch in flight, checkpoints (when\n"
-      "           --checkpoint-dir is set), and exits 0\n"
+      "           SIGINT/SIGTERM or an expired --deadline-sec stops at the\n"
+      "           next batch, rolls back the partial epoch, checkpoints\n"
+      "           (when --checkpoint-dir is set), and exits 0\n"
       "  evaluate --embeddings=FILE --labels=FILE [--train-ratio=0.5]\n"
       "           [--seed=42]\n"
+      "loader flags (stats/train):\n"
+      "  --on-bad-line=strict|skip   reject the load on the first bad line\n"
+      "           with a file:line:column diagnostic (strict, default), or\n"
+      "           quarantine bad lines and print a load summary (skip)\n"
+      "  --max-nodes=N --max-attr-dim=N   caps; the load fails fast with\n"
+      "           ResourceExhausted instead of ballooning memory\n"
+      "deadline flag (all commands):\n"
+      "  --deadline-sec=S   stop cooperatively after S seconds wall clock\n"
       "datasets: ");
   for (const std::string& name : ListDatasets()) {
     std::fprintf(stderr, "%s ", name.c_str());
@@ -133,6 +136,28 @@ int Usage() {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// Cooperative stops (Ctrl-C, --deadline-sec) are a clean exit, not an error.
+bool IsStopped(const Status& status) {
+  return status.code() == StatusCode::kCancelled ||
+         status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kResourceExhausted;
+}
+
+int ExitStopped(const Status& status) {
+  std::printf("stopped: %s\n", status.ToString().c_str());
+  return 0;
+}
+
+// Every subcommand honours SIGINT/SIGTERM plus an optional wall-clock
+// deadline from --deadline-sec.
+RunContext MakeRunContext(const Flags& flags) {
+  InstallSignalCancellation();
+  RunContext ctx = RunContext::WithGlobalCancel();
+  const double deadline_sec = flags.GetDouble("deadline-sec", 0.0);
+  if (deadline_sec > 0.0) ctx.SetDeadlineAfter(deadline_sec);
+  return ctx;
 }
 
 int RunGenerate(const Flags& flags) {
@@ -155,18 +180,41 @@ int RunGenerate(const Flags& flags) {
   return 0;
 }
 
-Result<Graph> LoadFromFlags(const Flags& flags) {
+Result<Graph> LoadFromFlags(const Flags& flags, const RunContext* ctx) {
   const std::string edges = flags.Get("edges");
   if (edges.empty()) {
     return Status::InvalidArgument("--edges is required");
   }
-  return LoadAttributedGraph(edges, flags.Get("attrs"),
-                             flags.Get("labels"));
+  LoadOptions options;
+  const std::string policy = flags.Get("on-bad-line", "strict");
+  if (policy == "skip") {
+    options.bad_line_policy = BadLinePolicy::kSkip;
+  } else if (policy != "strict") {
+    return Status::InvalidArgument(
+        "--on-bad-line must be 'strict' or 'skip', got '" + policy + "'");
+  }
+  options.max_nodes = flags.GetInt("max-nodes", 0);
+  options.max_attr_dim = flags.GetInt("max-attr-dim", 0);
+  options.run_context = ctx;
+  LoadSummary summary;
+  auto graph = LoadAttributedGraph(edges, flags.Get("attrs"),
+                                   flags.Get("labels"), options, &summary);
+  if (graph.ok() && summary.quarantined_lines > 0) {
+    std::fprintf(stderr, "warning: %s\n", summary.ToString().c_str());
+    for (const std::string& diag : summary.sample_diagnostics) {
+      std::fprintf(stderr, "  %s\n", diag.c_str());
+    }
+  }
+  return graph;
 }
 
 int RunStats(const Flags& flags) {
-  auto graph = LoadFromFlags(flags);
-  if (!graph.ok()) return Fail(graph.status());
+  const RunContext ctx = MakeRunContext(flags);
+  auto graph = LoadFromFlags(flags, &ctx);
+  if (!graph.ok()) {
+    if (IsStopped(graph.status())) return ExitStopped(graph.status());
+    return Fail(graph.status());
+  }
   const Graph& g = graph.value();
   const GraphStats s = ComputeGraphStats(g);
   TablePrinter table("Graph statistics");
@@ -193,8 +241,12 @@ int RunStats(const Flags& flags) {
 int RunTrain(const Flags& flags) {
   const std::string out = flags.Get("out");
   if (out.empty()) return Usage();
-  auto graph = LoadFromFlags(flags);
-  if (!graph.ok()) return Fail(graph.status());
+  const RunContext ctx = MakeRunContext(flags);
+  auto graph = LoadFromFlags(flags, &ctx);
+  if (!graph.ok()) {
+    if (IsStopped(graph.status())) return ExitStopped(graph.status());
+    return Fail(graph.status());
+  }
 
   CoaneConfig config;
   config.embedding_dim = flags.GetInt("dim", 128);
@@ -232,8 +284,11 @@ int RunTrain(const Flags& flags) {
   }
 
   CoaneModel model(graph.value(), config);
-  Status st = model.Preprocess();
-  if (!st.ok()) return Fail(st);
+  Status st = model.Preprocess(&ctx);
+  if (!st.ok()) {
+    if (IsStopped(st)) return ExitStopped(st);
+    return Fail(st);
+  }
 
   if (flags.Has("resume")) {
     if (checkpoint_path.empty()) {
@@ -246,31 +301,43 @@ int RunTrain(const Flags& flags) {
                 model.epochs_done());
   }
 
-  // Graceful SIGINT: finish the epoch in flight, checkpoint, exit 0.
-  std::signal(SIGINT, HandleSigint);
-  while (model.epochs_done() < config.max_epochs && !g_interrupted) {
-    auto stats = model.TrainEpoch();
-    if (!stats.ok()) return Fail(stats.status());
+  // A cooperative stop (SIGINT/SIGTERM, --deadline-sec) surfaces from
+  // TrainEpoch with the partial epoch already rolled back, so the model
+  // sits at its last completed epoch and the checkpoint resumes
+  // bit-identically.
+  Status stop_status = Status::OK();
+  while (model.epochs_done() < config.max_epochs) {
+    auto stats = model.TrainEpoch(&ctx);
+    if (!stats.ok()) {
+      if (IsStopped(stats.status())) {
+        stop_status = stats.status();
+        break;
+      }
+      return Fail(stats.status());
+    }
     const EpochStats& e = stats.value();
     std::printf("epoch %d: L_pos %.2f  L_neg %.2f  L_att %.2f  (%.2fs)\n",
                 e.epoch, e.positive_loss, e.negative_loss,
                 e.attribute_loss, e.seconds);
     if (!checkpoint_path.empty() &&
-        (model.epochs_done() % checkpoint_every == 0 || g_interrupted ||
+        (model.epochs_done() % checkpoint_every == 0 ||
          model.epochs_done() == config.max_epochs)) {
       st = model.SaveCheckpoint(checkpoint_path);
       if (!st.ok()) return Fail(st);
     }
   }
-  std::signal(SIGINT, SIG_DFL);
-  if (g_interrupted && model.epochs_done() < config.max_epochs) {
+  if (!stop_status.ok()) {
     if (!checkpoint_path.empty()) {
-      std::printf("interrupted at epoch %d; checkpoint saved to %s — "
+      st = model.SaveCheckpoint(checkpoint_path);
+      if (!st.ok()) return Fail(st);
+      std::printf("stopped (%s) at epoch %d; checkpoint saved to %s — "
                   "restart with --resume to continue\n",
-                  model.epochs_done(), checkpoint_path.c_str());
+                  stop_status.ToString().c_str(), model.epochs_done(),
+                  checkpoint_path.c_str());
     } else {
-      std::printf("interrupted at epoch %d (no --checkpoint-dir; progress "
-                  "discarded)\n", model.epochs_done());
+      std::printf("stopped (%s) at epoch %d (no --checkpoint-dir; progress "
+                  "discarded)\n", stop_status.ToString().c_str(),
+                  model.epochs_done());
     }
     return 0;
   }
@@ -313,13 +380,21 @@ int RunEvaluate(const Flags& flags) {
   int num_classes = 0;
   for (int32_t l : labels) num_classes = std::max(num_classes, l + 1);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const RunContext ctx = MakeRunContext(flags);
 
   auto f1 = EvaluateNodeClassification(
       z.value(), labels, num_classes,
-      flags.GetDouble("train-ratio", 0.5), seed, 2);
-  if (!f1.ok()) return Fail(f1.status());
-  auto nmi = EvaluateClusteringNmi(z.value(), labels, num_classes, seed);
-  if (!nmi.ok()) return Fail(nmi.status());
+      flags.GetDouble("train-ratio", 0.5), seed, 2, &ctx);
+  if (!f1.ok()) {
+    if (IsStopped(f1.status())) return ExitStopped(f1.status());
+    return Fail(f1.status());
+  }
+  auto nmi =
+      EvaluateClusteringNmi(z.value(), labels, num_classes, seed, &ctx);
+  if (!nmi.ok()) {
+    if (IsStopped(nmi.status())) return ExitStopped(nmi.status());
+    return Fail(nmi.status());
+  }
 
   TablePrinter table("Evaluation of " + embeddings_path);
   table.SetHeader({"task", "metric", "score"});
