@@ -1,0 +1,115 @@
+// Thread-scaling of the parallel hot paths: random-walk + context
+// generation and CoANE training on the largest registry dataset, timed at
+// 1/2/4/8 worker threads. Besides wall-clock, each row carries a CRC of
+// the stage's output so the determinism contract — bit-identical results
+// at every thread count — is checked by the bench itself, not just by the
+// concurrency test tier.
+//
+// Speedup is relative to the --threads=1 run on the same binary and
+// machine; on a single-core container every row will hover near 1.0x
+// (the pool adds scheduling overhead without adding cores), which the CSV
+// reports honestly rather than extrapolating.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/checksum.h"
+#include "common/parallel/global_pool.h"
+#include "common/stopwatch.h"
+#include "common/string_utils.h"
+#include "core/coane_model.h"
+#include "datasets/dataset_registry.h"
+#include "walk/context_generator.h"
+#include "walk/random_walk.h"
+
+namespace coane {
+namespace {
+
+uint32_t CrcOfWalks(const std::vector<Walk>& walks) {
+  uint32_t crc = 0;
+  for (const Walk& w : walks) {
+    crc = Crc32(w.data(), w.size() * sizeof(NodeId), crc);
+  }
+  return crc;
+}
+
+uint32_t CrcOfMatrix(const DenseMatrix& m) {
+  return Crc32(m.data(), static_cast<size_t>(m.size()) * sizeof(float));
+}
+
+void Run(const benchutil::BenchOptions& opt) {
+  const std::string dataset = "flickr";
+  const double scale = opt.full ? 1.0 : DefaultBenchScale(dataset);
+  AttributedNetwork net = benchutil::Unwrap(
+      MakeDataset(dataset, scale, opt.seed), "MakeDataset");
+
+  TablePrinter table("Thread scaling (" + dataset + ", scale " +
+                     FormatDouble(scale, 2) + ")");
+  table.SetHeader({"stage", "threads", "seconds", "speedup", "crc32"});
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  double walk_base = 0.0, train_base = 0.0;
+  uint32_t walk_crc0 = 0, train_crc0 = 0;
+  for (int threads : thread_counts) {
+    SetGlobalParallelism(threads);
+
+    // --- Walks + contexts (the co-occurrence statistics pipeline).
+    Stopwatch walk_watch;
+    Rng rng(opt.seed);
+    RandomWalkConfig walk_cfg;
+    walk_cfg.walk_length = opt.full ? 80 : 40;
+    auto walks = benchutil::Unwrap(
+        GenerateRandomWalks(net.graph, walk_cfg, &rng),
+        "GenerateRandomWalks");
+    ContextOptions ctx_opt;
+    auto contexts = benchutil::Unwrap(
+        GenerateContexts(walks, net.graph.num_nodes(), ctx_opt, &rng),
+        "GenerateContexts");
+    const double walk_sec = walk_watch.ElapsedSeconds();
+    const uint32_t walk_crc = CrcOfWalks(walks);
+
+    // --- Training (parallel batch objective + encoder gradients).
+    Stopwatch train_watch;
+    CoaneConfig cfg;
+    cfg.seed = opt.seed;
+    cfg.max_epochs = opt.full ? 3 : 1;
+    cfg.walk_length = walk_cfg.walk_length;
+    DenseMatrix emb = benchutil::Unwrap(
+        TrainCoaneEmbeddings(net.graph, cfg), "TrainCoaneEmbeddings");
+    const double train_sec = train_watch.ElapsedSeconds();
+    const uint32_t train_crc = CrcOfMatrix(emb);
+
+    if (threads == 1) {
+      walk_base = walk_sec;
+      train_base = train_sec;
+      walk_crc0 = walk_crc;
+      train_crc0 = train_crc;
+    }
+    if (walk_crc != walk_crc0 || train_crc != train_crc0) {
+      COANE_LOG(Error) << "determinism violation at --threads=" << threads
+                       << ": output differs from the single-thread run";
+      std::exit(1);
+    }
+    table.AddRow({"walks+contexts", std::to_string(threads),
+                  FormatDouble(walk_sec, 3),
+                  FormatDouble(walk_base / walk_sec, 2) + "x",
+                  std::to_string(walk_crc)});
+    table.AddRow({"train", std::to_string(threads),
+                  FormatDouble(train_sec, 3),
+                  FormatDouble(train_base / train_sec, 2) + "x",
+                  std::to_string(train_crc)});
+  }
+  SetGlobalParallelism(1);
+
+  table.ToStdout();
+  benchutil::WriteCsv(table, "threads_scaling");
+}
+
+}  // namespace
+}  // namespace coane
+
+int main(int argc, char** argv) {
+  coane::Run(coane::benchutil::ParseArgs(argc, argv));
+  return 0;
+}

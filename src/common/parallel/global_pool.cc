@@ -1,0 +1,34 @@
+#include "common/parallel/global_pool.h"
+
+#include <memory>
+#include <mutex>
+
+namespace coane {
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+void SetGlobalParallelism(int threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  // Destroy the old pool first: its destructor drains and joins, so no
+  // stale worker outlives the swap.
+  g_pool.reset();
+  if (threads > 1) {
+    g_pool = std::make_unique<ThreadPool>(threads);
+  }
+}
+
+int GlobalParallelism() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  return g_pool ? g_pool->num_threads() : 1;
+}
+
+ThreadPool* GlobalThreadPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  return g_pool.get();
+}
+
+}  // namespace coane

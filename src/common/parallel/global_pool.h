@@ -1,0 +1,37 @@
+#ifndef COANE_COMMON_PARALLEL_GLOBAL_POOL_H_
+#define COANE_COMMON_PARALLEL_GLOBAL_POOL_H_
+
+#include "common/parallel/thread_pool.h"
+
+namespace coane {
+
+/// Process-wide execution pool behind every parallel hot path.
+///
+/// Parallelism is an *execution* knob, not an algorithmic one: every loop
+/// built on ParallelFor produces bit-identical results whether the global
+/// pool has 1 or 64 threads (see parallel_for.h for the contract), so the
+/// thread count lives here — process-global, set once by the CLI's
+/// --threads flag or a test — instead of being threaded through every
+/// library signature and config struct.
+///
+/// The default is sequential (no pool): a library user who never calls
+/// SetGlobalParallelism gets exactly the single-threaded execution the
+/// repo always had. The CLI defaults to hardware concurrency.
+
+/// Rebuilds the global pool with `threads` workers. 1 (or less) tears the
+/// pool down entirely — pure sequential execution on the calling thread;
+/// 0 via ThreadPool::DefaultThreadCount() is the caller's job. Not safe to
+/// call concurrently with running ParallelFor loops; call it between
+/// stages (startup, test setup).
+void SetGlobalParallelism(int threads);
+
+/// The configured thread count: the pool's size, or 1 when sequential.
+int GlobalParallelism();
+
+/// The pool itself; nullptr when execution is sequential. Pass straight to
+/// ParallelFor, which treats nullptr as "run every shard on the caller".
+ThreadPool* GlobalThreadPool();
+
+}  // namespace coane
+
+#endif  // COANE_COMMON_PARALLEL_GLOBAL_POOL_H_

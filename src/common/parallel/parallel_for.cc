@@ -1,0 +1,138 @@
+#include "common/parallel/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <string>
+
+namespace coane {
+namespace {
+
+// State shared by the calling thread and the pool helpers of one
+// ParallelFor call. Lives on the caller's stack; the caller always waits
+// for every helper before returning.
+struct LoopState {
+  std::atomic<int64_t> next_shard{0};
+  std::atomic<bool> stopped{false};
+
+  std::mutex mu;
+  std::condition_variable helpers_done_cv;
+  int helpers_running = 0;
+  // Lowest failed shard index and its status (deterministic winner).
+  int64_t failed_shard = -1;
+  Status failure = Status::OK();
+
+  void Record(int64_t shard, Status status) {
+    stopped.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(mu);
+    if (failed_shard < 0 || shard < failed_shard) {
+      failed_shard = shard;
+      failure = std::move(status);
+    }
+  }
+};
+
+Status InvokeShard(
+    const std::function<Status(int64_t, int64_t, int64_t)>& fn,
+    int64_t shard, int64_t begin, int64_t end) {
+  try {
+    return fn(shard, begin, end);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("uncaught exception in shard ") +
+                            std::to_string(shard) + ": " + e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-std exception in shard " +
+                            std::to_string(shard));
+  }
+}
+
+void RunShards(LoopState* state, const RunContext* ctx, const char* stage,
+               int64_t n, int64_t num_shards,
+               const std::function<Status(int64_t, int64_t, int64_t)>& fn) {
+  for (;;) {
+    if (state->stopped.load(std::memory_order_acquire)) return;
+    const int64_t shard =
+        state->next_shard.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= num_shards) return;
+    if (ctx != nullptr) {
+      Status st = ctx->Check(stage);
+      if (!st.ok()) {
+        state->Record(shard, std::move(st));
+        return;
+      }
+    }
+    // Even split: the first (n % num_shards) shards get one extra item.
+    const int64_t base = n / num_shards;
+    const int64_t extra = n % num_shards;
+    const int64_t begin =
+        shard * base + std::min<int64_t>(shard, extra);
+    const int64_t end = begin + base + (shard < extra ? 1 : 0);
+    Status st = InvokeShard(fn, shard, begin, end);
+    if (!st.ok()) {
+      state->Record(shard, std::move(st));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Status ParallelFor(
+    ThreadPool* pool, const RunContext* ctx, const char* stage, int64_t n,
+    int64_t num_shards,
+    const std::function<Status(int64_t shard, int64_t begin, int64_t end)>&
+        fn) {
+  if (n <= 0) return Status::OK();
+  num_shards = std::max<int64_t>(1, std::min<int64_t>(num_shards, n));
+
+  LoopState state;
+  int helpers = 0;
+  if (pool != nullptr && num_shards > 1) {
+    const int want = static_cast<int>(
+        std::min<int64_t>(num_shards, pool->num_threads()) - 1);
+    for (int i = 0; i < want; ++i) {
+      {
+        // Count the helper before it can possibly finish.
+        std::lock_guard<std::mutex> lock(state.mu);
+        ++state.helpers_running;
+      }
+      Status submitted = pool->Submit([&state, ctx, stage, n, num_shards,
+                                       &fn] {
+        RunShards(&state, ctx, stage, n, num_shards, fn);
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (--state.helpers_running == 0) {
+          state.helpers_done_cv.notify_all();
+        }
+      });
+      if (!submitted.ok()) {
+        // Pool shutting down: undo the count, run on the caller alone.
+        std::lock_guard<std::mutex> lock(state.mu);
+        --state.helpers_running;
+        break;
+      }
+      ++helpers;
+    }
+  }
+
+  RunShards(&state, ctx, stage, n, num_shards, fn);
+
+  if (helpers > 0) {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.helpers_done_cv.wait(lock,
+                               [&state] { return state.helpers_running == 0; });
+  }
+
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.failed_shard >= 0 ? state.failure : Status::OK();
+}
+
+int64_t ElasticShards(const ThreadPool* pool, int64_t n) {
+  const int64_t threads =
+      pool != nullptr ? pool->num_threads() : int64_t{1};
+  // 4 shards per thread keeps workers busy when shard costs are uneven.
+  return std::max<int64_t>(1, std::min<int64_t>(n, threads * 4));
+}
+
+}  // namespace coane

@@ -1,0 +1,58 @@
+#ifndef COANE_COMMON_PARALLEL_PARALLEL_FOR_H_
+#define COANE_COMMON_PARALLEL_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/parallel/thread_pool.h"
+#include "common/run_context.h"
+#include "common/status.h"
+
+namespace coane {
+
+/// Deterministic data-parallel loop: splits [0, n) into `num_shards`
+/// contiguous ranges whose boundaries depend only on (n, num_shards) and
+/// runs `fn(shard, begin, end)` for each, using `pool`'s workers plus the
+/// calling thread. The calling thread always participates, so ParallelFor
+/// completes even with a null pool (pure sequential execution, same shard
+/// structure) and can be nested from inside a pool task without deadlock.
+///
+/// Determinism contract (DESIGN.md "Deterministic parallelism"):
+///  - Shard boundaries are a pure function of (n, num_shards); they never
+///    depend on the pool's thread count or on timing.
+///  - fn must write only shard-private state (per-shard accumulators,
+///    disjoint output rows). Cross-shard reductions are the caller's job
+///    and must merge the per-shard accumulators *in shard order* after
+///    ParallelFor returns, fixing the floating-point summation order.
+///  - With those two rules, results are bit-identical for every thread
+///    count, including 1.
+///
+/// Stop semantics: before a shard starts, the dispatcher checks `ctx`
+/// (which may be nullptr) and an internal stop flag. The first non-OK
+/// status — from ctx->Check(stage), from fn, or from an exception escaping
+/// fn (converted to kInternal) — raises the stop flag, so no new shard
+/// starts after a failure or cancel is observed; shards already running
+/// finish. The returned status is the non-OK status of the lowest-numbered
+/// failed shard (deterministic even when several shards fail in parallel),
+/// or OK. n <= 0 returns OK without ever calling fn.
+Status ParallelFor(
+    ThreadPool* pool, const RunContext* ctx, const char* stage, int64_t n,
+    int64_t num_shards,
+    const std::function<Status(int64_t shard, int64_t begin, int64_t end)>&
+        fn);
+
+/// The fixed shard count used by every reduction-carrying ParallelFor call
+/// in the library (gradient merges, partial sums). A compile-time constant
+/// — NOT derived from the thread count — so the ordered-merge floating
+/// point grouping is identical on every machine and at every --threads
+/// value. Raising it raises the parallelism ceiling of those loops but
+/// changes the merge grouping, i.e. it is an algorithm change.
+inline constexpr int64_t kFixedReductionShards = 8;
+
+/// Shard count for loops with no cross-shard reduction (disjoint writes):
+/// results do not depend on it, so scale with the pool for load balancing.
+int64_t ElasticShards(const ThreadPool* pool, int64_t n);
+
+}  // namespace coane
+
+#endif  // COANE_COMMON_PARALLEL_PARALLEL_FOR_H_

@@ -1,0 +1,15 @@
+#include "common/parallel/rng_split.h"
+
+namespace coane {
+
+uint64_t SplitSeed(uint64_t master_seed, uint64_t stream) {
+  // SplitMix64: jump the state by (stream + 1) golden-ratio increments,
+  // then apply the finalizer. The +1 keeps stream 0 from collapsing to
+  // finalize(master_seed) which callers may already use directly.
+  uint64_t z = master_seed + (stream + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace coane

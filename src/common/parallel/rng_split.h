@@ -1,0 +1,35 @@
+#ifndef COANE_COMMON_PARALLEL_RNG_SPLIT_H_
+#define COANE_COMMON_PARALLEL_RNG_SPLIT_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace coane {
+
+/// Counter-based RNG stream splitting (DESIGN.md "Deterministic
+/// parallelism"). A parallel stage derives one independent Rng per logical
+/// work item (one start node's walks, one scanned walk) from a master seed
+/// and the item's index:
+///
+///   Rng item_rng = MakeStreamRng(master_seed, item_index);
+///
+/// The derived seed is a pure function of (master_seed, stream), so the
+/// draws of item i are the same no matter which thread runs it, in what
+/// order, or how the items were sharded — the whole point of splitting by
+/// counter instead of handing threads slices of one sequential stream.
+/// SplitMix64's finalizer is bijective, so for a fixed master seed two
+/// distinct streams can never derive the same engine seed.
+
+/// Derives the engine seed for `stream` under `master_seed` (SplitMix64:
+/// golden-gamma increment followed by the murmur-style finalizer).
+uint64_t SplitSeed(uint64_t master_seed, uint64_t stream);
+
+/// An Rng seeded with SplitSeed(master_seed, stream).
+inline Rng MakeStreamRng(uint64_t master_seed, uint64_t stream) {
+  return Rng(SplitSeed(master_seed, stream));
+}
+
+}  // namespace coane
+
+#endif  // COANE_COMMON_PARALLEL_RNG_SPLIT_H_

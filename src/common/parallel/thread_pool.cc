@@ -1,0 +1,79 @@
+#include "common/parallel/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace coane {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int count = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+Status ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      return Status::FailedPrecondition(
+          "ThreadPool::Submit after Shutdown()");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+  return Status::OK();
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutting_down_ && workers_.empty()) return;
+    // Drain: queued tasks still run; new submissions are rejected.
+    queue_drained_.wait(lock, [this] {
+      return queue_.empty() && active_tasks_ == 0;
+    });
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+int ThreadPool::DefaultThreadCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] {
+        return shutting_down_ || !queue_.empty();
+      });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_tasks_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_tasks_;
+      if (queue_.empty() && active_tasks_ == 0) {
+        queue_drained_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace coane

@@ -1,0 +1,69 @@
+#ifndef COANE_COMMON_PARALLEL_THREAD_POOL_H_
+#define COANE_COMMON_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace coane {
+
+/// Fixed-size worker pool behind every parallel hot path (walk generation,
+/// batched training, t-SNE / k-means / logistic-regression evaluation).
+///
+/// The pool is an *execution resource*, never an algorithmic input: all
+/// deterministic primitives built on top of it (see parallel_for.h) must
+/// produce bit-identical results whether the pool has 1 or 64 threads.
+/// That contract is why the pool appears nowhere in CoaneConfig or the
+/// checkpoint fingerprint — changing --threads between a checkpoint and
+/// its resume is always legal.
+///
+/// Lifecycle: construction spawns the workers; Shutdown() (or the
+/// destructor) drains the queue, joins them, and makes further Submit
+/// calls fail with kFailedPrecondition. A ThreadPool is neither copyable
+/// nor movable; share it by pointer and keep it alive longer than every
+/// structure holding that pointer.
+class ThreadPool {
+ public:
+  /// Spawns max(1, num_threads) workers. Pass DefaultThreadCount() for
+  /// one worker per hardware thread.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution on some worker. Tasks must not throw
+  /// (ParallelFor wraps user callbacks; raw Submit callers are trusted) and
+  /// must not block indefinitely on other queued tasks. Returns
+  /// kFailedPrecondition after Shutdown().
+  Status Submit(std::function<void()> task);
+
+  /// Waits for every queued and running task, then joins the workers.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// std::thread::hardware_concurrency() clamped to at least 1.
+  static int DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable queue_drained_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_tasks_ = 0;   // tasks popped but not yet finished
+  bool shutting_down_ = false;
+};
+
+}  // namespace coane
+
+#endif  // COANE_COMMON_PARALLEL_THREAD_POOL_H_

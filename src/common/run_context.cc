@@ -34,7 +34,7 @@ Status RunContext::Check(const char* stage) const {
     return Status::DeadlineExceeded(std::string("deadline expired at ") +
                                     stage);
   }
-  if (work_budget_ >= 0 && work_charged_ >= work_budget_) {
+  if (work_budget_ >= 0 && work_charged() >= work_budget_) {
     return Status::ResourceExhausted(
         std::string("work budget of ") + std::to_string(work_budget_) +
         " units exhausted at " + stage);

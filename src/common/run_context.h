@@ -28,11 +28,34 @@ namespace coane {
 /// A RunContext is a cheap value type; copies share the cancel flag but
 /// carry their own deadline and budget, so a sub-stage can be given a
 /// tighter deadline than its parent.
+///
+/// Thread-safety: Check() and ChargeWork() may be called concurrently from
+/// the shards of a ParallelFor loop (the charge counter is atomic, the
+/// cancel flag is an atomic the caller owns). The setters are not
+/// synchronized — configure a context before handing it to a parallel
+/// stage.
 class RunContext {
  public:
   using Clock = std::chrono::steady_clock;
 
   RunContext() = default;
+  // An atomic member would delete the implicit copy operations, but a
+  // RunContext must stay a cheap value type: copies carry over the charge
+  // so a sub-stage context keeps the parent's accounting.
+  RunContext(const RunContext& other)
+      : has_deadline_(other.has_deadline_),
+        deadline_(other.deadline_),
+        cancel_flag_(other.cancel_flag_),
+        work_budget_(other.work_budget_),
+        work_charged_(other.work_charged()) {}
+  RunContext& operator=(const RunContext& other) {
+    has_deadline_ = other.has_deadline_;
+    deadline_ = other.deadline_;
+    cancel_flag_ = other.cancel_flag_;
+    work_budget_ = other.work_budget_;
+    work_charged_.store(other.work_charged(), std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Context with no deadline, no cancel flag, and no budget: Check()
   /// always returns OK. Equivalent to passing nullptr.
@@ -84,9 +107,14 @@ class RunContext {
   /// deadline is set.
   double RemainingSeconds() const;
 
-  /// Registers `units` of completed work against the budget.
-  void ChargeWork(int64_t units) const { work_charged_ += units; }
-  int64_t work_charged() const { return work_charged_; }
+  /// Registers `units` of completed work against the budget. Safe to call
+  /// concurrently from the shards of a ParallelFor loop.
+  void ChargeWork(int64_t units) const {
+    work_charged_.fetch_add(units, std::memory_order_relaxed);
+  }
+  int64_t work_charged() const {
+    return work_charged_.load(std::memory_order_relaxed);
+  }
 
   /// The single cooperative gate. Returns, in precedence order,
   /// kCancelled, kDeadlineExceeded, kResourceExhausted, or OK; the message
@@ -99,9 +127,9 @@ class RunContext {
   Clock::time_point deadline_{};
   const std::atomic<bool>* cancel_flag_ = nullptr;
   int64_t work_budget_ = -1;
-  // The library is single-threaded per run; plain int keeps the type
-  // copyable (an atomic member would delete the copy constructor).
-  mutable int64_t work_charged_ = 0;
+  // Charged concurrently by parallel shards; the copy operations above
+  // keep the type copyable despite the atomic.
+  mutable std::atomic<int64_t> work_charged_{0};
 };
 
 /// Checks `ctx` (which may be null) at a unit-of-work boundary and

@@ -1,6 +1,8 @@
 #ifndef COANE_COMMON_STATUS_H_
 #define COANE_COMMON_STATUS_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <utility>
@@ -109,8 +111,18 @@ class Result {
   T& value() & { return *value_; }
   T&& value() && { return std::move(*value_); }
 
-  /// Moves the value out; must only be called when ok().
-  T ValueOrDie() && { return std::move(*value_); }
+  /// Moves the value out; aborts with the error message when !ok().
+  /// Dereferencing the empty optional would be undefined behavior, and the
+  /// resulting garbage object corrupts the heap far from the real bug —
+  /// dying loudly here keeps the failure at its source.
+  T ValueOrDie() && {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "ValueOrDie() called on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+    return std::move(*value_);
+  }
 
  private:
   Status status_;

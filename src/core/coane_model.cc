@@ -8,6 +8,8 @@
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/parallel/global_pool.h"
+#include "common/parallel/parallel_for.h"
 #include "common/stopwatch.h"
 #include "core/checkpoint.h"
 #include "core/objective.h"
@@ -247,11 +249,23 @@ Result<EpochStats> CoaneModel::TrainEpochOnce(const RunContext* ctx) {
 
 Status CoaneModel::TrainBatch(const std::vector<NodeId>& batch,
                               EpochStats* stats) {
+  ThreadPool* pool = GlobalThreadPool();
+  const int64_t batch_size = static_cast<int64_t>(batch.size());
+
   // --- Embedding Updating: refresh z_v for batch nodes from the encoder.
-  for (NodeId v : batch) {
-    encoder_->EncodeNode(*contexts_, features_, v, z_.Row(v));
-    in_batch_[static_cast<size_t>(v)] = 1;
-  }
+  // Row-disjoint writes (each batch node owns its z_ row and in_batch_
+  // flag), so elastic sharding stays bit-identical.
+  (void)ParallelFor(
+      pool, nullptr, "train.batch_encode", batch_size,
+      ElasticShards(pool, batch_size),
+      [&](int64_t, int64_t begin, int64_t end) -> Status {
+        for (int64_t b = begin; b < end; ++b) {
+          const NodeId v = batch[static_cast<size_t>(b)];
+          encoder_->EncodeNode(*contexts_, features_, v, z_.Row(v));
+          in_batch_[static_cast<size_t>(v)] = 1;
+        }
+        return Status::OK();
+      });
   // Whatever happens below, batch-membership flags must not leak into the
   // next batch.
   struct FlagReset {
@@ -264,18 +278,27 @@ Status CoaneModel::TrainBatch(const std::vector<NodeId>& batch,
 
   DenseMatrix dz(z_.rows(), z_.cols(), 0.0f);
 
-  // --- Loss Updating.
-  double positive = 0.0, negative = 0.0, attribute = 0.0;
-  if (config_.use_positive_loss) {
-    positive = PositiveLikelihoodLoss(
-        z_, positive_pairs_, batch, in_batch_,
-        /*split_lr=*/!config_.skipgram_positive, &dz);
+  // --- Loss Updating. Negatives are drawn from rng_ on this thread, in
+  // batch order — exactly the draws the sequential loop made — so the
+  // checkpointed RNG stream stays bit-identical under parallelism. The
+  // losses themselves run sharded with ordered reduction (objective.h).
+  std::vector<std::vector<NodeId>> negatives;
+  const bool use_negative =
+      config_.use_negative_loss && config_.num_negative > 0;
+  if (use_negative) {
+    negatives.resize(batch.size());
+    for (size_t b = 0; b < batch.size(); ++b) {
+      negatives[b] = negative_sampler_->Sample(
+          batch[b], config_.num_negative, batch, &rng_);
+    }
   }
-  if (config_.use_negative_loss && config_.num_negative > 0) {
-    negative = ContextualNegativeLoss(
-        z_, batch, in_batch_, config_.negative_weight, config_.num_negative,
-        negative_sampler_.get(), &rng_, &dz);
-  }
+  const BatchLosses losses = ParallelBatchObjective(
+      z_, config_.use_positive_loss ? &positive_pairs_ : nullptr,
+      /*split_lr=*/!config_.skipgram_positive,
+      use_negative ? &negatives : nullptr, config_.negative_weight, batch,
+      in_batch_, &dz);
+  double positive = losses.positive, negative = losses.negative,
+         attribute = 0.0;
 
   encoder_->ZeroGrad();
   if (config_.use_attribute_loss) {
@@ -324,8 +347,28 @@ Status CoaneModel::TrainBatch(const std::vector<NodeId>& batch,
   }
 
   // --- Backprop dL/dz through the encoder for batch nodes and step.
-  for (NodeId v : batch) {
-    encoder_->AccumulateGradient(*contexts_, features_, v, dz.Row(v));
+  // Shard-private gradient buffers folded in shard order: the parameter
+  // gradient handed to Adam has a fixed summation tree (fixed shard count),
+  // so the optimizer step — and every checkpoint taken after it — is
+  // bit-identical at every thread count.
+  std::vector<std::vector<DenseMatrix>> grad_shards(
+      static_cast<size_t>(kFixedReductionShards));
+  (void)ParallelFor(
+      pool, nullptr, "train.encoder_grad", batch_size,
+      kFixedReductionShards,
+      [&](int64_t shard, int64_t begin, int64_t end) -> Status {
+        if (begin == end) return Status::OK();
+        auto& buf = grad_shards[static_cast<size_t>(shard)];
+        buf = encoder_->MakeGradBuffer();
+        for (int64_t b = begin; b < end; ++b) {
+          const NodeId v = batch[static_cast<size_t>(b)];
+          encoder_->AccumulateGradientInto(*contexts_, features_, v,
+                                           dz.Row(v), &buf);
+        }
+        return Status::OK();
+      });
+  for (const auto& buf : grad_shards) {
+    if (!buf.empty()) encoder_->MergeGrad(buf);
   }
   encoder_->ApplyGrad(&optimizer_);
   if (config_.use_attribute_loss) decoder_->ApplyGrad(&optimizer_);
@@ -337,9 +380,19 @@ Status CoaneModel::TrainBatch(const std::vector<NodeId>& batch,
 }
 
 void CoaneModel::RenewEmbeddings() {
-  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
-    encoder_->EncodeNode(*contexts_, features_, v, z_.Row(v));
-  }
+  // Row-disjoint writes; z_v is a pure function of the weights, so any
+  // sharding yields the same matrix.
+  ThreadPool* pool = GlobalThreadPool();
+  const int64_t n = graph_.num_nodes();
+  (void)ParallelFor(pool, nullptr, "train.renew", n, ElasticShards(pool, n),
+                    [&](int64_t, int64_t begin, int64_t end) -> Status {
+                      for (NodeId v = static_cast<NodeId>(begin);
+                           v < static_cast<NodeId>(end); ++v) {
+                        encoder_->EncodeNode(*contexts_, features_, v,
+                                             z_.Row(v));
+                      }
+                      return Status::OK();
+                    });
 }
 
 DenseMatrix CoaneModel::BatchFeatures(

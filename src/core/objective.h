@@ -41,6 +41,32 @@ double ContextualNegativeLoss(const DenseMatrix& z,
                               int k, NegativeSampler* sampler, Rng* rng,
                               DenseMatrix* dz);
 
+/// The positive + negative terms of one batch, as one deterministic
+/// parallel computation.
+struct BatchLosses {
+  double positive = 0.0;
+  double negative = 0.0;
+};
+
+/// Evaluates Eq. 2 (when `pairs` != nullptr) and Eq. 3 (when `negatives`
+/// != nullptr, with `negatives[b]` the pre-sampled negatives of batch[b])
+/// over the batch, adding dL/dZ into `dz` and returning the losses.
+///
+/// The batch is always split into kFixedReductionShards shards — a pure
+/// function of the batch, never of the thread count. Each shard
+/// accumulates gradients into a private |batch| x d buffer (a gradient may
+/// target any batch row via the in-batch terms), and the buffers and loss
+/// sums are folded in shard order, so the floating-point result is
+/// bit-identical at every --threads value. Negatives are sampled by the
+/// caller beforehand to keep the RNG consumption sequence — and with it
+/// checkpoint-resume bit-identity — independent of the parallel schedule.
+BatchLosses ParallelBatchObjective(
+    const DenseMatrix& z,
+    const std::vector<std::vector<PositivePair>>* pairs, bool split_lr,
+    const std::vector<std::vector<NodeId>>* negatives, float negative_weight,
+    const std::vector<NodeId>& batch, const std::vector<uint8_t>& in_batch,
+    DenseMatrix* dz);
+
 }  // namespace coane
 
 #endif  // COANE_CORE_OBJECTIVE_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/parallel/global_pool.h"
+#include "common/parallel/parallel_for.h"
 #include "la/vector_ops.h"
 
 namespace coane {
@@ -15,19 +17,27 @@ Result<KMeansResult> RunOnce(const DenseMatrix& points, int k,
                              const RunContext* ctx) {
   const int64_t n = points.rows();
   const int64_t d = points.cols();
+  ThreadPool* pool = GlobalThreadPool();
 
-  // --- k-means++ seeding.
+  // --- k-means++ seeding. All RNG draws stay on this thread, in the same
+  // order as the sequential loop; only the rng-free distance update is
+  // sharded (disjoint min_dist slots).
   DenseMatrix centroids(k, d);
   std::vector<double> min_dist(static_cast<size_t>(n),
                                std::numeric_limits<double>::infinity());
   int64_t first = rng->UniformInt(n);
   for (int64_t j = 0; j < d; ++j) centroids.At(0, j) = points.At(first, j);
   for (int c = 1; c < k; ++c) {
-    for (int64_t i = 0; i < n; ++i) {
-      min_dist[static_cast<size_t>(i)] = std::min(
-          min_dist[static_cast<size_t>(i)],
-          SquaredDistance(points.Row(i), centroids.Row(c - 1), d));
-    }
+    (void)ParallelFor(
+        pool, nullptr, "eval.kmeans_seed", n, ElasticShards(pool, n),
+        [&](int64_t, int64_t begin, int64_t end) -> Status {
+          for (int64_t i = begin; i < end; ++i) {
+            min_dist[static_cast<size_t>(i)] = std::min(
+                min_dist[static_cast<size_t>(i)],
+                SquaredDistance(points.Row(i), centroids.Row(c - 1), d));
+          }
+          return Status::OK();
+        });
     double total = 0.0;
     for (double m : min_dist) total += m;
     int64_t pick;
@@ -55,34 +65,62 @@ Result<KMeansResult> RunOnce(const DenseMatrix& points, int k,
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     COANE_RETURN_IF_STOPPED(ctx, "eval.kmeans_iter");
     if (ctx != nullptr) ctx->ChargeWork(1);
+    // Assignment: disjoint assignment[i] writes; the inertia reduction and
+    // centroid sums below use a fixed shard count with ordered folds so
+    // the floating-point totals match at every thread count.
+    struct ShardStats {
+      double inertia = 0.0;
+      bool changed = false;
+      DenseMatrix sums;
+      std::vector<int64_t> counts;
+    };
+    std::vector<ShardStats> shard_stats(
+        static_cast<size_t>(kFixedReductionShards));
+    (void)ParallelFor(
+        pool, nullptr, "eval.kmeans_assign", n, kFixedReductionShards,
+        [&](int64_t shard, int64_t begin, int64_t end) -> Status {
+          ShardStats& ss = shard_stats[static_cast<size_t>(shard)];
+          ss.sums = DenseMatrix(k, d, 0.0f);
+          ss.counts.assign(static_cast<size_t>(k), 0);
+          for (int64_t i = begin; i < end; ++i) {
+            int32_t best = 0;
+            double best_d = std::numeric_limits<double>::infinity();
+            for (int c = 0; c < k; ++c) {
+              const double dist =
+                  SquaredDistance(points.Row(i), centroids.Row(c), d);
+              if (dist < best_d) {
+                best_d = dist;
+                best = c;
+              }
+            }
+            if (result.assignment[static_cast<size_t>(i)] != best) {
+              result.assignment[static_cast<size_t>(i)] = best;
+              ss.changed = true;
+            }
+            ss.inertia += best_d;
+            ss.counts[static_cast<size_t>(best)]++;
+            Axpy(1.0f, points.Row(i), ss.sums.Row(best), d);
+          }
+          return Status::OK();
+        });
     bool changed = false;
     result.inertia = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-      int32_t best = 0;
-      double best_d = std::numeric_limits<double>::infinity();
-      for (int c = 0; c < k; ++c) {
-        const double dist =
-            SquaredDistance(points.Row(i), centroids.Row(c), d);
-        if (dist < best_d) {
-          best_d = dist;
-          best = c;
-        }
-      }
-      if (result.assignment[static_cast<size_t>(i)] != best) {
-        result.assignment[static_cast<size_t>(i)] = best;
-        changed = true;
-      }
-      result.inertia += best_d;
+    for (const ShardStats& ss : shard_stats) {
+      result.inertia += ss.inertia;
+      changed = changed || ss.changed;
     }
     result.iterations = iter + 1;
     if (!changed && iter > 0) break;
-    // Recompute centroids; empty clusters are re-seeded at a random point.
+    // Recompute centroids from the per-shard sums (ordered fold); empty
+    // clusters are re-seeded at a random point.
     centroids.Fill(0.0f);
     std::fill(counts.begin(), counts.end(), 0);
-    for (int64_t i = 0; i < n; ++i) {
-      const int32_t c = result.assignment[static_cast<size_t>(i)];
-      counts[static_cast<size_t>(c)]++;
-      Axpy(1.0f, points.Row(i), centroids.Row(c), d);
+    for (const ShardStats& ss : shard_stats) {
+      if (ss.counts.empty()) continue;  // shard never ran (n < shards)
+      centroids.Axpy(1.0f, ss.sums);
+      for (int c = 0; c < k; ++c) {
+        counts[static_cast<size_t>(c)] += ss.counts[static_cast<size_t>(c)];
+      }
     }
     for (int c = 0; c < k; ++c) {
       if (counts[static_cast<size_t>(c)] > 0) {

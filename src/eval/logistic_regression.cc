@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/parallel/global_pool.h"
+#include "common/parallel/parallel_for.h"
 #include "common/rng.h"
 #include "la/vector_ops.h"
 #include "nn/adam.h"
@@ -80,14 +82,25 @@ Status OneVsRestClassifier::Fit(const DenseMatrix& x,
     }
   }
   models_.assign(static_cast<size_t>(num_classes), LogisticRegression());
-  std::vector<int> binary(y.size());
-  for (int c = 0; c < num_classes; ++c) {
-    COANE_RETURN_IF_STOPPED(ctx, "eval.logreg_class");
-    for (size_t i = 0; i < y.size(); ++i) binary[i] = (y[i] == c) ? 1 : 0;
-    COANE_RETURN_IF_ERROR(
-        models_[static_cast<size_t>(c)].Fit(x, binary, config, ctx));
-  }
-  return Status::OK();
+  // Each class trains an independent deterministic binary model into its
+  // own models_ slot, so the classes shard across the pool with no
+  // reduction to order.
+  ThreadPool* pool = GlobalThreadPool();
+  return ParallelFor(
+      pool, ctx, "eval.logreg_class", num_classes,
+      ElasticShards(pool, num_classes),
+      [&](int64_t, int64_t begin, int64_t end) -> Status {
+        std::vector<int> binary(y.size());
+        for (int64_t c = begin; c < end; ++c) {
+          COANE_RETURN_IF_STOPPED(ctx, "eval.logreg_class");
+          for (size_t i = 0; i < y.size(); ++i) {
+            binary[i] = (y[i] == static_cast<int32_t>(c)) ? 1 : 0;
+          }
+          COANE_RETURN_IF_ERROR(models_[static_cast<size_t>(c)].Fit(
+              x, binary, config, ctx));
+        }
+        return Status::OK();
+      });
 }
 
 int32_t OneVsRestClassifier::Predict(const float* x) const {

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel/global_pool.h"
+#include "common/parallel/parallel_for.h"
 
 namespace coane {
 
@@ -52,18 +54,27 @@ double DenseMatrix::FrobeniusNorm() const {
 DenseMatrix DenseMatrix::MatMul(const DenseMatrix& other) const {
   COANE_CHECK_EQ(cols_, other.rows_);
   DenseMatrix out(rows_, other.cols_, 0.0f);
-  for (int64_t i = 0; i < rows_; ++i) {
-    const float* a_row = Row(i);
-    float* out_row = out.Row(i);
-    for (int64_t k = 0; k < cols_; ++k) {
-      const float a = a_row[k];
-      if (a == 0.0f) continue;
-      const float* b_row = other.Row(k);
-      for (int64_t j = 0; j < other.cols_; ++j) {
-        out_row[j] += a * b_row[j];
-      }
-    }
-  }
+  // Each output row is an independent dot-product sweep with a fixed
+  // accumulation order, so carving rows across threads cannot change a
+  // single bit of the product.
+  ThreadPool* pool = GlobalThreadPool();
+  (void)ParallelFor(
+      pool, nullptr, "la.matmul", rows_, ElasticShards(pool, rows_),
+      [&](int64_t, int64_t begin, int64_t end) -> Status {
+        for (int64_t i = begin; i < end; ++i) {
+          const float* a_row = Row(i);
+          float* out_row = out.Row(i);
+          for (int64_t k = 0; k < cols_; ++k) {
+            const float a = a_row[k];
+            if (a == 0.0f) continue;
+            const float* b_row = other.Row(k);
+            for (int64_t j = 0; j < other.cols_; ++j) {
+              out_row[j] += a * b_row[j];
+            }
+          }
+        }
+        return Status::OK();
+      });
   return out;
 }
 

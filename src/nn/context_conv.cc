@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/parallel/global_pool.h"
+#include "common/parallel/parallel_for.h"
 #include "la/vector_ops.h"
 
 namespace coane {
@@ -58,15 +60,40 @@ void ContextEncoder::EncodeNode(const ContextSet& contexts,
 DenseMatrix ContextEncoder::EncodeAll(const ContextSet& contexts,
                                       const SparseMatrix& x) const {
   DenseMatrix z(contexts.num_nodes(), output_dim_, 0.0f);
-  for (NodeId v = 0; v < contexts.num_nodes(); ++v) {
-    EncodeNode(contexts, x, v, z.Row(v));
-  }
+  // Row-disjoint writes: each node's embedding is a pure function of the
+  // weights, so any sharding yields bit-identical output.
+  ThreadPool* pool = GlobalThreadPool();
+  const int64_t n = contexts.num_nodes();
+  (void)ParallelFor(pool, nullptr, "nn.encode_all", n,
+                    ElasticShards(pool, n),
+                    [&](int64_t, int64_t begin, int64_t end) -> Status {
+                      for (NodeId v = static_cast<NodeId>(begin);
+                           v < static_cast<NodeId>(end); ++v) {
+                        EncodeNode(contexts, x, v, z.Row(v));
+                      }
+                      return Status::OK();
+                    });
   return z;
 }
 
 void ContextEncoder::AccumulateGradient(const ContextSet& contexts,
                                         const SparseMatrix& x, NodeId v,
                                         const float* dz) {
+  AccumulateGradientInto(contexts, x, v, dz, &grads_);
+}
+
+std::vector<DenseMatrix> ContextEncoder::MakeGradBuffer() const {
+  std::vector<DenseMatrix> buf;
+  buf.reserve(grads_.size());
+  for (const DenseMatrix& g : grads_) {
+    buf.emplace_back(g.rows(), g.cols(), 0.0f);
+  }
+  return buf;
+}
+
+void ContextEncoder::AccumulateGradientInto(
+    const ContextSet& contexts, const SparseMatrix& x, NodeId v,
+    const float* dz, std::vector<DenseMatrix>* grads) const {
   const auto& node_contexts = contexts.Contexts(v);
   if (node_contexts.empty()) return;
   const float inv = 1.0f / static_cast<float>(node_contexts.size());
@@ -75,12 +102,19 @@ void ContextEncoder::AccumulateGradient(const ContextSet& contexts,
       const NodeId u = context[static_cast<size_t>(p)];
       if (u == kPaddingNode) continue;
       DenseMatrix& g =
-          grads_[static_cast<size_t>(position_index(p))];
+          (*grads)[static_cast<size_t>(position_index(p))];
       // dW_p[a, :] += inv * x_u[a] * dz.
       for (const SparseEntry& e : x.Row(u)) {
         Axpy(inv * e.value, dz, g.Row(e.col), output_dim_);
       }
     }
+  }
+}
+
+void ContextEncoder::MergeGrad(const std::vector<DenseMatrix>& grads) {
+  COANE_CHECK_EQ(grads.size(), grads_.size());
+  for (size_t i = 0; i < grads_.size(); ++i) {
+    grads_[i].Axpy(1.0f, grads[i]);
   }
 }
 

@@ -62,6 +62,24 @@ class ContextEncoder {
   void AccumulateGradient(const ContextSet& contexts, const SparseMatrix& x,
                           NodeId v, const float* dz);
 
+  /// Zeroed gradient buffer with the same shape as the internal one, for
+  /// shard-private accumulation: each ParallelFor shard accumulates its
+  /// nodes into its own buffer via AccumulateGradientInto, then the shards
+  /// are folded into the internal gradient with MergeGrad *in shard order*,
+  /// fixing the floating-point summation tree independently of the thread
+  /// count.
+  std::vector<DenseMatrix> MakeGradBuffer() const;
+
+  /// Like AccumulateGradient but writes into `grads` instead of the
+  /// internal buffer; const, so shards may run concurrently.
+  void AccumulateGradientInto(const ContextSet& contexts,
+                              const SparseMatrix& x, NodeId v,
+                              const float* dz,
+                              std::vector<DenseMatrix>* grads) const;
+
+  /// Adds a buffer produced by MakeGradBuffer into the internal gradient.
+  void MergeGrad(const std::vector<DenseMatrix>& grads);
+
   void ZeroGrad();
   void RegisterParams(AdamOptimizer* optimizer);
   void ApplyGrad(AdamOptimizer* optimizer);

@@ -1,8 +1,12 @@
 #include "walk/context_generator.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/parallel/global_pool.h"
+#include "common/parallel/parallel_for.h"
+#include "common/parallel/rng_split.h"
 #include "walk/subsampler.h"
 
 namespace coane {
@@ -49,28 +53,60 @@ Result<ContextSet> GenerateContexts(const std::vector<Walk>& walks,
   std::vector<double> freq;
   if (subsample) freq = ComputeNodeFrequencies(walks, num_nodes);
 
+  // One subsampling stream per walk, split from a single draw of `rng`, so
+  // each walk's keep/discard decisions are independent of every other
+  // walk's — the scanned contexts are bit-identical at every thread count.
+  const uint64_t master = rng->engine()();
+  const int64_t num_walks = static_cast<int64_t>(walks.size());
+
+  // Shards collect (midst, window) in scan order; the ordered merge below
+  // reproduces the sequential walk-major, position-major insertion order.
+  struct ShardContexts {
+    std::vector<std::pair<NodeId, std::vector<NodeId>>> scanned;
+  };
+  ThreadPool* pool = GlobalThreadPool();
+  const int64_t num_shards = ElasticShards(pool, num_walks);
+  std::vector<ShardContexts> shards(static_cast<size_t>(num_shards));
+
+  Status st = ParallelFor(
+      pool, ctx, "walk.contexts", num_walks, num_shards,
+      [&](int64_t shard, int64_t begin, int64_t end) -> Status {
+        ShardContexts& sc = shards[static_cast<size_t>(shard)];
+        std::vector<NodeId> window(static_cast<size_t>(c));
+        for (int64_t w = begin; w < end; ++w) {
+          COANE_RETURN_IF_STOPPED(ctx, "walk.contexts");
+          if (ctx != nullptr) ctx->ChargeWork(1);
+          const Walk& walk = walks[static_cast<size_t>(w)];
+          Rng walk_rng = MakeStreamRng(master, static_cast<uint64_t>(w));
+          const int len = static_cast<int>(walk.size());
+          for (int pos = 0; pos < len; ++pos) {
+            const NodeId midst = walk[static_cast<size_t>(pos)];
+            // The walk's start node always keeps its context (paper:
+            // p_sub = 1 for the starting node, guaranteeing >= 1 context
+            // per node).
+            if (subsample && pos != 0) {
+              const double keep = SubsampleKeepProbability(
+                  freq[static_cast<size_t>(midst)], options.subsample_t);
+              if (!walk_rng.Bernoulli(keep)) continue;
+            }
+            for (int offset = -half; offset <= half; ++offset) {
+              const int idx = pos + offset;
+              window[static_cast<size_t>(offset + half)] =
+                  (idx >= 0 && idx < len) ? walk[static_cast<size_t>(idx)]
+                                          : kPaddingNode;
+            }
+            sc.scanned.emplace_back(
+                midst, std::vector<NodeId>(window.begin(), window.end()));
+          }
+        }
+        return Status::OK();
+      });
+  if (!st.ok()) return st;
+
   ContextSet out(num_nodes, c);
-  std::vector<NodeId> window(static_cast<size_t>(c));
-  for (const Walk& walk : walks) {
-    COANE_RETURN_IF_STOPPED(ctx, "walk.contexts");
-    if (ctx != nullptr) ctx->ChargeWork(1);
-    const int len = static_cast<int>(walk.size());
-    for (int pos = 0; pos < len; ++pos) {
-      const NodeId midst = walk[static_cast<size_t>(pos)];
-      // The walk's start node always keeps its context (paper: p_sub = 1
-      // for the starting node, guaranteeing >= 1 context per node).
-      if (subsample && pos != 0) {
-        const double keep = SubsampleKeepProbability(
-            freq[static_cast<size_t>(midst)], options.subsample_t);
-        if (!rng->Bernoulli(keep)) continue;
-      }
-      for (int offset = -half; offset <= half; ++offset) {
-        const int idx = pos + offset;
-        window[static_cast<size_t>(offset + half)] =
-            (idx >= 0 && idx < len) ? walk[static_cast<size_t>(idx)]
-                                    : kPaddingNode;
-      }
-      out.Add(midst, std::vector<NodeId>(window.begin(), window.end()));
+  for (ShardContexts& sc : shards) {
+    for (auto& [midst, window] : sc.scanned) {
+      out.Add(midst, std::move(window));
     }
   }
   return out;

@@ -2,32 +2,72 @@
 
 #include <algorithm>
 
+#include "common/parallel/global_pool.h"
+#include "common/parallel/parallel_for.h"
+
 namespace coane {
+namespace {
+
+// Runs `fill(v, &triplets)` for every node over the global pool, sharded
+// by contiguous node ranges, and concatenates the per-shard triplet lists
+// in shard order — the result is the exact row-major triplet sequence the
+// sequential loop produced, at every thread count.
+template <typename FillRow>
+std::vector<SparseMatrix::Triplet> ShardedRowTriplets(int64_t n,
+                                                      const FillRow& fill) {
+  ThreadPool* pool = GlobalThreadPool();
+  const int64_t num_shards = ElasticShards(pool, n);
+  std::vector<std::vector<SparseMatrix::Triplet>> shards(
+      static_cast<size_t>(num_shards));
+  Status st = ParallelFor(
+      pool, nullptr, "walk.cooccurrence", n, num_shards,
+      [&](int64_t shard, int64_t begin, int64_t end) -> Status {
+        auto& triplets = shards[static_cast<size_t>(shard)];
+        for (NodeId v = static_cast<NodeId>(begin);
+             v < static_cast<NodeId>(end); ++v) {
+          fill(v, &triplets);
+        }
+        return Status::OK();
+      });
+  (void)st;  // no ctx and fill cannot fail: always OK
+  size_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  std::vector<SparseMatrix::Triplet> merged;
+  merged.reserve(total);
+  for (const auto& s : shards) {
+    merged.insert(merged.end(), s.begin(), s.end());
+  }
+  return merged;
+}
+
+}  // namespace
 
 CooccurrenceMatrices BuildCooccurrence(const Graph& graph,
                                        const ContextSet& contexts) {
   const int64_t n = contexts.num_nodes();
-  std::vector<SparseMatrix::Triplet> d_triplets;
-  for (NodeId v = 0; v < n; ++v) {
-    for (const auto& context : contexts.Contexts(v)) {
-      for (NodeId u : context) {
-        if (u == kPaddingNode || u == v) continue;
-        d_triplets.push_back({v, u, 1.0f});
-      }
-    }
-  }
   CooccurrenceMatrices out;
-  out.d = SparseMatrix::FromTriplets(n, n, std::move(d_triplets));
+  out.d = SparseMatrix::FromTriplets(
+      n, n,
+      ShardedRowTriplets(n, [&](NodeId v,
+                                std::vector<SparseMatrix::Triplet>* t) {
+        for (const auto& context : contexts.Contexts(v)) {
+          for (NodeId u : context) {
+            if (u == kPaddingNode || u == v) continue;
+            t->push_back({v, u, 1.0f});
+          }
+        }
+      }));
 
-  std::vector<SparseMatrix::Triplet> d1_triplets;
-  for (NodeId v = 0; v < n; ++v) {
-    for (const SparseEntry& e : out.d.Row(v)) {
-      if (graph.HasEdge(v, static_cast<NodeId>(e.col))) {
-        d1_triplets.push_back({v, e.col, e.value});
-      }
-    }
-  }
-  out.d1 = SparseMatrix::FromTriplets(n, n, std::move(d1_triplets));
+  out.d1 = SparseMatrix::FromTriplets(
+      n, n,
+      ShardedRowTriplets(n, [&](NodeId v,
+                                std::vector<SparseMatrix::Triplet>* t) {
+        for (const SparseEntry& e : out.d.Row(v)) {
+          if (graph.HasEdge(v, static_cast<NodeId>(e.col))) {
+            t->push_back({v, e.col, e.value});
+          }
+        }
+      }));
   out.d_tilde = SparseMatrix::Add(out.d.RowNormalized(), out.d1);
   out.k_p = contexts.MaxContextsPerNode();
   return out;
@@ -37,27 +77,37 @@ std::vector<std::vector<PositivePair>> TopKPositivePairs(
     const SparseMatrix& d_tilde, int64_t k) {
   std::vector<std::vector<PositivePair>> out(
       static_cast<size_t>(d_tilde.rows()));
-  std::vector<PositivePair> row_pairs;
-  for (int64_t i = 0; i < d_tilde.rows(); ++i) {
-    row_pairs.clear();
-    for (const SparseEntry& e : d_tilde.Row(i)) {
-      row_pairs.push_back({static_cast<NodeId>(e.col), e.value});
-    }
-    if (static_cast<int64_t>(row_pairs.size()) > k) {
-      std::nth_element(row_pairs.begin(), row_pairs.begin() + k,
-                       row_pairs.end(),
-                       [](const PositivePair& a, const PositivePair& b) {
-                         return a.weight != b.weight ? a.weight > b.weight
-                                                     : a.j < b.j;
-                       });
-      row_pairs.resize(static_cast<size_t>(k));
-    }
-    std::sort(row_pairs.begin(), row_pairs.end(),
-              [](const PositivePair& a, const PositivePair& b) {
-                return a.j < b.j;
-              });
-    out[static_cast<size_t>(i)] = row_pairs;
-  }
+  // Each row's selection is independent and writes only its own slot, so
+  // the rows can be carved across the pool with no reduction to order.
+  ThreadPool* pool = GlobalThreadPool();
+  const int64_t n = d_tilde.rows();
+  Status st = ParallelFor(
+      pool, nullptr, "walk.positive_pairs", n, ElasticShards(pool, n),
+      [&](int64_t, int64_t begin, int64_t end) -> Status {
+        std::vector<PositivePair> row_pairs;
+        for (int64_t i = begin; i < end; ++i) {
+          row_pairs.clear();
+          for (const SparseEntry& e : d_tilde.Row(i)) {
+            row_pairs.push_back({static_cast<NodeId>(e.col), e.value});
+          }
+          if (static_cast<int64_t>(row_pairs.size()) > k) {
+            std::nth_element(
+                row_pairs.begin(), row_pairs.begin() + k, row_pairs.end(),
+                [](const PositivePair& a, const PositivePair& b) {
+                  return a.weight != b.weight ? a.weight > b.weight
+                                              : a.j < b.j;
+                });
+            row_pairs.resize(static_cast<size_t>(k));
+          }
+          std::sort(row_pairs.begin(), row_pairs.end(),
+                    [](const PositivePair& a, const PositivePair& b) {
+                      return a.j < b.j;
+                    });
+          out[static_cast<size_t>(i)] = row_pairs;
+        }
+        return Status::OK();
+      });
+  (void)st;  // no ctx, no failure path
   return out;
 }
 

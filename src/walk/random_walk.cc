@@ -1,8 +1,12 @@
 #include "walk/random_walk.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/fault_injection.h"
+#include "common/parallel/global_pool.h"
+#include "common/parallel/parallel_for.h"
+#include "common/parallel/rng_split.h"
 
 namespace coane {
 namespace {
@@ -33,31 +37,66 @@ Status GenerateRandomWalksInto(const Graph& graph,
   if (config.walk_length <= 0) {
     return Status::InvalidArgument("walk_length must be positive");
   }
-  out->reserve(out->size() +
-               static_cast<size_t>(graph.num_nodes()) *
-                   static_cast<size_t>(config.num_walks_per_node));
-  for (NodeId start = 0; start < graph.num_nodes(); ++start) {
-    for (int r = 0; r < config.num_walks_per_node; ++r) {
-      // Unit of work = one walk: a cancel or deadline stops before the
-      // next walk starts, keeping everything generated so far in `out`.
-      COANE_RETURN_IF_STOPPED(ctx, "walk.generate");
-      if (fault::ShouldFail("walk.generate")) {
-        return Status::Cancelled("injected cancel at walk.generate");
-      }
-      Walk walk;
-      walk.reserve(static_cast<size_t>(config.walk_length));
-      walk.push_back(start);
-      NodeId cur = start;
-      while (static_cast<int>(walk.size()) < config.walk_length) {
-        if (graph.Degree(cur) == 0) break;
-        cur = StepFrom(graph, cur, rng);
-        walk.push_back(cur);
-      }
-      out->push_back(std::move(walk));
-      if (ctx != nullptr) ctx->ChargeWork(1);
-    }
+  const int64_t r = config.num_walks_per_node;
+  const int64_t total = graph.num_nodes() * r;
+  // One independent RNG stream per walk, derived from a single draw of the
+  // caller's generator: walk w's steps are a pure function of (master, w),
+  // never of which thread ran it or of how many draws other walks made, so
+  // the corpus is bit-identical at every --threads value.
+  const uint64_t master = rng->engine()();
+  if (total == 0) return Status::OK();
+
+  // Per-shard buffers keep writes thread-private; `complete` marks shards
+  // whose walks may all be handed to the caller.
+  struct ShardWalks {
+    std::vector<Walk> walks;
+    bool complete = false;
+  };
+  ThreadPool* pool = GlobalThreadPool();
+  const int64_t num_shards = ElasticShards(pool, total);
+  std::vector<ShardWalks> shards(static_cast<size_t>(num_shards));
+
+  Status st = ParallelFor(
+      pool, ctx, "walk.generate", total, num_shards,
+      [&](int64_t shard, int64_t begin, int64_t end) -> Status {
+        ShardWalks& sw = shards[static_cast<size_t>(shard)];
+        sw.walks.reserve(static_cast<size_t>(end - begin));
+        for (int64_t w = begin; w < end; ++w) {
+          // Unit of work = one walk: a cancel or deadline stops before the
+          // next walk starts, keeping the walks generated so far.
+          COANE_RETURN_IF_STOPPED(ctx, "walk.generate");
+          if (fault::ShouldFail("walk.generate")) {
+            return Status::Cancelled("injected cancel at walk.generate");
+          }
+          const NodeId start = static_cast<NodeId>(w / r);
+          Rng walk_rng = MakeStreamRng(master, static_cast<uint64_t>(w));
+          Walk walk;
+          walk.reserve(static_cast<size_t>(config.walk_length));
+          walk.push_back(start);
+          NodeId cur = start;
+          while (static_cast<int>(walk.size()) < config.walk_length) {
+            if (graph.Degree(cur) == 0) break;
+            cur = StepFrom(graph, cur, &walk_rng);
+            walk.push_back(cur);
+          }
+          sw.walks.push_back(std::move(walk));
+          if (ctx != nullptr) ctx->ChargeWork(1);
+        }
+        sw.complete = true;
+        return Status::OK();
+      });
+
+  // Preserve the longest prefix of complete shards plus the partial walks
+  // of the first incomplete one. Sequentially (no pool) shards run in
+  // order, so a stopped run hands back exactly the walks generated before
+  // the stop; in parallel mode later shards that happened to finish are
+  // dropped to keep the preserved prefix contiguous.
+  out->reserve(out->size() + static_cast<size_t>(total));
+  for (ShardWalks& sw : shards) {
+    for (Walk& walk : sw.walks) out->push_back(std::move(walk));
+    if (!sw.complete) break;
   }
-  return Status::OK();
+  return st;
 }
 
 Result<std::vector<Walk>> GenerateRandomWalks(const Graph& graph,

@@ -23,9 +23,12 @@ struct RandomWalkConfig {
 using Walk = std::vector<NodeId>;
 
 /// Generates r*n weighted random walks (n blocks of r walks, block v
-/// starting at node v). Deterministic given the rng state. `ctx` (optional)
-/// is checked once per walk; a cancelled/expired run returns the stop
-/// status and discards the partial result.
+/// starting at node v), in parallel over the global thread pool when one
+/// is configured (SetGlobalParallelism). Each walk draws from its own
+/// counter-split RNG stream derived from one draw of `rng`, so the corpus
+/// is a pure function of the rng state — bit-identical at every thread
+/// count. `ctx` (optional) is checked once per walk; a cancelled/expired
+/// run returns the stop status and discards the partial result.
 Result<std::vector<Walk>> GenerateRandomWalks(const Graph& graph,
                                               const RandomWalkConfig& config,
                                               Rng* rng,

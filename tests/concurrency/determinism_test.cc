@@ -1,0 +1,240 @@
+// Concurrency tier: the determinism-under-parallelism contract. Every
+// parallel hot path — walk generation, co-occurrence statistics, training
+// (including checkpoint files), and the evaluation suite — must produce
+// byte-identical results at --threads 1, 2, and 8, and across repeated
+// runs at the same thread count. See DESIGN.md "Deterministic parallelism".
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/parallel/global_pool.h"
+#include "core/coane_model.h"
+#include "datasets/attributed_sbm.h"
+#include "eval/kmeans.h"
+#include "eval/logistic_regression.h"
+#include "eval/tsne.h"
+#include "walk/context_generator.h"
+#include "walk/cooccurrence.h"
+#include "walk/random_walk.h"
+
+namespace coane {
+namespace {
+
+// Restores sequential execution even when an assertion fails mid-test.
+struct ScopedThreads {
+  explicit ScopedThreads(int threads) { SetGlobalParallelism(threads); }
+  ~ScopedThreads() { SetGlobalParallelism(1); }
+};
+
+bool BitIdentical(const DenseMatrix& a, const DenseMatrix& b) {
+  return a.SameShape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+AttributedNetwork TestNet() {
+  AttributedSbmConfig c;
+  c.num_nodes = 60;
+  c.num_classes = 3;
+  // 3 classes x (2 circles x 8 attrs + 6 class attrs) = 66 needed.
+  c.num_attributes = 72;
+  c.circles_per_class = 2;
+  c.seed = 93;
+  return GenerateAttributedSbm(c).ValueOrDie();
+}
+
+CoaneConfig TestConfig() {
+  CoaneConfig c;
+  c.walk_length = 12;
+  c.embedding_dim = 8;
+  c.num_negative = 3;
+  c.max_epochs = 2;
+  c.batch_size = 16;
+  c.decoder_hidden = {16};
+  return c;
+}
+
+// CRC of the whole walk -> context -> co-occurrence pipeline output.
+uint32_t WalkPipelineCrc(const Graph& graph) {
+  Rng rng(7);
+  RandomWalkConfig wc;
+  wc.walk_length = 15;
+  auto walks = GenerateRandomWalks(graph, wc, &rng).ValueOrDie();
+  uint32_t crc = 0;
+  for (const Walk& w : walks) {
+    crc = Crc32(w.data(), w.size() * sizeof(NodeId), crc);
+  }
+  ContextOptions co;
+  auto contexts =
+      GenerateContexts(walks, graph.num_nodes(), co, &rng).ValueOrDie();
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const auto& context : contexts.Contexts(v)) {
+      crc = Crc32(context.data(), context.size() * sizeof(NodeId), crc);
+    }
+  }
+  CooccurrenceMatrices cooc = BuildCooccurrence(graph, contexts);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const SparseEntry& e : cooc.d_tilde.Row(v)) {
+      crc = Crc32(&e.col, sizeof(e.col), crc);
+      crc = Crc32(&e.value, sizeof(e.value), crc);
+    }
+  }
+  return crc;
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(DeterminismTest, WalkPipelineByteIdenticalAcrossThreadCounts) {
+  AttributedNetwork net = TestNet();
+  uint32_t reference = 0;
+  {
+    ScopedThreads guard(1);
+    reference = WalkPipelineCrc(net.graph);
+  }
+  for (int threads : {2, 8}) {
+    ScopedThreads guard(threads);
+    EXPECT_EQ(WalkPipelineCrc(net.graph), reference)
+        << "walk pipeline differs at threads=" << threads;
+  }
+  // Repeated runs at the same thread count must agree too (no timing
+  // dependence, not just no thread-count dependence).
+  {
+    ScopedThreads guard(8);
+    EXPECT_EQ(WalkPipelineCrc(net.graph), reference);
+  }
+}
+
+TEST(DeterminismTest, TrainingAndCheckpointByteIdenticalAcrossThreadCounts) {
+  AttributedNetwork net = TestNet();
+  const CoaneConfig cfg = TestConfig();
+
+  DenseMatrix reference_emb;
+  std::string reference_ckpt;
+  for (int threads : {1, 2, 8}) {
+    ScopedThreads guard(threads);
+    CoaneModel model(net.graph, cfg);
+    Status pre = model.Preprocess();
+    ASSERT_TRUE(pre.ok()) << pre.ToString();
+    ASSERT_TRUE(model.Train().ok());
+    const std::string path = "/tmp/coane_det_" +
+                             std::to_string(threads) + ".ckpt";
+    ASSERT_TRUE(model.SaveCheckpoint(path).ok());
+    const std::string ckpt = FileBytes(path);
+    std::remove(path.c_str());
+    ASSERT_FALSE(ckpt.empty());
+    if (threads == 1) {
+      reference_emb = model.embeddings();
+      reference_ckpt = ckpt;
+      continue;
+    }
+    EXPECT_TRUE(BitIdentical(model.embeddings(), reference_emb))
+        << "embeddings differ at threads=" << threads;
+    EXPECT_EQ(ckpt, reference_ckpt)
+        << "checkpoint file differs at threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, ResumeAcrossDifferentThreadCountsIsBitIdentical) {
+  // The thread count is an execution knob, not part of the model: a
+  // checkpoint written under --threads=8 must resume under --threads=1
+  // (and vice versa) onto the exact trajectory of an uninterrupted run.
+  AttributedNetwork net = TestNet();
+  const CoaneConfig cfg = TestConfig();  // two epochs
+
+  DenseMatrix straight_emb;
+  {
+    ScopedThreads guard(2);
+    CoaneModel straight(net.graph, cfg);
+    ASSERT_TRUE(straight.Preprocess().ok());
+    ASSERT_TRUE(straight.Train().ok());
+    straight_emb = straight.embeddings();
+  }
+
+  const std::string path = "/tmp/coane_det_resume.ckpt";
+  {
+    ScopedThreads guard(8);
+    CoaneModel first(net.graph, cfg);
+    ASSERT_TRUE(first.Preprocess().ok());
+    ASSERT_TRUE(first.TrainEpoch().ok());
+    ASSERT_TRUE(first.SaveCheckpoint(path).ok());
+  }
+  {
+    ScopedThreads guard(1);
+    CoaneModel resumed(net.graph, cfg);
+    ASSERT_TRUE(resumed.Preprocess().ok());
+    ASSERT_TRUE(resumed.LoadCheckpoint(path).ok());
+    EXPECT_EQ(resumed.epochs_done(), 1);
+    ASSERT_TRUE(resumed.Train().ok());
+    EXPECT_TRUE(BitIdentical(resumed.embeddings(), straight_emb))
+        << "epoch written at threads=8, resumed at threads=1, must match "
+           "the straight threads=2 run";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DeterminismTest, EvalMetricsByteIdenticalAcrossThreadCounts) {
+  // Deterministic inputs for the three evaluation hot paths.
+  const int64_t n = 90, d = 6;
+  DenseMatrix points(n, d);
+  Rng fill_rng(17);
+  points.GaussianInit(&fill_rng, 0.0f, 1.0f);
+  std::vector<int32_t> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    labels[static_cast<size_t>(i)] = static_cast<int32_t>(i % 3);
+  }
+
+  std::vector<int32_t> ref_assign;
+  double ref_inertia = 0.0;
+  DenseMatrix ref_tsne;
+  std::vector<int32_t> ref_pred;
+  for (int threads : {1, 2, 8}) {
+    ScopedThreads guard(threads);
+
+    KMeansConfig kc;
+    kc.num_restarts = 2;
+    auto km = RunKMeans(points, 3, kc).ValueOrDie();
+
+    TsneConfig tc;
+    tc.iterations = 30;
+    tc.perplexity = 10.0;
+    auto ts = RunTsne(points, tc).ValueOrDie();
+
+    OneVsRestClassifier clf;
+    LogisticRegressionConfig lc;
+    lc.epochs = 20;
+    ASSERT_TRUE(clf.Fit(points, labels, 3, lc).ok());
+    std::vector<int32_t> pred = clf.PredictBatch(points);
+
+    if (threads == 1) {
+      ref_assign = km.assignment;
+      ref_inertia = km.inertia;
+      ref_tsne = ts;
+      ref_pred = pred;
+      continue;
+    }
+    EXPECT_EQ(km.assignment, ref_assign)
+        << "k-means assignment differs at threads=" << threads;
+    EXPECT_EQ(std::memcmp(&km.inertia, &ref_inertia, sizeof(double)), 0)
+        << "k-means inertia differs at threads=" << threads;
+    EXPECT_TRUE(BitIdentical(ts, ref_tsne))
+        << "t-SNE layout differs at threads=" << threads;
+    EXPECT_EQ(pred, ref_pred)
+        << "classifier predictions differ at threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace coane

@@ -22,7 +22,7 @@ struct TrainedFixture {
     cfg.walk_length = 20;
     cfg.embedding_dim = 16;
     cfg.num_negative = 5;
-    cfg.max_epochs = 5;
+    cfg.max_epochs = 6;
     cfg.batch_size = 64;
     cfg.decoder_hidden = {32};
     cfg.subsample_t = 1e-3;

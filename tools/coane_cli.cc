@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel/global_pool.h"
 #include "common/run_context.h"
 #include "common/string_utils.h"
 #include "common/table_printer.h"
@@ -125,6 +126,10 @@ int Usage() {
       "           ResourceExhausted instead of ballooning memory\n"
       "deadline flag (all commands):\n"
       "  --deadline-sec=S   stop cooperatively after S seconds wall clock\n"
+      "parallelism flag (all commands):\n"
+      "  --threads=N   worker threads for walks, training, and evaluation\n"
+      "           (default: hardware concurrency). Results are bit-\n"
+      "           identical at every N; --threads=1 runs sequentially\n"
       "datasets: ");
   for (const std::string& name : ListDatasets()) {
     std::fprintf(stderr, "%s ", name.c_str());
@@ -411,6 +416,16 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   Flags flags(argc, argv, 2);
+  // Parallelism is an execution knob only (bit-identical results at every
+  // value — see common/parallel/global_pool.h), so it is configured once
+  // here rather than plumbed through each subcommand.
+  const int64_t threads =
+      flags.GetInt("threads", ThreadPool::DefaultThreadCount());
+  if (threads < 1) {
+    std::fprintf(stderr, "usage error: --threads must be >= 1\n");
+    return 2;
+  }
+  SetGlobalParallelism(static_cast<int>(threads));
   if (command == "generate") return RunGenerate(flags);
   if (command == "stats") return RunStats(flags);
   if (command == "train") return RunTrain(flags);
