@@ -1,7 +1,13 @@
 #include "common/fault_injection.h"
 
+#include <charconv>
+#include <cstdlib>
 #include <map>
 #include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/string_utils.h"
 
 namespace coane {
 namespace fault {
@@ -11,7 +17,7 @@ struct PointState {
   int hits = 0;          // ShouldFail calls seen so far
   bool armed = false;
   int trigger_hit = 0;   // 1-based hit index of the first failure
-  int fail_count = 0;    // consecutive failing hits from trigger_hit
+  int fail_count = 0;    // consecutive failing hits; negative = forever
 };
 
 std::mutex& Mutex() {
@@ -52,12 +58,76 @@ int HitCount(const std::string& point) {
   return it != Points().end() ? it->second.hits : 0;
 }
 
+void ArmTransient(const std::string& point, int trigger_hit,
+                  int fail_count) {
+  Arm(point, trigger_hit, fail_count);
+}
+
+void ArmPermanent(const std::string& point, int trigger_hit) {
+  Arm(point, trigger_hit, /*fail_count=*/-1);
+}
+
+Status ArmFromEnv(const char* spec) {
+  if (spec == nullptr) spec = std::getenv("COANE_FAULT");
+  if (spec == nullptr || *spec == '\0') return Status::OK();
+
+  // Parse everything before arming anything, so a malformed spec is
+  // all-or-nothing.
+  struct ParsedSpec {
+    std::string point;
+    int trigger_hit;
+    int fail_count;  // negative = permanent
+  };
+  std::vector<ParsedSpec> parsed;
+  for (const std::string& raw : Split(spec, ',')) {
+    const std::string token = Trim(raw);
+    if (token.empty()) continue;
+    const size_t at = token.find('@');
+    if (at == std::string::npos || at == 0) {
+      return Status::InvalidArgument(
+          "COANE_FAULT token '" + token + "' is not point@hit[xN]");
+    }
+    ParsedSpec p;
+    p.point = token.substr(0, at);
+    std::string rest = token.substr(at + 1);
+    p.fail_count = 1;
+    const size_t x = rest.find('x');
+    if (x != std::string::npos) {
+      const std::string count = rest.substr(x + 1);
+      rest = rest.substr(0, x);
+      if (count == "*") {
+        p.fail_count = -1;
+      } else {
+        auto [ptr, ec] = std::from_chars(
+            count.data(), count.data() + count.size(), p.fail_count);
+        if (ec != std::errc() || ptr != count.data() + count.size() ||
+            p.fail_count < 1) {
+          return Status::InvalidArgument(
+              "COANE_FAULT token '" + token + "' has a bad fail count");
+        }
+      }
+    }
+    auto [ptr, ec] =
+        std::from_chars(rest.data(), rest.data() + rest.size(), p.trigger_hit);
+    if (ec != std::errc() || ptr != rest.data() + rest.size() ||
+        p.trigger_hit < 1) {
+      return Status::InvalidArgument(
+          "COANE_FAULT token '" + token + "' has a bad trigger hit");
+    }
+    parsed.push_back(std::move(p));
+  }
+  for (const ParsedSpec& p : parsed) {
+    Arm(p.point, p.trigger_hit, p.fail_count);
+  }
+  return Status::OK();
+}
+
 bool ShouldFail(const std::string& point) {
   std::lock_guard<std::mutex> lock(Mutex());
   PointState& s = Points()[point];
   s.hits += 1;
-  return s.armed && s.hits >= s.trigger_hit &&
-         s.hits < s.trigger_hit + s.fail_count;
+  if (!s.armed || s.hits < s.trigger_hit) return false;
+  return s.fail_count < 0 || s.hits < s.trigger_hit + s.fail_count;
 }
 
 }  // namespace fault

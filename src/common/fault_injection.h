@@ -3,6 +3,8 @@
 
 #include <string>
 
+#include "common/status.h"
+
 namespace coane {
 namespace fault {
 
@@ -29,6 +31,33 @@ namespace fault {
 /// the last Reset/Arm of that point) and for `fail_count` consecutive hits
 /// in total. Re-arming a point resets its hit counter.
 void Arm(const std::string& point, int trigger_hit, int fail_count = 1);
+
+/// Explicit transient-window arming: the point fails on hits
+/// [trigger_hit, trigger_hit + fail_count) and *recovers* afterwards —
+/// every later hit succeeds again. This is what retry tests want: an
+/// operation that fails N times and then works, like a flaky disk or a
+/// briefly unreachable filesystem. Identical to Arm; the separate name
+/// documents intent at call sites that rely on the recovery.
+void ArmTransient(const std::string& point, int trigger_hit, int fail_count);
+
+/// Arms `point` to fail on every hit from trigger_hit onward, never
+/// recovering. Models a permanently broken dependency: a retry policy
+/// must exhaust its attempts and surface the failure.
+void ArmPermanent(const std::string& point, int trigger_hit);
+
+/// Arms points from a spec string, so a *child process* (the supervisor's
+/// fork/exec'd trainee) can be fault-injected from integration tests that
+/// cannot call Arm in its address space. Format, comma-separated:
+///
+///   point@hit        fail exactly the hit-th hit (transient, count 1)
+///   point@hitxN      fail hits [hit, hit+N) then recover
+///   point@hitx*      fail every hit from hit onward (permanent)
+///
+/// e.g. COANE_FAULT="checkpoint.write@1x2,cli.crash@3". When `spec` is
+/// null the COANE_FAULT environment variable is read; an unset/empty
+/// variable arms nothing. Returns InvalidArgument naming the bad token on
+/// a malformed spec (nothing is armed in that case).
+Status ArmFromEnv(const char* spec = nullptr);
 
 /// Disarms `point`; its hit counter keeps counting.
 void Disarm(const std::string& point);

@@ -27,8 +27,15 @@ double RunContext::RemainingSeconds() const {
 }
 
 Status RunContext::Check(const char* stage) const {
+  if (heartbeat_ != nullptr) {
+    heartbeat_->fetch_add(1, std::memory_order_relaxed);
+  }
   if (Cancelled()) {
     return Status::Cancelled(std::string("stopped at ") + stage);
+  }
+  if (Stalled()) {
+    return Status::DeadlineExceeded(
+        std::string("watchdog declared a stall at ") + stage);
   }
   if (Expired()) {
     return Status::DeadlineExceeded(std::string("deadline expired at ") +

@@ -46,12 +46,16 @@ class RunContext {
       : has_deadline_(other.has_deadline_),
         deadline_(other.deadline_),
         cancel_flag_(other.cancel_flag_),
+        stall_flag_(other.stall_flag_),
+        heartbeat_(other.heartbeat_),
         work_budget_(other.work_budget_),
         work_charged_(other.work_charged()) {}
   RunContext& operator=(const RunContext& other) {
     has_deadline_ = other.has_deadline_;
     deadline_ = other.deadline_;
     cancel_flag_ = other.cancel_flag_;
+    stall_flag_ = other.stall_flag_;
+    heartbeat_ = other.heartbeat_;
     work_budget_ = other.work_budget_;
     work_charged_.store(other.work_charged(), std::memory_order_relaxed);
     return *this;
@@ -87,6 +91,22 @@ class RunContext {
     cancel_flag_ = flag;
     return *this;
   }
+  /// Hang-watchdog stall flag (see common/watchdog.h): when `flag` reads
+  /// true, Check() reports kDeadlineExceeded — a stalled stage unwinds
+  /// through the deadline path. `flag` must outlive the context; nullptr
+  /// clears it.
+  RunContext& SetStallFlag(const std::atomic<bool>* flag) {
+    stall_flag_ = flag;
+    return *this;
+  }
+  /// Liveness counter (Heartbeat::counter()) bumped once per Check() —
+  /// i.e. once per unit of work in every instrumented stage — so a
+  /// Watchdog can tell a slow stage from a hung one. `counter` must
+  /// outlive the context; nullptr clears it.
+  RunContext& SetHeartbeat(std::atomic<uint64_t>* counter) {
+    heartbeat_ = counter;
+    return *this;
+  }
   /// Caps the abstract work units this context may charge (walks, batches,
   /// iterations); negative disables the budget. Exceeding it makes Check()
   /// return kResourceExhausted.
@@ -99,6 +119,10 @@ class RunContext {
   bool Cancelled() const {
     return cancel_flag_ != nullptr &&
            cancel_flag_->load(std::memory_order_relaxed);
+  }
+  bool Stalled() const {
+    return stall_flag_ != nullptr &&
+           stall_flag_->load(std::memory_order_relaxed);
   }
   bool Expired() const {
     return has_deadline_ && Clock::now() >= deadline_;
@@ -116,16 +140,20 @@ class RunContext {
     return work_charged_.load(std::memory_order_relaxed);
   }
 
-  /// The single cooperative gate. Returns, in precedence order,
-  /// kCancelled, kDeadlineExceeded, kResourceExhausted, or OK; the message
-  /// names `stage` ("walk.generate", "train.epoch", ...) so callers can
-  /// tell which loop stopped.
+  /// The single cooperative gate. Tickles the attached heartbeat (when
+  /// any) and returns, in precedence order, kCancelled,
+  /// kDeadlineExceeded (watchdog stall, then wall-clock deadline),
+  /// kResourceExhausted, or OK; the message names `stage`
+  /// ("walk.generate", "train.epoch", ...) so callers can tell which
+  /// loop stopped and why.
   Status Check(const char* stage) const;
 
  private:
   bool has_deadline_ = false;
   Clock::time_point deadline_{};
   const std::atomic<bool>* cancel_flag_ = nullptr;
+  const std::atomic<bool>* stall_flag_ = nullptr;
+  std::atomic<uint64_t>* heartbeat_ = nullptr;
   int64_t work_budget_ = -1;
   // Charged concurrently by parallel shards; the copy operations above
   // keep the type copyable despite the atomic.

@@ -171,4 +171,10 @@ Result<TrainingCheckpoint> ReadCheckpointFile(const std::string& path) {
   return ckpt;
 }
 
+Result<int64_t> ReadCheckpointEpoch(const std::string& path) {
+  auto ckpt = ReadCheckpointFile(path);
+  if (!ckpt.ok()) return ckpt.status();
+  return ckpt.value().epochs_done;
+}
+
 }  // namespace coane

@@ -51,6 +51,11 @@ Status WriteCheckpointFile(const std::string& path,
 /// be read and kDataLoss for any structural or checksum failure.
 Result<TrainingCheckpoint> ReadCheckpointFile(const std::string& path);
 
+/// CRC-verifies `path` and returns just its epochs_done. The supervisor
+/// uses this as its progress probe: "did the child advance past the epoch
+/// it crashed at last time?". Same error contract as ReadCheckpointFile.
+Result<int64_t> ReadCheckpointEpoch(const std::string& path);
+
 /// FNV-1a digest of every CoaneConfig field that shapes parameters or the
 /// deterministic preprocessing stream. Two runs can only exchange
 /// checkpoints when their fingerprints match.

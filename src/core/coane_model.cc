@@ -448,7 +448,8 @@ Status CoaneModel::RestoreState(const std::string& blob) {
   return Status::OK();
 }
 
-Status CoaneModel::SaveCheckpoint(const std::string& path) const {
+Status CoaneModel::SaveCheckpoint(const std::string& path,
+                                  const RetryPolicy* retry) const {
   if (!preprocessed_) {
     return Status::FailedPrecondition(
         "call Preprocess() before SaveCheckpoint()");
@@ -462,7 +463,12 @@ Status CoaneModel::SaveCheckpoint(const std::string& path) const {
   AppendEncoderWeights(&ckpt.encoder_blob, *encoder_);
   if (decoder_) AppendMlpWeights(&ckpt.decoder_blob, *decoder_);
   AppendAdamState(&ckpt.optimizer_blob, optimizer_);
-  return WriteCheckpointFile(path, ckpt);
+  if (retry == nullptr) return WriteCheckpointFile(path, ckpt);
+  // The serialized state is assembled once; only the write retries.
+  return RetryOp(*retry, nullptr, "checkpoint.write",
+                 [&](const RunContext*) {
+                   return WriteCheckpointFile(path, ckpt);
+                 });
 }
 
 Status CoaneModel::LoadCheckpoint(const std::string& path) {

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/run_context.h"
 #include "common/status.h"
@@ -75,7 +76,12 @@ class CoaneModel {
   /// weights, Adam moments and step counts, RNG state, epochs_done — to a
   /// CRC-guarded checkpoint file, written atomically (temp + fsync +
   /// rename). Requires Preprocess(). Fault point: "checkpoint.write".
-  Status SaveCheckpoint(const std::string& path) const;
+  /// With `retry` set, a transient write failure (kIoError /
+  /// kResourceExhausted) is re-attempted under that policy; nullptr (the
+  /// default, and what fault-injection tests rely on) writes exactly
+  /// once.
+  Status SaveCheckpoint(const std::string& path,
+                        const RetryPolicy* retry = nullptr) const;
 
   /// Restores a checkpoint written by SaveCheckpoint into this model.
   /// Requires Preprocess() with the same graph and config (enforced via a

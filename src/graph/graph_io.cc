@@ -12,6 +12,7 @@
 #include <unordered_set>
 
 #include "common/atomic_file.h"
+#include "common/checksum.h"
 #include "common/fault_injection.h"
 #include "common/string_utils.h"
 #include "graph/graph_builder.h"
@@ -514,18 +515,53 @@ Status SaveEmbeddings(const DenseMatrix& embeddings,
     }
     out << "\n";
   }
-  return WriteFileAtomic(path, out.str(), "graph_io.save");
+  // Trailing CRC-32 footer over every byte above it, so a reader can
+  // prove the floats it is about to consume are the floats that were
+  // written. Readers of the legacy format skip it as a comment.
+  std::string contents = out.str();
+  char footer[32];
+  std::snprintf(footer, sizeof(footer), "# crc32 %08x\n", Crc32(contents));
+  contents += footer;
+  return WriteFileAtomic(path, contents, "graph_io.save");
 }
 
 Result<DenseMatrix> LoadEmbeddings(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
+  auto raw = ReadFileToString(path);
+  if (!raw.ok()) return raw.status();
+  const std::string& content = raw.value();
+
+  // Parse line by line, verifying any "# crc32 <hex8>" footer against the
+  // bytes that precede it. Files without a footer (hand-written, legacy)
+  // still load; a file *with* a footer must match it — corrupt floats are
+  // rejected as kDataLoss instead of being consumed silently.
   std::vector<std::vector<std::string>> data;
-  std::string line;
-  while (std::getline(in, line)) {
-    std::string trimmed = Trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
-    data.push_back(SplitWhitespace(trimmed));
+  size_t line_start = 0;
+  while (line_start < content.size()) {
+    size_t line_end = content.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = content.size();
+    const std::string trimmed =
+        Trim(content.substr(line_start, line_end - line_start));
+    if (StartsWith(trimmed, "# crc32 ")) {
+      const std::string hex = trimmed.substr(8);
+      uint32_t recorded = 0;
+      auto [ptr, ec] =
+          std::from_chars(hex.data(), hex.data() + hex.size(), recorded, 16);
+      if (ec != std::errc() || ptr != hex.data() + hex.size()) {
+        return Status::DataLoss("unparsable CRC footer in " + path);
+      }
+      const uint32_t actual = Crc32(content.data(), line_start);
+      if (recorded != actual) {
+        char expect[16], got[16];
+        std::snprintf(expect, sizeof(expect), "%08x", recorded);
+        std::snprintf(got, sizeof(got), "%08x", actual);
+        return Status::DataLoss("embedding file " + path +
+                                " is corrupt: CRC footer " + expect +
+                                ", content " + got);
+      }
+    } else if (!trimmed.empty() && trimmed[0] != '#') {
+      data.push_back(SplitWhitespace(trimmed));
+    }
+    line_start = line_end + 1;
   }
   if (data.empty()) return Status::InvalidArgument("empty embedding file");
   const int64_t dim = static_cast<int64_t>(data[0].size()) - 1;

@@ -110,11 +110,15 @@ Status SaveAttributedGraph(const Graph& graph, const std::string& edges_path,
                            const std::string& labels_path);
 
 /// Writes an n x d' embedding matrix as "node v1 v2 ... vd" lines,
-/// atomically (see SaveAttributedGraph). Fault point: "graph_io.save".
+/// atomically (see SaveAttributedGraph), with a trailing "# crc32 <hex>"
+/// footer over the preceding bytes. Fault point: "graph_io.save".
 Status SaveEmbeddings(const DenseMatrix& embeddings,
                       const std::string& path);
 
-/// Reads embeddings written by SaveEmbeddings.
+/// Reads embeddings written by SaveEmbeddings. When the file carries a
+/// CRC footer it is verified first; a mismatch returns kDataLoss naming
+/// the path instead of consuming corrupt floats. Files without a footer
+/// (hand-written, pre-footer) still load.
 Result<DenseMatrix> LoadEmbeddings(const std::string& path);
 
 }  // namespace coane

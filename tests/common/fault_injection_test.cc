@@ -1,0 +1,112 @@
+// Fault-injection registry tests: transient windows that recover,
+// permanent faults that never do, and the COANE_FAULT spec parser that
+// arms child processes from integration tests.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/fault_injection.h"
+
+namespace coane {
+namespace {
+
+class FaultSpecTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Reset(); }
+  void TearDown() override { fault::Reset(); }
+};
+
+TEST_F(FaultSpecTest, UnarmedPointNeverFails) {
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(fault::ShouldFail("nothing.armed"));
+  }
+  EXPECT_EQ(fault::HitCount("nothing.armed"), 10);
+}
+
+TEST_F(FaultSpecTest, TransientWindowFailsThenRecovers) {
+  fault::ArmTransient("io.write", /*trigger_hit=*/3, /*fail_count=*/2);
+  EXPECT_FALSE(fault::ShouldFail("io.write"));  // hit 1
+  EXPECT_FALSE(fault::ShouldFail("io.write"));  // hit 2
+  EXPECT_TRUE(fault::ShouldFail("io.write"));   // hit 3: window opens
+  EXPECT_TRUE(fault::ShouldFail("io.write"));   // hit 4: still failing
+  // Recovered — every later hit succeeds again.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(fault::ShouldFail("io.write")) << "hit " << 5 + i;
+  }
+}
+
+TEST_F(FaultSpecTest, PermanentFaultNeverRecovers) {
+  fault::ArmPermanent("io.write", /*trigger_hit=*/2);
+  EXPECT_FALSE(fault::ShouldFail("io.write"));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(fault::ShouldFail("io.write")) << "hit " << 2 + i;
+  }
+}
+
+TEST_F(FaultSpecTest, ArmFromSpecSingleHit) {
+  ASSERT_TRUE(fault::ArmFromEnv("a.b@2").ok());
+  EXPECT_FALSE(fault::ShouldFail("a.b"));
+  EXPECT_TRUE(fault::ShouldFail("a.b"));
+  EXPECT_FALSE(fault::ShouldFail("a.b"));  // count defaults to 1
+}
+
+TEST_F(FaultSpecTest, ArmFromSpecWindowAndPermanent) {
+  ASSERT_TRUE(fault::ArmFromEnv("w.x@1x2,p.q@1x*").ok());
+  EXPECT_TRUE(fault::ShouldFail("w.x"));
+  EXPECT_TRUE(fault::ShouldFail("w.x"));
+  EXPECT_FALSE(fault::ShouldFail("w.x"));  // window closed
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(fault::ShouldFail("p.q"));  // permanent
+  }
+}
+
+TEST_F(FaultSpecTest, ArmFromSpecRejectsMalformedTokens) {
+  EXPECT_FALSE(fault::ArmFromEnv("nohit").ok());
+  EXPECT_FALSE(fault::ArmFromEnv("point@").ok());
+  EXPECT_FALSE(fault::ArmFromEnv("point@zero").ok());
+  EXPECT_FALSE(fault::ArmFromEnv("point@0").ok());       // hits are 1-based
+  EXPECT_FALSE(fault::ArmFromEnv("point@1x0").ok());     // empty window
+  EXPECT_FALSE(fault::ArmFromEnv("@1").ok());  // empty point
+  // The error names the offending token.
+  Status st = fault::ArmFromEnv("good.point@1,bad@@2");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("bad@@2"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(FaultSpecTest, EmptyTokensBetweenCommasAreTolerated) {
+  ASSERT_TRUE(fault::ArmFromEnv("a.b@1,,c.d@1").ok());
+  EXPECT_TRUE(fault::ShouldFail("a.b"));
+  EXPECT_TRUE(fault::ShouldFail("c.d"));
+}
+
+TEST_F(FaultSpecTest, MalformedSpecArmsNothing) {
+  // All-or-nothing: the valid token before the bad one must not be armed.
+  ASSERT_FALSE(fault::ArmFromEnv("a.b@1,broken").ok());
+  EXPECT_FALSE(fault::ShouldFail("a.b"));
+}
+
+TEST_F(FaultSpecTest, ArmFromEnvReadsEnvironmentVariable) {
+  ::setenv("COANE_FAULT", "env.point@1", /*overwrite=*/1);
+  ASSERT_TRUE(fault::ArmFromEnv().ok());
+  EXPECT_TRUE(fault::ShouldFail("env.point"));
+  ::unsetenv("COANE_FAULT");
+}
+
+TEST_F(FaultSpecTest, UnsetEnvArmsNothing) {
+  ::unsetenv("COANE_FAULT");
+  ASSERT_TRUE(fault::ArmFromEnv().ok());
+  EXPECT_FALSE(fault::ShouldFail("anything.at.all"));
+}
+
+TEST_F(FaultSpecTest, RearmResetsHitCounter) {
+  fault::ArmTransient("io.write", 1, 1);
+  EXPECT_TRUE(fault::ShouldFail("io.write"));
+  fault::ArmTransient("io.write", 2, 1);
+  EXPECT_FALSE(fault::ShouldFail("io.write"));  // counter restarted
+  EXPECT_TRUE(fault::ShouldFail("io.write"));
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,108 @@
+// Hang-watchdog tests: a tickled heartbeat keeps the watchdog quiet, a
+// stalled one latches the stall flag, and a RunContext carrying that flag
+// turns the stall into kDeadlineExceeded at the next Check.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/run_context.h"
+#include "common/watchdog.h"
+
+namespace coane {
+namespace {
+
+void SleepSec(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+TEST(HeartbeatTest, TickleIncrements) {
+  Heartbeat hb;
+  EXPECT_EQ(hb.beats(), 0u);
+  hb.Tickle();
+  hb.Tickle();
+  EXPECT_EQ(hb.beats(), 2u);
+}
+
+TEST(HeartbeatTest, RunContextCheckTicklesOncePerCall) {
+  Heartbeat hb;
+  RunContext ctx;
+  ctx.SetHeartbeat(hb.counter());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ctx.Check("test.unit").ok());
+  }
+  EXPECT_EQ(hb.beats(), 5u);
+}
+
+TEST(WatchdogTest, TickledHeartbeatStaysAlive) {
+  Heartbeat hb;
+  Watchdog dog(&hb, /*stall_seconds=*/0.2, /*poll_seconds=*/0.01);
+  for (int i = 0; i < 10; ++i) {
+    hb.Tickle();
+    SleepSec(0.03);  // well inside the stall window
+  }
+  EXPECT_FALSE(dog.stalled());
+  dog.Stop();
+  EXPECT_FALSE(dog.stalled());
+}
+
+TEST(WatchdogTest, StalledHeartbeatLatchesFlag) {
+  Heartbeat hb;
+  Watchdog dog(&hb, /*stall_seconds=*/0.05, /*poll_seconds=*/0.01);
+  // Never tickle: the watchdog must declare a stall.
+  for (int i = 0; i < 100 && !dog.stalled(); ++i) SleepSec(0.01);
+  EXPECT_TRUE(dog.stalled());
+  // Latched: tickling after the fact does not clear it.
+  hb.Tickle();
+  SleepSec(0.03);
+  EXPECT_TRUE(dog.stalled());
+}
+
+TEST(WatchdogTest, StallSurfacesAsDeadlineExceededThroughRunContext) {
+  Heartbeat hb;
+  Watchdog dog(&hb, /*stall_seconds=*/0.05, /*poll_seconds=*/0.01);
+  RunContext ctx;
+  ctx.SetHeartbeat(hb.counter());
+  ctx.SetStallFlag(dog.stall_flag());
+
+  EXPECT_TRUE(ctx.Check("train.batch").ok());
+  for (int i = 0; i < 100 && !dog.stalled(); ++i) SleepSec(0.01);
+  ASSERT_TRUE(dog.stalled());
+
+  Status st = ctx.Check("train.batch");
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(st.ToString().find("watchdog"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.ToString().find("train.batch"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(WatchdogTest, StopIsIdempotentAndDestructionIsClean) {
+  Heartbeat hb;
+  {
+    Watchdog dog(&hb, /*stall_seconds=*/10.0);
+    dog.Stop();
+    dog.Stop();
+  }  // destructor after explicit Stop must not hang or crash
+  {
+    Watchdog dog(&hb, /*stall_seconds=*/10.0);
+  }  // destructor alone joins the monitor thread
+}
+
+TEST(WatchdogTest, CancelStillWinsOverStall) {
+  // Precedence: a user cancel (SIGINT) reports kCancelled even while the
+  // stall flag is also up — the operator's intent outranks the watchdog.
+  Heartbeat hb;
+  std::atomic<bool> cancel{true};
+  std::atomic<bool> stall{true};
+  RunContext ctx;
+  ctx.SetHeartbeat(hb.counter());
+  ctx.SetCancelFlag(&cancel);
+  ctx.SetStallFlag(&stall);
+  Status st = ctx.Check("train.batch");
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace coane

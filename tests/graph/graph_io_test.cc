@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <string>
 
 #include "graph/graph_builder.h"
 
@@ -101,6 +103,67 @@ TEST_F(GraphIoTest, EmbeddingsRoundTrip) {
   for (int64_t i = 0; i < m.size(); ++i) {
     EXPECT_FLOAT_EQ(loaded.value().data()[i], m.data()[i]);
   }
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, EmbeddingsCarryCrcFooter) {
+  DenseMatrix m(2, 2);
+  for (int i = 0; i < 4; ++i) m.data()[i] = static_cast<float>(i);
+  const std::string path = "/tmp/coane_io_embed_crc.txt";
+  ASSERT_TRUE(SaveEmbeddings(m, path).ok());
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  EXPECT_NE(contents.find("# crc32 "), std::string::npos)
+      << "SaveEmbeddings must append a CRC footer";
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, CorruptEmbeddingsRejectedWithDataLoss) {
+  DenseMatrix m(3, 2);
+  for (int i = 0; i < 6; ++i) m.data()[i] = 0.25f * static_cast<float>(i);
+  const std::string path = "/tmp/coane_io_embed_corrupt.txt";
+  ASSERT_TRUE(SaveEmbeddings(m, path).ok());
+
+  // Flip one digit of a value: the footer no longer matches.
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  const size_t pos = contents.find("0.25");
+  ASSERT_NE(pos, std::string::npos);
+  contents[pos + 2] = '7';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+  auto loaded = LoadEmbeddings(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  // The diagnostic names the offending file.
+  EXPECT_NE(loaded.status().ToString().find(path), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, LegacyEmbeddingsWithoutFooterStillLoad) {
+  const std::string path = "/tmp/coane_io_embed_legacy.txt";
+  {
+    std::ofstream out(path);
+    out << "# hand-written, no CRC footer\n"
+        << "0 1.0 2.0\n"
+        << "1 3.0 4.0\n";
+  }
+  auto loaded = LoadEmbeddings(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().rows(), 2);
+  EXPECT_EQ(loaded.value().cols(), 2);
+  EXPECT_FLOAT_EQ(loaded.value().At(1, 1), 4.0f);
   std::remove(path.c_str());
 }
 

@@ -15,22 +15,32 @@
 //   coane_cli evaluate --embeddings=/tmp/cora.emb
 //       --labels=/tmp/cora.labels --train-ratio=0.5
 
+#include <csignal>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/parallel/global_pool.h"
+#include "common/retry.h"
 #include "common/run_context.h"
 #include "common/string_utils.h"
 #include "common/table_printer.h"
+#include "common/watchdog.h"
+#include "core/artifact_manifest.h"
+#include "core/checkpoint.h"
 #include "core/coane_model.h"
 #include "datasets/dataset_registry.h"
 #include "eval/clustering_task.h"
@@ -135,12 +145,43 @@ int Usage() {
     std::fprintf(stderr, "%s ", name.c_str());
   }
   std::fprintf(stderr, "\n");
+  std::fprintf(
+      stderr,
+      "fault-tolerance flags (train):\n"
+      "  --io-retries=N      attempts per checkpoint/embedding/manifest\n"
+      "           write and per graph load (default 3; 1 disables retry)\n"
+      "  --watchdog-sec=S    declare a hang when no unit of work completes\n"
+      "           for S seconds; the run stops cooperatively, checkpoints,\n"
+      "           and exits 0 so a supervisor can restart it (default off)\n"
+      "  --resume=auto       like --resume, but a missing/corrupt/stale\n"
+      "           checkpoint starts fresh (corrupt files are quarantined\n"
+      "           to <ckpt>.corrupt) instead of failing — what\n"
+      "           coane_supervisor passes\n"
+      "unattended runs: see coane_supervisor --help\n");
   return 2;
 }
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+bool FileExists(const std::string& path) {
+  struct ::stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+// Shared policy for the CLI's retried I/O: checkpoint, embedding, and
+// manifest writes plus graph loads. Seeded from --seed so backoff
+// schedules are reproducible run-to-run.
+RetryPolicy MakeRetryPolicy(const Flags& flags) {
+  RetryPolicy policy;
+  policy.max_attempts =
+      static_cast<int>(std::max<int64_t>(1, flags.GetInt("io-retries", 3)));
+  policy.initial_backoff_sec = 0.01;
+  policy.max_backoff_sec = 0.5;
+  policy.jitter_seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  return policy;
 }
 
 // Cooperative stops (Ctrl-C, --deadline-sec) are a clean exit, not an error.
@@ -200,17 +241,26 @@ Result<Graph> LoadFromFlags(const Flags& flags, const RunContext* ctx) {
   }
   options.max_nodes = flags.GetInt("max-nodes", 0);
   options.max_attr_dim = flags.GetInt("max-attr-dim", 0);
-  options.run_context = ctx;
-  LoadSummary summary;
-  auto graph = LoadAttributedGraph(edges, flags.Get("attrs"),
-                                   flags.Get("labels"), options, &summary);
-  if (graph.ok() && summary.quarantined_lines > 0) {
-    std::fprintf(stderr, "warning: %s\n", summary.ToString().c_str());
-    for (const std::string& diag : summary.sample_diagnostics) {
-      std::fprintf(stderr, "  %s\n", diag.c_str());
-    }
-  }
-  return graph;
+  // A transient open/read failure (including the injected "graph_io.load"
+  // fault) is retried; parse errors are permanent and surface at once.
+  return RetryResultOp<Graph>(
+      MakeRetryPolicy(flags), ctx, "graph_io.load",
+      [&](const RunContext* attempt_ctx) -> Result<Graph> {
+        LoadOptions attempt_options = options;
+        attempt_options.run_context = attempt_ctx;
+        LoadSummary summary;
+        auto graph =
+            LoadAttributedGraph(edges, flags.Get("attrs"),
+                                flags.Get("labels"), attempt_options,
+                                &summary);
+        if (graph.ok() && summary.quarantined_lines > 0) {
+          std::fprintf(stderr, "warning: %s\n", summary.ToString().c_str());
+          for (const std::string& diag : summary.sample_diagnostics) {
+            std::fprintf(stderr, "  %s\n", diag.c_str());
+          }
+        }
+        return graph;
+      });
 }
 
 int RunStats(const Flags& flags) {
@@ -243,10 +293,60 @@ int RunStats(const Flags& flags) {
   return 0;
 }
 
+// Loads `manifest_path` (when present) and verifies the checkpoint entry
+// against the file on disk and the current config fingerprint. Returns OK
+// when the checkpoint may be trusted; the caller decides whether a
+// failure is fatal (--resume) or a fresh start (--resume=auto).
+Status VerifyCheckpointAgainstManifest(const std::string& manifest_path,
+                                       const std::string& checkpoint_path,
+                                       uint64_t fingerprint) {
+  if (!FileExists(manifest_path)) return Status::OK();
+  auto manifest = ArtifactManifest::Load(manifest_path);
+  if (!manifest.ok()) return manifest.status();
+  const ArtifactEntry* entry =
+      manifest.value().Find("checkpoint", checkpoint_path);
+  if (entry == nullptr) return Status::OK();  // never recorded: no claim
+  return VerifyArtifact(*entry, fingerprint);
+}
+
+// Records `path` (just rewritten) in the run's manifest and saves the
+// manifest atomically, both under the retry policy. The manifest must
+// never claim a state the artifact doesn't have, so this runs after every
+// successful artifact write.
+Status RecordArtifact(ArtifactManifest* manifest,
+                      const std::string& manifest_path,
+                      const std::string& kind, const std::string& path,
+                      uint64_t fingerprint, const RetryPolicy& retry) {
+  auto entry = RetryResultOp<ArtifactEntry>(
+      retry, nullptr, "manifest.describe",
+      [&](const RunContext*) {
+        return DescribeArtifact(kind, path, fingerprint);
+      });
+  if (!entry.ok()) return entry.status();
+  COANE_RETURN_IF_ERROR(manifest->Record(entry.value()));
+  return RetryOp(retry, nullptr, "manifest.write", [&](const RunContext*) {
+    return manifest->Save(manifest_path);
+  });
+}
+
 int RunTrain(const Flags& flags) {
   const std::string out = flags.Get("out");
   if (out.empty()) return Usage();
-  const RunContext ctx = MakeRunContext(flags);
+  RunContext ctx = MakeRunContext(flags);
+
+  // Hang watchdog: every unit of work (walk, batch, eval iteration)
+  // tickles the heartbeat through ctx.Check; a stalled heartbeat turns
+  // into a cooperative kDeadlineExceeded stop at the next check, which
+  // rolls back the partial epoch and checkpoints like any deadline.
+  Heartbeat heartbeat;
+  std::unique_ptr<Watchdog> watchdog;
+  const double watchdog_sec = flags.GetDouble("watchdog-sec", 0.0);
+  if (watchdog_sec > 0.0) {
+    watchdog = std::make_unique<Watchdog>(&heartbeat, watchdog_sec);
+    ctx.SetHeartbeat(heartbeat.counter());
+    ctx.SetStallFlag(watchdog->stall_flag());
+  }
+
   auto graph = LoadFromFlags(flags, &ctx);
   if (!graph.ok()) {
     if (IsStopped(graph.status())) return ExitStopped(graph.status());
@@ -278,6 +378,8 @@ int RunTrain(const Flags& flags) {
   const std::string checkpoint_dir = flags.Get("checkpoint-dir");
   const std::string checkpoint_path =
       checkpoint_dir.empty() ? "" : checkpoint_dir + "/coane.ckpt";
+  const std::string manifest_path =
+      checkpoint_dir.empty() ? "" : checkpoint_dir + "/manifest.tsv";
   const int64_t checkpoint_every =
       std::max<int64_t>(1, flags.GetInt("checkpoint-every", 1));
   if (!checkpoint_dir.empty() &&
@@ -287,6 +389,19 @@ int RunTrain(const Flags& flags) {
                                 checkpoint_dir + ": " +
                                 std::strerror(errno)));
   }
+  const RetryPolicy retry = MakeRetryPolicy(flags);
+  const uint64_t fingerprint = ConfigFingerprint(config);
+  ArtifactManifest manifest;
+  if (!manifest_path.empty() && FileExists(manifest_path)) {
+    auto loaded = ArtifactManifest::Load(manifest_path);
+    if (loaded.ok()) {
+      manifest = loaded.value();
+    } else {
+      // A torn manifest only loses the reuse optimization; rebuild it.
+      std::fprintf(stderr, "warning: ignoring unreadable manifest: %s\n",
+                   loaded.status().ToString().c_str());
+    }
+  }
 
   CoaneModel model(graph.value(), config);
   Status st = model.Preprocess(&ctx);
@@ -295,23 +410,74 @@ int RunTrain(const Flags& flags) {
     return Fail(st);
   }
 
-  if (flags.Has("resume")) {
+  // --resume fails on any defective checkpoint; --resume=auto (what the
+  // supervisor passes) treats missing/corrupt/stale checkpoints as "start
+  // fresh", quarantining corrupt files so the next restart doesn't trip
+  // over them again.
+  const std::string resume_mode =
+      flags.Has("resume") ? flags.Get("resume") : "";
+  if (!resume_mode.empty()) {
     if (checkpoint_path.empty()) {
       return Fail(Status::InvalidArgument(
           "--resume requires --checkpoint-dir"));
     }
-    st = model.LoadCheckpoint(checkpoint_path);
-    if (!st.ok()) return Fail(st);
-    std::printf("resumed from %s at epoch %d\n", checkpoint_path.c_str(),
-                model.epochs_done());
+    if (resume_mode != "true" && resume_mode != "auto") {
+      return Fail(Status::InvalidArgument(
+          "--resume takes no value or 'auto', got '" + resume_mode + "'"));
+    }
+    const bool tolerant = resume_mode == "auto";
+    if (tolerant && !FileExists(checkpoint_path)) {
+      std::printf("no checkpoint at %s; starting fresh\n",
+                  checkpoint_path.c_str());
+    } else {
+      st = VerifyCheckpointAgainstManifest(manifest_path, checkpoint_path,
+                                           fingerprint);
+      if (st.ok()) st = model.LoadCheckpoint(checkpoint_path);
+      if (st.ok()) {
+        std::printf("resumed from %s at epoch %d\n",
+                    checkpoint_path.c_str(), model.epochs_done());
+      } else if (!tolerant) {
+        return Fail(st);
+      } else {
+        const std::string quarantined = checkpoint_path + ".corrupt";
+        std::rename(checkpoint_path.c_str(), quarantined.c_str());
+        std::fprintf(stderr,
+                     "warning: checkpoint rejected (%s); quarantined to %s, "
+                     "starting fresh\n",
+                     st.ToString().c_str(), quarantined.c_str());
+      }
+    }
   }
 
-  // A cooperative stop (SIGINT/SIGTERM, --deadline-sec) surfaces from
-  // TrainEpoch with the partial epoch already rolled back, so the model
-  // sits at its last completed epoch and the checkpoint resumes
-  // bit-identically.
+  // Saves the checkpoint (under the retry policy) and records it in the
+  // manifest so a restart can prove it intact before trusting it.
+  auto save_checkpoint = [&]() -> Status {
+    COANE_RETURN_IF_ERROR(model.SaveCheckpoint(checkpoint_path, &retry));
+    return RecordArtifact(&manifest, manifest_path, "checkpoint",
+                          checkpoint_path, fingerprint, retry);
+  };
+
+  // A cooperative stop (SIGINT/SIGTERM, --deadline-sec, a watchdog-
+  // declared hang) surfaces from TrainEpoch with the partial epoch
+  // already rolled back, so the model sits at its last completed epoch
+  // and the checkpoint resumes bit-identically.
   Status stop_status = Status::OK();
   while (model.epochs_done() < config.max_epochs) {
+    // Fault points for the supervisor's integration tests, armed from the
+    // COANE_FAULT environment variable: an abrupt kill (the crash the
+    // supervisor must ride through) and a silent hang (what the watchdog
+    // must convert into a recoverable stop). Never armed in production.
+    if (fault::ShouldFail("cli.crash")) {
+      ::kill(::getpid(), SIGKILL);
+    }
+    if (fault::ShouldFail("cli.hang")) {
+      double hang_sec = 5.0;
+      if (const char* env = std::getenv("COANE_HANG_SEC")) {
+        hang_sec = std::strtod(env, nullptr);
+      }
+      // Deliberately does NOT tickle the heartbeat.
+      std::this_thread::sleep_for(std::chrono::duration<double>(hang_sec));
+    }
     auto stats = model.TrainEpoch(&ctx);
     if (!stats.ok()) {
       if (IsStopped(stats.status())) {
@@ -327,13 +493,13 @@ int RunTrain(const Flags& flags) {
     if (!checkpoint_path.empty() &&
         (model.epochs_done() % checkpoint_every == 0 ||
          model.epochs_done() == config.max_epochs)) {
-      st = model.SaveCheckpoint(checkpoint_path);
+      st = save_checkpoint();
       if (!st.ok()) return Fail(st);
     }
   }
   if (!stop_status.ok()) {
     if (!checkpoint_path.empty()) {
-      st = model.SaveCheckpoint(checkpoint_path);
+      st = save_checkpoint();
       if (!st.ok()) return Fail(st);
       std::printf("stopped (%s) at epoch %d; checkpoint saved to %s — "
                   "restart with --resume to continue\n",
@@ -347,8 +513,15 @@ int RunTrain(const Flags& flags) {
     return 0;
   }
 
-  st = SaveEmbeddings(model.embeddings(), out);
+  st = RetryOp(retry, nullptr, "graph_io.save", [&](const RunContext*) {
+    return SaveEmbeddings(model.embeddings(), out);
+  });
   if (!st.ok()) return Fail(st);
+  if (!manifest_path.empty()) {
+    st = RecordArtifact(&manifest, manifest_path, "embeddings", out,
+                        fingerprint, retry);
+    if (!st.ok()) return Fail(st);
+  }
   std::printf("embeddings (%lld x %lld) written to %s\n",
               static_cast<long long>(model.embeddings().rows()),
               static_cast<long long>(model.embeddings().cols()),
@@ -414,6 +587,12 @@ int RunEvaluate(const Flags& flags) {
 
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  // Integration tests fault-inject this process (possibly as a
+  // supervisor's child) through COANE_FAULT; unset, this arms nothing.
+  if (Status st = fault::ArmFromEnv(); !st.ok()) {
+    std::fprintf(stderr, "usage error: %s\n", st.ToString().c_str());
+    return 2;
+  }
   const std::string command = argv[1];
   Flags flags(argc, argv, 2);
   // Parallelism is an execution knob only (bit-identical results at every
