@@ -1,0 +1,191 @@
+// Serving read-path latency: exact brute-force vs IVF k-NN at batch
+// sizes 1 / 16 / 256, over a clustered embedding store of the shape CoANE
+// produces. Each row reports per-query latency quantiles from the same
+// log-bucketed histogram the STATS endpoint uses, plus a correctness
+// column — recall@10 against the exact index — and the fraction of the
+// store the index scanned, so the latency numbers can never quietly come
+// from a broken index.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/latency_histogram.h"
+#include "common/parallel/global_pool.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/string_utils.h"
+#include "serve/brute_force_index.h"
+#include "serve/embedding_store.h"
+#include "serve/ivf_index.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+
+namespace coane {
+namespace {
+
+using serve::BruteForceIndex;
+using serve::EmbeddingStore;
+using serve::IvfConfig;
+using serve::IvfIndex;
+using serve::KnnIndex;
+using serve::Metric;
+using serve::Neighbor;
+using serve::SearchStats;
+
+// Gaussian blobs: the cluster structure attributed-network embeddings
+// exhibit and IVF exploits.
+DenseMatrix ClusteredEmbeddings(int64_t n, int64_t dim, int clusters,
+                                uint64_t seed) {
+  DenseMatrix m(n, dim);
+  Rng rng(seed);
+  DenseMatrix centers(clusters, dim);
+  centers.GaussianInit(&rng, 0.0f, 3.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    const int c = static_cast<int>(i % clusters);
+    for (int64_t j = 0; j < dim; ++j) {
+      m.At(i, j) =
+          centers.At(c, j) + static_cast<float>(rng.Normal(0.0, 0.5));
+    }
+  }
+  return m;
+}
+
+void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    COANE_LOG(Error) << what << " failed: " << status.ToString();
+    std::exit(1);
+  }
+}
+
+void Run(const benchutil::BenchOptions& opt) {
+  const int64_t n = opt.full ? 50000 : 8000;
+  const int64_t dim = opt.full ? 64 : 32;
+  const int64_t total_queries = opt.full ? 4096 : 1024;
+  const int64_t k = 10;
+
+  const DenseMatrix embeddings =
+      ClusteredEmbeddings(n, dim, /*clusters=*/32, opt.seed);
+  const std::string store_path =
+      (std::filesystem::temp_directory_path() /
+       ("coane_bench_latency_" + std::to_string(::getpid()) + ".store"))
+          .string();
+  CheckOk(EmbeddingStore::Write(embeddings, 0, store_path),
+          "EmbeddingStore::Write");
+  auto opened = benchutil::Unwrap(EmbeddingStore::Open(store_path),
+                                  "EmbeddingStore::Open");
+  auto store =
+      std::make_shared<const EmbeddingStore>(std::move(opened));
+
+  auto exact = std::make_shared<const BruteForceIndex>(
+      store, Metric::kCosine);
+  IvfConfig ivf_config;
+  ivf_config.nlist = opt.full ? 128 : 64;
+  ivf_config.nprobe = opt.full ? 12 : 8;
+  ivf_config.seed = opt.seed;
+  std::shared_ptr<const IvfIndex> ivf = benchutil::Unwrap(
+      IvfIndex::Build(store, Metric::kCosine, ivf_config),
+      "IvfIndex::Build");
+
+  // Ground truth for the recall column: exact top-k of a fixed query
+  // sample (exact's own recall is 1.0 by construction).
+  const int64_t kRecallSample = 256;
+  std::vector<std::set<int64_t>> truth;
+  truth.reserve(static_cast<size_t>(kRecallSample));
+  for (int64_t q = 0; q < kRecallSample; ++q) {
+    const int64_t id = (q * 131) % n;
+    std::vector<Neighbor> neighbors;
+    CheckOk(exact->Search(store->Vector(id), k, &neighbors),
+            "exact Search");
+    std::set<int64_t> ids;
+    for (const Neighbor& nb : neighbors) ids.insert(nb.id);
+    truth.push_back(std::move(ids));
+  }
+
+  TablePrinter table("Serve query latency (" + std::to_string(n) + " x " +
+                     std::to_string(dim) + ", k=" + std::to_string(k) +
+                     ")");
+  table.SetHeader({"index", "batch", "queries", "p50_ms", "p95_ms",
+                   "p99_ms", "recall_at10", "scan_frac"});
+
+  struct IndexRow {
+    const char* name;
+    std::shared_ptr<const KnnIndex> index;
+  };
+  const std::vector<IndexRow> indexes = {{"exact", exact}, {"ivf", ivf}};
+  const std::vector<int64_t> batch_sizes = {1, 16, 256};
+
+  for (const IndexRow& entry : indexes) {
+    // Recall and scan fraction are per-index, not per-batch-size.
+    int64_t hits = 0, scanned = 0;
+    for (int64_t q = 0; q < kRecallSample; ++q) {
+      const int64_t id = (q * 131) % n;
+      std::vector<Neighbor> neighbors;
+      SearchStats stats;
+      CheckOk(entry.index->Search(store->Vector(id), k, &neighbors,
+                                  &stats),
+              "Search");
+      for (const Neighbor& nb : neighbors) {
+        hits += static_cast<int64_t>(
+            truth[static_cast<size_t>(q)].count(nb.id));
+      }
+      scanned += stats.vectors_scanned;
+    }
+    const double recall =
+        static_cast<double>(hits) / (kRecallSample * k);
+    const double scan_frac =
+        static_cast<double>(scanned) / (kRecallSample * n);
+
+    for (const int64_t batch : batch_sizes) {
+      // Query through the same engine the server uses, so batching takes
+      // the production path (snapshot pin + ParallelFor across queries).
+      serve::SnapshotRegistry registry;
+      auto snapshot = std::make_shared<serve::Snapshot>();
+      snapshot->store = store;
+      snapshot->index = entry.index;
+      snapshot->sequence = registry.NextSequence();
+      CheckOk(registry.Install(snapshot), "Install");
+      const serve::QueryEngine engine(&registry);
+
+      LatencyHistogram per_query("per_query");
+      int64_t done = 0;
+      uint64_t next_id = opt.seed;
+      while (done < total_queries) {
+        std::vector<int64_t> ids;
+        ids.reserve(static_cast<size_t>(batch));
+        for (int64_t b = 0; b < batch; ++b) {
+          next_id = next_id * 6364136223846793005ull + 1442695040888963407ull;
+          ids.push_back(static_cast<int64_t>(next_id % uint64_t(n)));
+        }
+        Stopwatch watch;
+        benchutil::Unwrap(engine.KnnBatch(ids, k), "KnnBatch");
+        per_query.Record(watch.ElapsedSeconds() /
+                         static_cast<double>(batch));
+        done += batch;
+      }
+      table.AddRow({entry.name, std::to_string(batch),
+                    std::to_string(done),
+                    FormatDouble(per_query.QuantileSeconds(0.5) * 1e3, 4),
+                    FormatDouble(per_query.QuantileSeconds(0.95) * 1e3, 4),
+                    FormatDouble(per_query.QuantileSeconds(0.99) * 1e3, 4),
+                    FormatDouble(recall, 3), FormatDouble(scan_frac, 3)});
+    }
+  }
+
+  table.ToStdout();
+  benchutil::WriteCsv(table, "serve_latency");
+  std::filesystem::remove(store_path);
+}
+
+}  // namespace
+}  // namespace coane
+
+int main(int argc, char** argv) {
+  coane::Run(coane::benchutil::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "common/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_utils.h"
+
+namespace coane {
+
+namespace {
+// Growth factor 2^(1/4): four buckets per octave.
+constexpr double kLogGrowth = 0.25 * 0.6931471805599453;  // ln(2)/4
+}  // namespace
+
+LatencyHistogram::LatencyHistogram(std::string name)
+    : name_(std::move(name)) {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+int LatencyHistogram::BucketFor(double nanos) {
+  if (!(nanos > kMinNanos)) return 0;
+  const int bucket = static_cast<int>(std::log(nanos / kMinNanos) / kLogGrowth);
+  return std::clamp(bucket, 0, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketUpperNanos(int bucket) {
+  return kMinNanos * std::exp(kLogGrowth * (bucket + 1));
+}
+
+void LatencyHistogram::Record(double seconds) {
+  const double nanos = std::isfinite(seconds) && seconds > 0.0
+                           ? seconds * 1e9
+                           : 0.0;
+  counts_[BucketFor(nanos)].fetch_add(1, std::memory_order_relaxed);
+  total_count_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t ns = static_cast<int64_t>(nanos);
+  total_nanos_.fetch_add(ns, std::memory_order_relaxed);
+  int64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_nanos_.compare_exchange_weak(seen, ns,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+int64_t LatencyHistogram::count() const {
+  return total_count_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::MeanSeconds() const {
+  const int64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n) * 1e-9;
+}
+
+double LatencyHistogram::MaxSeconds() const {
+  return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+double LatencyHistogram::QuantileSeconds(double q) const {
+  const int64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile, 1-based: the smallest bucket whose cumulative
+  // count reaches it bounds the quantile from above.
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(n))));
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += counts_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      // The top bucket is open-ended; the observed max is a tighter bound.
+      if (i == kNumBuckets - 1) return MaxSeconds();
+      return std::min(BucketUpperNanos(i) * 1e-9, MaxSeconds());
+    }
+  }
+  return MaxSeconds();
+}
+
+std::vector<std::string> LatencyHistogram::TableHeader() {
+  return {"histogram", "count",  "mean_ms", "p50_ms",
+          "p95_ms",    "p99_ms", "max_ms"};
+}
+
+void LatencyHistogram::AppendRow(TablePrinter* table) const {
+  table->AddRow({name_, std::to_string(count()),
+                 FormatDouble(MeanSeconds() * 1e3, 3),
+                 FormatDouble(QuantileSeconds(0.5) * 1e3, 3),
+                 FormatDouble(QuantileSeconds(0.95) * 1e3, 3),
+                 FormatDouble(QuantileSeconds(0.99) * 1e3, 3),
+                 FormatDouble(MaxSeconds() * 1e3, 3)});
+}
+
+TablePrinter LatencyHistogram::Summary(const std::string& title) const {
+  TablePrinter table(title);
+  table.SetHeader(TableHeader());
+  AppendRow(&table);
+  return table;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  total_count_.store(0, std::memory_order_relaxed);
+  total_nanos_.store(0, std::memory_order_relaxed);
+  max_nanos_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace coane

@@ -1,0 +1,73 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/fault_injection.h"
+
+namespace coane {
+
+namespace {
+Status IoErrorWithErrno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+}  // namespace
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) munmap(data_, size_);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      path_(std::move(other.path_)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  if (fault::ShouldFail("serve.mmap")) {
+    return Status::IoError("injected fault at serve.mmap for " + path);
+  }
+  const int fd = open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return IoErrorWithErrno("cannot open", path);
+
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    const Status s = IoErrorWithErrno("cannot stat", path);
+    close(fd);
+    return s;
+  }
+
+  MmapFile file;
+  file.path_ = path;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* mapped =
+        mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, /*offset=*/0);
+    if (mapped == MAP_FAILED) {
+      const Status s = IoErrorWithErrno("cannot mmap", path);
+      close(fd);
+      return s;
+    }
+    file.data_ = mapped;
+  }
+  // The mapping stays valid after the descriptor is closed.
+  close(fd);
+  return file;
+}
+
+}  // namespace coane

@@ -1,0 +1,52 @@
+#ifndef COANE_COMMON_MMAP_FILE_H_
+#define COANE_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace coane {
+
+/// Read-only memory-mapped file. The serving read path opens embedding
+/// snapshots through this wrapper so a multi-gigabyte vector table costs
+/// no resident memory until its pages are touched, and repeated opens of
+/// the same snapshot share page-cache pages across processes.
+///
+/// The mapping is immutable (PROT_READ, MAP_PRIVATE): writing through
+/// data() is undefined — snapshots are replaced by atomic rename, never
+/// edited in place. A MmapFile is movable but not copyable; the mapping
+/// is released on destruction.
+///
+/// Fault point: "serve.mmap" (fires once per Open, before the syscalls),
+/// so tests can prove the serving layer survives a failed map.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  /// Maps `path` read-only. Returns kIoError when the file cannot be
+  /// opened, stat'ed, or mapped (including an injected "serve.mmap"
+  /// fault). An empty file maps successfully with size() == 0.
+  static Result<MmapFile> Open(const std::string& path);
+
+  /// First byte of the mapping; nullptr for an empty or unopened file.
+  const uint8_t* data() const { return static_cast<const uint8_t*>(data_); }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void* data_ = nullptr;
+  size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace coane
+
+#endif  // COANE_COMMON_MMAP_FILE_H_

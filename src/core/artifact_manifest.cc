@@ -196,4 +196,28 @@ Status VerifyArtifact(const ArtifactEntry& entry,
   return Status::OK();
 }
 
+Status VerifyArtifactAgainstManifest(const std::string& manifest_path,
+                                     const std::string& kind,
+                                     const std::string& artifact_path,
+                                     const uint64_t* expected_fingerprint) {
+  auto manifest = ArtifactManifest::Load(manifest_path);
+  if (!manifest.ok()) {
+    if (manifest.status().code() == StatusCode::kIoError) {
+      return Status::NotFound("manifest " + manifest_path +
+                              " is unreadable: " +
+                              manifest.status().message());
+    }
+    return manifest.status();
+  }
+  const ArtifactEntry* entry = manifest.value().Find(kind, artifact_path);
+  if (entry == nullptr) {
+    return Status::NotFound("manifest " + manifest_path + " records no " +
+                            kind + " entry for " + artifact_path);
+  }
+  if (expected_fingerprint != nullptr) {
+    return VerifyArtifact(*entry, *expected_fingerprint);
+  }
+  return VerifyArtifact(*entry);
+}
+
 }  // namespace coane

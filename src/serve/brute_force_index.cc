@@ -1,0 +1,66 @@
+#include "serve/brute_force_index.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/parallel/global_pool.h"
+#include "common/parallel/parallel_for.h"
+
+namespace coane {
+namespace serve {
+
+BruteForceIndex::BruteForceIndex(
+    std::shared_ptr<const EmbeddingStore> store, Metric metric)
+    : store_(std::move(store)), metric_(metric) {}
+
+Status BruteForceIndex::Search(const float* query, int64_t k,
+                               std::vector<Neighbor>* out,
+                               SearchStats* stats,
+                               const RunContext* ctx) const {
+  out->clear();
+  if (k <= 0) return Status::OK();
+  const int64_t n = store_->count();
+  const int64_t dim = store_->dim();
+
+  float q_norm = 0.0f;
+  if (metric_ == Metric::kCosine) {
+    q_norm = std::sqrt(DotScore(query, query, dim));
+  }
+
+  ThreadPool* pool = GlobalThreadPool();
+  const int64_t num_shards = ElasticShards(pool, n);
+  std::vector<std::vector<Neighbor>> shard_top(
+      static_cast<size_t>(num_shards));
+  COANE_RETURN_IF_ERROR(ParallelFor(
+      pool, ctx, "serve.knn_exact", n, num_shards,
+      [&](int64_t shard, int64_t begin, int64_t end) -> Status {
+        TopKAccumulator top(k);
+        for (int64_t i = begin; i < end; ++i) {
+          top.Offer(i, MetricScore(metric_, query, q_norm,
+                                   store_->Vector(i), store_->Norm(i),
+                                   dim));
+        }
+        shard_top[static_cast<size_t>(shard)] = top.SortedTake();
+        return Status::OK();
+      }));
+
+  // Every shard's local top-k contains its slice's best, so the union
+  // contains the global best-k; a total-order selection over it is
+  // independent of the shard structure.
+  std::vector<Neighbor> merged;
+  merged.reserve(static_cast<size_t>(num_shards * k));
+  for (const auto& shard : shard_top) {
+    merged.insert(merged.end(), shard.begin(), shard.end());
+  }
+  SelectTopK(&merged, k);
+  *out = std::move(merged);
+
+  if (stats != nullptr) {
+    stats->vectors_scanned += n;
+    stats->lists_probed += 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace coane

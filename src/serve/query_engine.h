@@ -1,0 +1,79 @@
+#ifndef COANE_SERVE_QUERY_ENGINE_H_
+#define COANE_SERVE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/run_context.h"
+#include "common/status.h"
+#include "serve/snapshot.h"
+
+namespace coane {
+namespace serve {
+
+/// Stateless query frontend over a SnapshotRegistry. Each request
+/// acquires the live snapshot once at entry and runs entirely against
+/// that generation, so a concurrent hot-swap never mixes generations
+/// within one request and never invalidates memory a request is reading.
+///
+/// Every method takes an optional RunContext checked at unit-of-work
+/// boundaries (per query in a batch, per shard/list inside a search), so
+/// a per-request deadline or a server-wide cancel aborts cleanly with
+/// kDeadlineExceeded/kCancelled. All methods are const and thread-safe.
+class QueryEngine {
+ public:
+  /// `registry` must outlive the engine and have a snapshot installed
+  /// before the first query (kFailedPrecondition otherwise).
+  explicit QueryEngine(const SnapshotRegistry* registry)
+      : registry_(registry) {}
+
+  /// k nearest neighbors of stored row `id`. `exclude_self` drops `id`
+  /// itself from the result (the common "similar items" shape).
+  Result<std::vector<Neighbor>> KnnById(int64_t id, int64_t k,
+                                        bool exclude_self = true,
+                                        SearchStats* stats = nullptr,
+                                        const RunContext* ctx =
+                                            nullptr) const;
+
+  /// k nearest neighbors of a free query vector (dim() floats).
+  Result<std::vector<Neighbor>> KnnByVector(
+      const std::vector<float>& query, int64_t k,
+      SearchStats* stats = nullptr, const RunContext* ctx = nullptr) const;
+
+  /// Batched KnnById: one result list per id, parallelized across
+  /// queries on the global pool (results are independent per query, so
+  /// the batch is deterministic at every thread count). The whole batch
+  /// runs against a single snapshot generation.
+  Result<std::vector<std::vector<Neighbor>>> KnnBatch(
+      const std::vector<int64_t>& ids, int64_t k, bool exclude_self = true,
+      SearchStats* stats = nullptr, const RunContext* ctx = nullptr) const;
+
+  /// Pairwise link scores, reusing the link-prediction edge featurizer
+  /// (HadamardFeatures): score(u, v) = sum_j e_u[j] * e_v[j] — the inner
+  /// product the classifier consumes — normalized by |e_u||e_v| for
+  /// kCosine. One score per input pair, in order.
+  Result<std::vector<double>> ScoreLinks(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs,
+      const RunContext* ctx = nullptr) const;
+
+  /// Copies stored row `id` out of the snapshot.
+  Result<std::vector<float>> Fetch(int64_t id) const;
+
+  /// The live generation (nullptr before the first install) — what INFO
+  /// reports.
+  std::shared_ptr<const Snapshot> CurrentSnapshot() const {
+    return registry_->Current();
+  }
+
+ private:
+  Result<std::shared_ptr<const Snapshot>> AcquireSnapshot() const;
+
+  const SnapshotRegistry* registry_;
+};
+
+}  // namespace serve
+}  // namespace coane
+
+#endif  // COANE_SERVE_QUERY_ENGINE_H_

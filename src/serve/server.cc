@@ -1,0 +1,225 @@
+#include "serve/server.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/string_utils.h"
+#include "common/table_printer.h"
+
+namespace coane {
+namespace serve {
+
+namespace {
+
+Result<int64_t> ParseInt(const std::string& token, const char* what) {
+  int64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::InvalidArgument(std::string(what) + " '" + token +
+                                   "' is not an integer");
+  }
+  return value;
+}
+
+Result<float> ParseFloat(const std::string& token, const char* what) {
+  // strtof accepts leading whitespace and partial parses; reject both.
+  char* end = nullptr;
+  const float value = std::strtof(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || token.empty()) {
+    return Status::InvalidArgument(std::string(what) + " '" + token +
+                                   "' is not a number");
+  }
+  return value;
+}
+
+std::string FormatScore(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string ErrReply(const Status& status) {
+  return "ERR " + status.ToString();
+}
+
+std::string NeighborsReply(const std::vector<Neighbor>& neighbors) {
+  std::string reply = "OK " + std::to_string(neighbors.size());
+  for (const Neighbor& n : neighbors) {
+    reply += " " + std::to_string(n.id) + ":" + FormatScore(n.score);
+  }
+  return reply;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), engine_(&registry_) {}
+
+Status Server::Start(const std::string& embeddings_path) {
+  return Publish(embeddings_path);
+}
+
+Status Server::Publish(const std::string& embeddings_path) {
+  // The build runs entirely off the serving structures: queries keep
+  // resolving against the current generation until the one atomic
+  // Install below.
+  auto snapshot = BuildSnapshot(embeddings_path, options_.snapshot,
+                                registry_.NextSequence());
+  if (!snapshot.ok()) return snapshot.status();
+  return registry_.Install(std::move(snapshot).ValueOrDie());
+}
+
+RunContext Server::MakeRequestContext() const {
+  RunContext ctx;
+  if (options_.query_deadline_sec > 0.0) {
+    ctx.SetDeadlineAfter(options_.query_deadline_sec);
+  }
+  ctx.SetCancelFlag(options_.cancel_flag);
+  return ctx;
+}
+
+std::string Server::HandleLine(const std::string& line) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::vector<std::string> tokens = SplitWhitespace(line);
+  auto fail = [this](const Status& status) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrReply(status);
+  };
+  if (tokens.empty()) {
+    return fail(Status::InvalidArgument("empty request"));
+  }
+  const std::string& cmd = tokens[0];
+  const RunContext ctx = MakeRequestContext();
+
+  if (cmd == "KNN" || cmd == "KNNV") {
+    if (tokens.size() < 3) {
+      return fail(Status::InvalidArgument(
+          cmd + " needs: " + cmd + " <k> " +
+          (cmd == "KNN" ? "<id>" : "<v1> ... <vd>")));
+    }
+    auto k = ParseInt(tokens[1], "k");
+    if (!k.ok()) return fail(k.status());
+    Stopwatch timer;
+    // Overwritten on both branches below; a Result must hold an error
+    // until it holds a value.
+    Result<std::vector<Neighbor>> neighbors =
+        Status::Internal("unreachable");
+    if (cmd == "KNN") {
+      if (tokens.size() != 3) {
+        return fail(Status::InvalidArgument("KNN needs: KNN <k> <id>"));
+      }
+      auto id = ParseInt(tokens[2], "id");
+      if (!id.ok()) return fail(id.status());
+      neighbors = engine_.KnnById(id.value(), k.value(),
+                                  /*exclude_self=*/true,
+                                  /*stats=*/nullptr, &ctx);
+    } else {
+      std::vector<float> query;
+      query.reserve(tokens.size() - 2);
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        auto component = ParseFloat(tokens[i], "vector component");
+        if (!component.ok()) return fail(component.status());
+        query.push_back(component.value());
+      }
+      neighbors = engine_.KnnByVector(query, k.value(), /*stats=*/nullptr,
+                                      &ctx);
+    }
+    knn_latency_.Record(timer.ElapsedSeconds());
+    if (!neighbors.ok()) return fail(neighbors.status());
+    return NeighborsReply(neighbors.value());
+  }
+
+  if (cmd == "SCORE") {
+    if (tokens.size() != 3) {
+      return fail(Status::InvalidArgument("SCORE needs: SCORE <u> <v>"));
+    }
+    auto u = ParseInt(tokens[1], "u");
+    if (!u.ok()) return fail(u.status());
+    auto v = ParseInt(tokens[2], "v");
+    if (!v.ok()) return fail(v.status());
+    Stopwatch timer;
+    auto scores = engine_.ScoreLinks({{u.value(), v.value()}}, &ctx);
+    score_latency_.Record(timer.ElapsedSeconds());
+    if (!scores.ok()) return fail(scores.status());
+    return "OK " + FormatScore(scores.value()[0]);
+  }
+
+  if (cmd == "GET") {
+    if (tokens.size() != 2) {
+      return fail(Status::InvalidArgument("GET needs: GET <id>"));
+    }
+    auto id = ParseInt(tokens[1], "id");
+    if (!id.ok()) return fail(id.status());
+    Stopwatch timer;
+    auto row = engine_.Fetch(id.value());
+    get_latency_.Record(timer.ElapsedSeconds());
+    if (!row.ok()) return fail(row.status());
+    std::string reply = "OK";
+    char buf[32];
+    for (const float v : row.value()) {
+      std::snprintf(buf, sizeof(buf), " %.9g", static_cast<double>(v));
+      reply += buf;
+    }
+    return reply;
+  }
+
+  if (cmd == "INFO") {
+    auto snapshot = engine_.CurrentSnapshot();
+    if (snapshot == nullptr) {
+      return fail(
+          Status::FailedPrecondition("no snapshot has been published yet"));
+    }
+    return "OK count=" + std::to_string(snapshot->store->count()) +
+           " dim=" + std::to_string(snapshot->store->dim()) +
+           " metric=" + MetricName(snapshot->index->metric()) +
+           " index=" + snapshot->index->name() +
+           " seq=" + std::to_string(snapshot->sequence) +
+           " source=" + snapshot->source_path;
+  }
+
+  if (cmd == "STATS") {
+    return "OK\n" + StatsReport();
+  }
+
+  if (cmd == "PUBLISH") {
+    if (tokens.size() != 2) {
+      return fail(
+          Status::InvalidArgument("PUBLISH needs: PUBLISH <path>"));
+    }
+    const Status status = Publish(tokens[1]);
+    if (!status.ok()) return fail(status);
+    auto snapshot = engine_.CurrentSnapshot();
+    return "OK snapshot " +
+           std::to_string(snapshot != nullptr ? snapshot->sequence : 0);
+  }
+
+  if (cmd == "QUIT") {
+    quit_.store(true, std::memory_order_release);
+    return "OK bye";
+  }
+
+  return fail(Status::InvalidArgument("unknown command '" + cmd + "'"));
+}
+
+std::string Server::StatsReport() const {
+  TablePrinter table("Serving latency");
+  table.SetHeader(LatencyHistogram::TableHeader());
+  knn_latency_.AppendRow(&table);
+  score_latency_.AppendRow(&table);
+  get_latency_.AppendRow(&table);
+  std::string report = table.ToString();
+  report += "requests " +
+            std::to_string(requests_.load(std::memory_order_relaxed)) +
+            "  errors " +
+            std::to_string(errors_.load(std::memory_order_relaxed)) +
+            "  snapshot_swaps " + std::to_string(registry_.swaps());
+  return report;
+}
+
+}  // namespace serve
+}  // namespace coane

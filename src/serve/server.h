@@ -1,0 +1,102 @@
+#ifndef COANE_SERVE_SERVER_H_
+#define COANE_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/latency_histogram.h"
+#include "common/run_context.h"
+#include "common/status.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+
+namespace coane {
+namespace serve {
+
+/// Server-wide knobs on top of the per-snapshot SnapshotOptions.
+struct ServerOptions {
+  SnapshotOptions snapshot;
+  /// Per-request deadline; <= 0 disables. A request that overruns it
+  /// answers "ERR DeadlineExceeded: ...".
+  double query_deadline_sec = 0.0;
+  /// External cancel token (the tool wires the SIGINT token here);
+  /// nullptr disables. Must outlive the server.
+  const std::atomic<bool>* cancel_flag = nullptr;
+};
+
+/// The transport-independent core of `coane_serve`: parses one
+/// line-oriented request, runs it against the live snapshot, and renders
+/// one reply. The stdin loop, the TCP connection threads, and the tests
+/// all drive this same entry point.
+///
+/// Request grammar (SP-separated tokens, one request per line):
+///
+///   "KNN" k id            k nearest stored rows to row `id` (self
+///                         excluded)
+///   "KNNV" k v1 .. vd     k nearest rows to a free vector
+///   "SCORE" u v           pairwise link score of rows u and v
+///   "GET" id              the stored embedding of row `id`
+///   "INFO"                snapshot metadata (count, dim, index, seq)
+///   "STATS"               latency histogram table + swap count
+///   "PUBLISH" path        build a snapshot from `path` (text embeddings
+///                         or compiled store; manifest-verified when the
+///                         server was configured with one) and hot-swap
+///                         it in
+///   "QUIT"                mark the session done (ShouldQuit() flips)
+///
+/// Replies: "OK ..." on one line ("OK" + table lines for STATS), or
+/// "ERR <Code>: <message>". k-NN replies are "OK n id:score ...".
+///
+/// Thread-safety: HandleLine may be called concurrently from any number
+/// of threads, including a PUBLISH racing queries — the snapshot swap is
+/// atomic and in-flight requests finish on the generation they acquired.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+
+  /// Builds and installs the initial snapshot from `embeddings_path`.
+  Status Start(const std::string& embeddings_path);
+
+  /// Handles one request line (without trailing newline) and returns the
+  /// reply (possibly multi-line, no trailing newline).
+  std::string HandleLine(const std::string& line);
+
+  /// Builds a snapshot from `embeddings_path` off the serving structures
+  /// (queries keep flowing during the build) and atomically swaps it in.
+  /// On any failure — unreadable/corrupt artifact, failed manifest
+  /// verification, injected serve.mmap/serve.swap fault — the previous
+  /// snapshot keeps serving untouched.
+  Status Publish(const std::string& embeddings_path);
+
+  /// True once a QUIT request was handled.
+  bool ShouldQuit() const {
+    return quit_.load(std::memory_order_acquire);
+  }
+
+  /// The "STATS" payload: per-operation latency table plus snapshot
+  /// counters. Also what the tool prints on shutdown.
+  std::string StatsReport() const;
+
+  SnapshotRegistry* registry() { return &registry_; }
+  const QueryEngine& engine() const { return engine_; }
+
+ private:
+  RunContext MakeRequestContext() const;
+
+  ServerOptions options_;
+  SnapshotRegistry registry_;
+  QueryEngine engine_;
+  LatencyHistogram knn_latency_{"knn"};
+  LatencyHistogram score_latency_{"score"};
+  LatencyHistogram get_latency_{"get"};
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> errors_{0};
+  std::atomic<bool> quit_{false};
+};
+
+}  // namespace serve
+}  // namespace coane
+
+#endif  // COANE_SERVE_SERVER_H_

@@ -1,0 +1,99 @@
+#include "serve/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "core/artifact_manifest.h"
+#include "serve/brute_force_index.h"
+
+namespace coane {
+namespace serve {
+
+namespace {
+
+// True when `path` starts with the EmbeddingStore magic (i.e. is already
+// a compiled store file rather than text embeddings).
+bool LooksLikeStoreFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[sizeof(EmbeddingStore::kMagic)];
+  const size_t read = std::fread(magic, 1, sizeof(magic), f);
+  std::fclose(f);
+  return read == sizeof(magic) &&
+         std::memcmp(magic, EmbeddingStore::kMagic, sizeof(magic)) == 0;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const Snapshot>> BuildSnapshot(
+    const std::string& embeddings_path, const SnapshotOptions& options,
+    uint64_t sequence, const RunContext* ctx) {
+  COANE_RETURN_IF_STOPPED(ctx, "serve.snapshot_build");
+
+  // Trust gate first: the artifact must match what the trainer's manifest
+  // recorded before any of its bytes are interpreted.
+  uint64_t fingerprint = options.expected_fingerprint;
+  if (!options.manifest_path.empty()) {
+    COANE_RETURN_IF_ERROR(VerifyArtifactAgainstManifest(
+        options.manifest_path, "embeddings", embeddings_path,
+        options.check_fingerprint ? &options.expected_fingerprint
+                                  : nullptr));
+  }
+
+  std::string store_path = embeddings_path;
+  if (!LooksLikeStoreFile(embeddings_path)) {
+    store_path = embeddings_path + ".store";
+    COANE_RETURN_IF_ERROR(EmbeddingStore::BuildFromTextEmbeddings(
+        embeddings_path, store_path, fingerprint));
+  }
+
+  auto opened = EmbeddingStore::Open(store_path);
+  if (!opened.ok()) return opened.status();
+  auto store = std::make_shared<const EmbeddingStore>(
+      std::move(opened).ValueOrDie());
+
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->store = store;
+  snapshot->sequence = sequence;
+  snapshot->source_path = embeddings_path;
+  if (options.index_kind == "exact") {
+    snapshot->index =
+        std::make_shared<const BruteForceIndex>(store, options.metric);
+  } else if (options.index_kind == "ivf") {
+    auto index = IvfIndex::Build(store, options.metric, options.ivf, ctx);
+    if (!index.ok()) return index.status();
+    snapshot->index = std::shared_ptr<const KnnIndex>(
+        std::move(index).ValueOrDie());
+  } else {
+    return Status::InvalidArgument("unknown index kind '" +
+                                   options.index_kind +
+                                   "' (expected exact or ivf)");
+  }
+  return std::shared_ptr<const Snapshot>(std::move(snapshot));
+}
+
+std::shared_ptr<const Snapshot> SnapshotRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+Status SnapshotRegistry::Install(std::shared_ptr<const Snapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("cannot install a null snapshot");
+  }
+  if (fault::ShouldFail("serve.swap")) {
+    return Status::IoError("injected fault at serve.swap for " +
+                           snapshot->source_path);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(snapshot);
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace coane

@@ -1,0 +1,98 @@
+// Unit tests for the log-bucketed LatencyHistogram that backs the serving
+// STATS endpoint.
+
+#include "common/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace coane {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h("empty");
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.MeanSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h.MaxSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h.QuantileSeconds(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesBracketRecordedValues) {
+  LatencyHistogram h("q");
+  // 100 samples: 1 ms .. 100 ms.
+  for (int i = 1; i <= 100; ++i) h.Record(i * 1e-3);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_NEAR(h.MeanSeconds(), 50.5e-3, 1e-4);
+  EXPECT_DOUBLE_EQ(h.MaxSeconds(), 100e-3);
+
+  // Log bucketing guarantees <= 19% relative error on the upper-bound
+  // side and never understates below the true quantile's bucket.
+  const double p50 = h.QuantileSeconds(0.5);
+  EXPECT_GE(p50, 50e-3 * 0.8);
+  EXPECT_LE(p50, 50e-3 * 1.25);
+  const double p99 = h.QuantileSeconds(0.99);
+  EXPECT_GE(p99, 99e-3 * 0.8);
+  EXPECT_LE(p99, 100e-3);  // clamped to the observed max
+}
+
+TEST(LatencyHistogramTest, QuantileNeverUnderstatesByMoreThanOneBucket) {
+  LatencyHistogram h("bounds");
+  h.Record(1e-6);
+  h.Record(1e-3);
+  h.Record(1.0);
+  // p100 == max exactly (top value clamps to MaxSeconds).
+  EXPECT_DOUBLE_EQ(h.QuantileSeconds(1.0), 1.0);
+  // p33 covers the smallest sample's bucket.
+  EXPECT_LE(h.QuantileSeconds(0.33), 1.3e-6);
+}
+
+TEST(LatencyHistogramTest, DegenerateInputsLandInLowestBucket) {
+  LatencyHistogram h("degenerate");
+  h.Record(-1.0);
+  h.Record(0.0);
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.MaxSeconds(), 0.0);
+  EXPECT_LE(h.QuantileSeconds(0.99), 1e-6);
+}
+
+TEST(LatencyHistogramTest, SummaryTableHasExpectedColumns) {
+  LatencyHistogram h("knn");
+  for (int i = 0; i < 10; ++i) h.Record(2e-3);
+  TablePrinter table = h.Summary("Serving latency");
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("p50_ms"), std::string::npos);
+  EXPECT_NE(rendered.find("p99_ms"), std::string::npos);
+  EXPECT_NE(rendered.find("knn"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(LatencyHistogramTest, ResetZeroesEverything) {
+  LatencyHistogram h("reset");
+  h.Record(5e-3);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.MaxSeconds(), 0.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAreAllCounted) {
+  LatencyHistogram h("mt");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h]() {
+      for (int i = 0; i < kPerThread; ++i) h.Record(1e-4);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_NEAR(h.MeanSeconds(), 1e-4, 2e-5);
+}
+
+}  // namespace
+}  // namespace coane

@@ -1,0 +1,172 @@
+// End-to-end: train CoANE on the attributed SBM dataset, publish the
+// embedding artifact (file + manifest, like the pipeline does), and serve
+// it — the exact index answers k-NN through the wire protocol, and the
+// IVF index reaches recall@10 >= 0.9 against exact while scanning under
+// 40% of the stored vectors. Finishes by piping a request through the
+// real coane_serve binary.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/parallel/global_pool.h"
+#include "common/string_utils.h"
+#include "core/artifact_manifest.h"
+#include "core/coane_model.h"
+#include "datasets/attributed_sbm.h"
+#include "graph/graph_io.h"
+#include "serve/brute_force_index.h"
+#include "serve/ivf_index.h"
+#include "serve/server.h"
+
+namespace coane {
+namespace serve {
+namespace {
+
+class ServeE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("coane_serve_e2e_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    SetGlobalParallelism(1);
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  // Train once, publish (embeddings file + manifest), reuse across tests.
+  void TrainAndPublish() {
+    AttributedSbmConfig net_config;
+    net_config.num_nodes = 400;
+    net_config.num_classes = 4;
+    net_config.num_attributes = 100;
+    net_config.circles_per_class = 2;
+    net_config.seed = 97;
+    AttributedNetwork net =
+        GenerateAttributedSbm(net_config).ValueOrDie();
+
+    CoaneConfig config;
+    config.walk_length = 10;
+    config.embedding_dim = 16;
+    config.num_negative = 3;
+    config.max_epochs = 2;
+    config.batch_size = 64;
+    config.decoder_hidden = {32};
+    auto z = TrainCoaneEmbeddings(net.graph, config);
+    ASSERT_TRUE(z.ok()) << z.status().ToString();
+    ASSERT_EQ(z.value().rows(), 400);
+
+    emb_path_ = Path("sbm.emb");
+    ASSERT_TRUE(SaveEmbeddings(z.value(), emb_path_).ok());
+
+    manifest_path_ = Path("manifest.tsv");
+    ArtifactManifest manifest;
+    auto entry =
+        DescribeArtifact("embeddings", emb_path_, /*fingerprint=*/0);
+    ASSERT_TRUE(entry.ok());
+    ASSERT_TRUE(manifest.Record(entry.value()).ok());
+    ASSERT_TRUE(manifest.Save(manifest_path_).ok());
+  }
+
+  std::filesystem::path dir_;
+  std::string emb_path_;
+  std::string manifest_path_;
+};
+
+TEST_F(ServeE2eTest, TrainedEmbeddingsServeKnnAndIvfHitsRecallTarget) {
+  TrainAndPublish();
+
+  // --- Serve the published artifact with manifest verification on. ---
+  ServerOptions options;
+  options.snapshot.manifest_path = manifest_path_;
+  Server server(options);
+  ASSERT_TRUE(server.Start(emb_path_).ok());
+
+  const std::string info = server.HandleLine("INFO");
+  EXPECT_NE(info.find("count=400"), std::string::npos) << info;
+  EXPECT_NE(info.find("dim=16"), std::string::npos);
+
+  const std::string knn = server.HandleLine("KNN 10 0");
+  ASSERT_TRUE(StartsWith(knn, "OK 10 ")) << knn;
+
+  // --- IVF vs exact on the same trained store. ---
+  auto snapshot = server.engine().CurrentSnapshot();
+  const auto& store = snapshot->store;
+  const BruteForceIndex exact(store, Metric::kCosine);
+  IvfConfig ivf_config;
+  ivf_config.nlist = 24;
+  ivf_config.nprobe = 8;
+  auto ivf = IvfIndex::Build(store, Metric::kCosine, ivf_config);
+  ASSERT_TRUE(ivf.ok()) << ivf.status().ToString();
+
+  const int64_t n = store->count();
+  int64_t hits = 0, total = 0, scanned = 0;
+  const int kQueries = 80;
+  for (int q = 0; q < kQueries; ++q) {
+    const int64_t id = (q * 29) % n;
+    std::vector<Neighbor> exact_result, ivf_result;
+    SearchStats stats;
+    ASSERT_TRUE(exact.Search(store->Vector(id), 10, &exact_result).ok());
+    ASSERT_TRUE(
+        ivf.value()->Search(store->Vector(id), 10, &ivf_result, &stats)
+            .ok());
+    scanned += stats.vectors_scanned;
+    std::set<int64_t> truth;
+    for (const Neighbor& nb : exact_result) truth.insert(nb.id);
+    for (const Neighbor& nb : ivf_result) {
+      hits += static_cast<int64_t>(truth.count(nb.id));
+    }
+    total += static_cast<int64_t>(exact_result.size());
+  }
+  const double recall = static_cast<double>(hits) / total;
+  const double scan_fraction =
+      static_cast<double>(scanned) / (kQueries * n);
+  std::printf("ivf recall@10=%.3f scan_fraction=%.3f\n", recall,
+              scan_fraction);
+  EXPECT_GE(recall, 0.9)
+      << "IVF recall@10 over " << kQueries << " trained-embedding queries";
+  EXPECT_LT(scan_fraction, 0.4)
+      << "IVF must answer while scanning a minority of the store";
+
+  // --- Hot-swap the same artifact through the protocol: seq advances,
+  // queries keep answering. ---
+  const std::string republished =
+      server.HandleLine("PUBLISH " + emb_path_);
+  EXPECT_EQ(republished, "OK snapshot 2");
+  EXPECT_TRUE(StartsWith(server.HandleLine("KNN 5 7"), "OK 5 "));
+}
+
+#ifdef COANE_SERVE_BIN
+TEST_F(ServeE2eTest, ServeBinaryAnswersOverStdin) {
+  TrainAndPublish();
+  const std::string command =
+      std::string("printf 'KNN 5 0\\nINFO\\nQUIT\\n' | ") +
+      COANE_SERVE_BIN + " --embeddings=" + emb_path_ +
+      " --manifest=" + manifest_path_ + " --threads=2 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  char chunk[512];
+  while (fgets(chunk, sizeof(chunk), pipe) != nullptr) output += chunk;
+  const int status = pclose(pipe);
+  EXPECT_EQ(status, 0);
+  EXPECT_TRUE(StartsWith(output, "OK 5 ")) << output;
+  EXPECT_NE(output.find("count=400"), std::string::npos) << output;
+  EXPECT_NE(output.find("OK bye"), std::string::npos) << output;
+}
+#endif  // COANE_SERVE_BIN
+
+}  // namespace
+}  // namespace serve
+}  // namespace coane

@@ -301,12 +301,13 @@ Status VerifyCheckpointAgainstManifest(const std::string& manifest_path,
                                        const std::string& checkpoint_path,
                                        uint64_t fingerprint) {
   if (!FileExists(manifest_path)) return Status::OK();
-  auto manifest = ArtifactManifest::Load(manifest_path);
-  if (!manifest.ok()) return manifest.status();
-  const ArtifactEntry* entry =
-      manifest.value().Find("checkpoint", checkpoint_path);
-  if (entry == nullptr) return Status::OK();  // never recorded: no claim
-  return VerifyArtifact(*entry, fingerprint);
+  Status st = VerifyArtifactAgainstManifest(manifest_path, "checkpoint",
+                                            checkpoint_path, &fingerprint);
+  // kNotFound means the manifest makes no claim about this checkpoint (or
+  // the file is already gone, which LoadCheckpoint reports better): not a
+  // verification failure.
+  if (st.code() == StatusCode::kNotFound) return Status::OK();
+  return st;
 }
 
 // Records `path` (just rewritten) in the run's manifest and saves the

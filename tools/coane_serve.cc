@@ -1,0 +1,237 @@
+// coane_serve — embedding serving daemon over trained CoANE outputs.
+//
+// Loads a published embedding artifact (the CRC-footered text file the
+// trainer writes, or an already-compiled .store file), optionally proves
+// it against the trainer's artifact manifest, builds a k-NN index, and
+// answers a line-oriented request protocol (see src/serve/server.h for
+// the grammar) on stdin or on a TCP port. PUBLISH hot-swaps a new
+// snapshot without dropping in-flight queries.
+//
+// Examples:
+//   coane_serve --embeddings=/tmp/cora.emb
+//   coane_serve --embeddings=/tmp/cora.emb --manifest=/tmp/ck/manifest.tsv
+//       --index=ivf --nlist=32 --nprobe=6 --threads=8
+//   coane_serve --embeddings=/tmp/cora.emb --port=7411
+//
+//   $ echo "KNN 5 0" | coane_serve --embeddings=/tmp/cora.emb
+//   OK 5 17:0.91327 4:0.902614 ...
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel/global_pool.h"
+#include "common/run_context.h"
+#include "common/string_utils.h"
+#include "serve/server.h"
+
+namespace coane {
+namespace {
+
+// Same "--key=value" convention as coane_cli: bare "--key" means "true",
+// malformed numeric values are a usage error (exit 2).
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (!StartsWith(arg, "--")) continue;
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it != values_.end() ? it->second : fallback;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    int64_t v = 0;
+    const char* begin = it->second.data();
+    const char* end = begin + it->second.size();
+    auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc() || ptr != end) {
+      std::fprintf(stderr,
+                   "usage error: invalid numeric value '%s' for --%s\n",
+                   it->second.c_str(), key.c_str());
+      std::exit(2);
+    }
+    return v;
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: coane_serve --embeddings=FILE [--flags]\n"
+      "  --embeddings=FILE   text embeddings (trainer output) or compiled\n"
+      "                      .store file; text is compiled to FILE.store\n"
+      "  --manifest=FILE     verify the artifact against this manifest\n"
+      "                      before every snapshot build\n"
+      "  --index=exact|ivf   k-NN index (default exact)\n"
+      "  --metric=cosine|dot similarity metric (default cosine)\n"
+      "  --nlist=N           IVF cells (default 16)\n"
+      "  --nprobe=N          IVF cells probed per query (default 4)\n"
+      "  --seed=N            IVF k-means seed (default 42)\n"
+      "  --threads=N         global pool size (default: hardware)\n"
+      "  --query-deadline-ms=N  per-request deadline (default: none)\n"
+      "  --port=N            serve TCP on 127.0.0.1:N instead of stdin\n"
+      "protocol: KNN k id | KNNV k v1..vd | SCORE u v | GET id | INFO |\n"
+      "          STATS | PUBLISH path | QUIT   (one request per line)\n");
+  return 2;
+}
+
+// Reads newline-terminated requests from `in_fd`, writes one reply per
+// request to `out_fd`. Returns when the peer closes, QUIT is handled, or
+// the global cancel token fires (checked between requests via poll).
+void ServeStream(serve::Server* server, int in_fd, int out_fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (!server->ShouldQuit() && !GlobalCancelRequested()) {
+    struct pollfd pfd = {in_fd, POLLIN, 0};
+    const int ready = poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const ssize_t n = read(in_fd, chunk, sizeof(chunk));
+    if (n <= 0) break;  // EOF or error: peer is gone
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t line_start = 0;
+    for (size_t nl = buffer.find('\n', line_start);
+         nl != std::string::npos; nl = buffer.find('\n', line_start)) {
+      const std::string line = buffer.substr(line_start, nl - line_start);
+      line_start = nl + 1;
+      if (Trim(line).empty()) continue;
+      const std::string reply = server->HandleLine(line) + "\n";
+      if (write(out_fd, reply.data(), reply.size()) < 0) return;
+      if (server->ShouldQuit()) return;
+    }
+    buffer.erase(0, line_start);
+  }
+}
+
+int ServeTcp(serve::Server* server, int port) {
+  const int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  const int one = 1;
+  setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) < 0 ||
+      listen(listen_fd, 16) < 0) {
+    std::fprintf(stderr, "error: bind/listen on port %d: %s\n", port,
+                 std::strerror(errno));
+    close(listen_fd);
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%d\n", port);
+  std::fflush(stdout);
+
+  // One thread per connection: each runs the same thread-safe HandleLine
+  // core, so a PUBLISH on one connection hot-swaps under live queries
+  // from the others. The accept loop polls so SIGINT/QUIT is noticed
+  // within ~100 ms.
+  std::vector<std::thread> connections;
+  while (!server->ShouldQuit() && !GlobalCancelRequested()) {
+    struct pollfd pfd = {listen_fd, POLLIN, 0};
+    const int ready = poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int conn_fd = accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) continue;
+    connections.emplace_back([server, conn_fd]() {
+      ServeStream(server, conn_fd, conn_fd);
+      close(conn_fd);
+    });
+  }
+  close(listen_fd);
+  for (std::thread& t : connections) t.join();
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.Has("help") || !flags.Has("embeddings")) return Usage();
+
+  SetGlobalParallelism(static_cast<int>(
+      flags.GetInt("threads", ThreadPool::DefaultThreadCount())));
+  InstallSignalCancellation();
+
+  serve::ServerOptions options;
+  options.snapshot.index_kind = flags.Get("index", "exact");
+  auto metric = serve::ParseMetric(flags.Get("metric", "cosine"));
+  if (!metric.ok()) {
+    std::fprintf(stderr, "usage error: %s\n",
+                 metric.status().ToString().c_str());
+    return 2;
+  }
+  options.snapshot.metric = metric.value();
+  options.snapshot.manifest_path = flags.Get("manifest");
+  options.snapshot.ivf.nlist =
+      static_cast<int>(flags.GetInt("nlist", options.snapshot.ivf.nlist));
+  options.snapshot.ivf.nprobe =
+      static_cast<int>(flags.GetInt("nprobe", options.snapshot.ivf.nprobe));
+  options.snapshot.ivf.seed =
+      static_cast<uint64_t>(flags.GetInt("seed", 42));
+  options.query_deadline_sec =
+      static_cast<double>(flags.GetInt("query-deadline-ms", 0)) * 1e-3;
+  options.cancel_flag = GlobalCancelToken();
+
+  serve::Server server(options);
+  const Status started = server.Start(flags.Get("embeddings"));
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  {
+    auto snapshot = server.engine().CurrentSnapshot();
+    std::fprintf(stderr, "serving %lld x %lld embeddings (index=%s)\n",
+                 static_cast<long long>(snapshot->store->count()),
+                 static_cast<long long>(snapshot->store->dim()),
+                 snapshot->index->name().c_str());
+  }
+
+  int exit_code = 0;
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  if (port > 0) {
+    exit_code = ServeTcp(&server, port);
+  } else {
+    ServeStream(&server, STDIN_FILENO, STDOUT_FILENO);
+  }
+
+  // Shutdown report: the latency histograms and swap counters.
+  std::fprintf(stderr, "%s\n", server.StatsReport().c_str());
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace coane
+
+int main(int argc, char** argv) { return coane::Main(argc, argv); }
