@@ -200,15 +200,12 @@ Status VerifyArtifactAgainstManifest(const std::string& manifest_path,
                                      const std::string& kind,
                                      const std::string& artifact_path,
                                      const uint64_t* expected_fingerprint) {
+  // An unreadable or corrupt manifest keeps its own code (kIoError /
+  // kDataLoss): only "the manifest makes no claim about this artifact"
+  // is kNotFound. Callers that treat kNotFound as "no claim" must not
+  // be handed a broken manifest under that label.
   auto manifest = ArtifactManifest::Load(manifest_path);
-  if (!manifest.ok()) {
-    if (manifest.status().code() == StatusCode::kIoError) {
-      return Status::NotFound("manifest " + manifest_path +
-                              " is unreadable: " +
-                              manifest.status().message());
-    }
-    return manifest.status();
-  }
+  if (!manifest.ok()) return manifest.status();
   const ArtifactEntry* entry = manifest.value().Find(kind, artifact_path);
   if (entry == nullptr) {
     return Status::NotFound("manifest " + manifest_path + " records no " +

@@ -87,12 +87,14 @@ Status VerifyArtifact(const ArtifactEntry& entry,
 /// artifact: loads the manifest at `manifest_path`, looks up the
 /// (kind, artifact_path) entry, and verifies the artifact's bytes against
 /// it (plus the fingerprint staleness check when `expected_fingerprint`
-/// is non-null). Unlike the per-entry VerifyArtifact overloads, a missing
-/// manifest or unrecorded artifact is an error here (kNotFound): a reader
-/// that asked for verification must not silently fall back to trusting
-/// unattested bytes. Used by the serving layer before every snapshot
-/// build, and by `--resume` in the CLI (which treats kNotFound as "no
-/// claim" at the call site).
+/// is non-null). Unlike the per-entry VerifyArtifact overloads, an
+/// unrecorded artifact is an error here (kNotFound): a reader that asked
+/// for verification must not silently fall back to trusting unattested
+/// bytes. An unreadable or corrupt manifest keeps Load's own code
+/// (kIoError / kDataLoss) — it is a broken attestation, not a missing
+/// claim. Used by the serving layer before every snapshot build, and by
+/// `--resume` in the CLI (which treats only kNotFound as "no claim" at
+/// the call site).
 Status VerifyArtifactAgainstManifest(const std::string& manifest_path,
                                      const std::string& kind,
                                      const std::string& artifact_path,

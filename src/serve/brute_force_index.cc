@@ -21,6 +21,10 @@ Status BruteForceIndex::Search(const float* query, int64_t k,
   if (k <= 0) return Status::OK();
   const int64_t n = store_->count();
   const int64_t dim = store_->dim();
+  // At most n neighbors exist; clamping here bounds every k-derived
+  // allocation (per-shard accumulators, the merge buffer) no matter what
+  // k a caller hands in.
+  k = std::min(k, n);
 
   float q_norm = 0.0f;
   if (metric_ == Metric::kCosine) {

@@ -76,6 +76,8 @@ Status IvfIndex::Search(const float* query, int64_t k,
                         const RunContext* ctx) const {
   out->clear();
   if (k <= 0) return Status::OK();
+  // Bounds the accumulator's k-sized reservation for any caller-supplied k.
+  k = std::min(k, store_->count());
   const int64_t dim = store_->dim();
 
   // kCosine probes with the normalized query (the quantizer clustered

@@ -17,7 +17,10 @@ const char* MetricName(Metric metric) {
 }
 
 TopKAccumulator::TopKAccumulator(int64_t k) : k_(std::max<int64_t>(k, 0)) {
-  heap_.reserve(static_cast<size_t>(k_));
+  // The reservation is only a hint: cap it so a pathological k cannot
+  // turn the hint into a bad_alloc before a single Offer. The heap still
+  // grows to k_ if that many candidates actually arrive.
+  heap_.reserve(static_cast<size_t>(std::min<int64_t>(k_, 1 << 16)));
 }
 
 void TopKAccumulator::Offer(int64_t id, float score) {

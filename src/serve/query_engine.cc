@@ -1,6 +1,7 @@
 #include "serve/query_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "common/parallel/global_pool.h"
@@ -22,11 +23,26 @@ Status CheckRow(const Snapshot& snapshot, int64_t id) {
   return Status::OK();
 }
 
+// Validates a wire-supplied k before anything sizes a buffer from it:
+// negative k is an error, k beyond the store is satisfied by the whole
+// store. The clamped k is <= count, so arithmetic like k + 1 cannot
+// overflow either.
+Result<int64_t> ClampK(const Snapshot& snapshot, int64_t k) {
+  if (k < 0) {
+    return Status::InvalidArgument("k must be >= 0, got " +
+                                   std::to_string(k));
+  }
+  return std::min(k, snapshot.store->count());
+}
+
 // KnnById against an explicit snapshot, so a batch pins one generation.
 Result<std::vector<Neighbor>> KnnByIdOnSnapshot(
     const Snapshot& snapshot, int64_t id, int64_t k, bool exclude_self,
     SearchStats* stats, const RunContext* ctx) {
   COANE_RETURN_IF_ERROR(CheckRow(snapshot, id));
+  auto clamped_k = ClampK(snapshot, k);
+  if (!clamped_k.ok()) return clamped_k.status();
+  k = clamped_k.value();
   // Over-fetch by one so dropping the query row still yields k results.
   const int64_t fetch_k = exclude_self ? k + 1 : k;
   std::vector<Neighbor> neighbors;
@@ -78,9 +94,20 @@ Result<std::vector<Neighbor>> QueryEngine::KnnByVector(
         " components, snapshot dimension is " +
         std::to_string(snap.store->dim()));
   }
+  // A NaN component would make every score NaN, and NaN breaks the
+  // strict-weak-ordering contract of the neighbor comparator — reject it
+  // (and infinities) before it reaches the sort.
+  for (size_t j = 0; j < query.size(); ++j) {
+    if (!std::isfinite(query[j])) {
+      return Status::InvalidArgument(
+          "query component " + std::to_string(j) + " is not finite");
+    }
+  }
+  auto clamped_k = ClampK(snap, k);
+  if (!clamped_k.ok()) return clamped_k.status();
   std::vector<Neighbor> neighbors;
-  COANE_RETURN_IF_ERROR(
-      snap.index->Search(query.data(), k, &neighbors, stats, ctx));
+  COANE_RETURN_IF_ERROR(snap.index->Search(query.data(), clamped_k.value(),
+                                           &neighbors, stats, ctx));
   return neighbors;
 }
 

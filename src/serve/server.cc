@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -33,6 +34,13 @@ Result<float> ParseFloat(const std::string& token, const char* what) {
   if (end != token.c_str() + token.size() || token.empty()) {
     return Status::InvalidArgument(std::string(what) + " '" + token +
                                    "' is not a number");
+  }
+  // strtof also accepts "nan"/"inf" (and overflows to infinity); a
+  // non-finite component would poison every score and break the neighbor
+  // ordering, so reject it at the wire.
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument(std::string(what) + " '" + token +
+                                   "' is not finite");
   }
   return value;
 }

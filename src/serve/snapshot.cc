@@ -89,6 +89,16 @@ Status SnapshotRegistry::Install(std::shared_ptr<const Snapshot> snapshot) {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // NextSequence() and Install() are separate calls, so two concurrent
+    // publishes can finish out of order: the build holding sequence N
+    // must not overwrite the already-installed N+1. The loser's snapshot
+    // is simply dropped; the newer generation keeps serving.
+    if (current_ != nullptr && snapshot->sequence <= current_->sequence) {
+      return Status::FailedPrecondition(
+          "snapshot sequence " + std::to_string(snapshot->sequence) +
+          " is stale: generation " + std::to_string(current_->sequence) +
+          " is already live");
+    }
     current_ = std::move(snapshot);
   }
   swaps_.fetch_add(1, std::memory_order_relaxed);

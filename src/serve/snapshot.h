@@ -67,7 +67,10 @@ class SnapshotRegistry {
 
   /// Publishes `snapshot` as the live generation. Queries that already
   /// hold the previous generation finish on it undisturbed. Returns
-  /// IoError on an injected "serve.swap" fault (registry unchanged).
+  /// IoError on an injected "serve.swap" fault, and FailedPrecondition
+  /// when `snapshot->sequence` is not newer than the live generation's —
+  /// concurrent publishes that finish out of order can never roll the
+  /// registry backwards (registry unchanged in both cases).
   Status Install(std::shared_ptr<const Snapshot> snapshot);
 
   /// Monotonic sequence numbers for new generations (1, 2, ...).

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -150,6 +151,59 @@ TEST_F(QueryEngineTest, KnnBatchRejectsOutOfRangeId) {
   const auto result = server->engine().KnnBatch({0, 60}, 3);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(QueryEngineTest, OversizedKIsClampedToStoreCount) {
+  auto server = MakeServer();
+  // A k far beyond the store (or memory) must not size any buffer from
+  // the raw request: the whole store is the answer.
+  const auto result =
+      server->engine().KnnById(0, /*k=*/99999999999999, /*exclude_self=*/
+                               true);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().size(), 59u);  // all rows minus self
+
+  const std::string reply = server->HandleLine("KNN 99999999999999 0");
+  EXPECT_TRUE(StartsWith(reply, "OK 59 ")) << reply;
+
+  // INT64_MAX with exclude_self used to compute k + 1 (signed overflow).
+  const auto extreme = server->engine().KnnById(
+      0, std::numeric_limits<int64_t>::max(), /*exclude_self=*/true);
+  ASSERT_TRUE(extreme.ok());
+  EXPECT_EQ(extreme.value().size(), 59u);
+
+  const auto by_vector = server->engine().KnnByVector(
+      std::vector<float>(8, 0.1f), 1'000'000);
+  ASSERT_TRUE(by_vector.ok());
+  EXPECT_EQ(by_vector.value().size(), 60u);
+}
+
+TEST_F(QueryEngineTest, NegativeKIsRejected) {
+  auto server = MakeServer();
+  const auto result = server->engine().KnnById(0, -1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(StartsWith(server->HandleLine("KNN -3 0"),
+                         "ERR InvalidArgument"));
+}
+
+TEST_F(QueryEngineTest, NonFiniteQueryVectorIsRejected) {
+  auto server = MakeServer();
+  // Engine API: a NaN component would poison every score and break the
+  // neighbor ordering's strict-weak-order contract.
+  std::vector<float> query(8, 0.1f);
+  query[3] = std::nanf("");
+  const auto result = server->engine().KnnByVector(query, 3);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  // Wire protocol: strtof would happily parse "nan" and "inf".
+  EXPECT_TRUE(StartsWith(
+      server->HandleLine("KNNV 3 nan 0 0 0 0 0 0 0"),
+      "ERR InvalidArgument"));
+  EXPECT_TRUE(StartsWith(
+      server->HandleLine("KNNV 3 0 inf 0 0 0 0 0 0"),
+      "ERR InvalidArgument"));
 }
 
 TEST_F(QueryEngineTest, KnnByVectorRejectsDimensionMismatch) {

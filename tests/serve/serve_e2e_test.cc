@@ -150,8 +150,10 @@ TEST_F(ServeE2eTest, TrainedEmbeddingsServeKnnAndIvfHitsRecallTarget) {
 #ifdef COANE_SERVE_BIN
 TEST_F(ServeE2eTest, ServeBinaryAnswersOverStdin) {
   TrainAndPublish();
+  // The final QUIT deliberately has no trailing newline: a request left
+  // in the buffer at EOF must still get its one reply.
   const std::string command =
-      std::string("printf 'KNN 5 0\\nINFO\\nQUIT\\n' | ") +
+      std::string("printf 'KNN 5 0\\nINFO\\nQUIT' | ") +
       COANE_SERVE_BIN + " --embeddings=" + emb_path_ +
       " --manifest=" + manifest_path_ + " --threads=2 2>/dev/null";
   FILE* pipe = popen(command.c_str(), "r");

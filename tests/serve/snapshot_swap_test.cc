@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/fault_injection.h"
@@ -186,6 +187,52 @@ TEST_F(SnapshotSwapTest, ManifestGateRejectsUnrecordedArtifact) {
       BuildSnapshot(unrecorded, options, registry.NextSequence());
   ASSERT_FALSE(snapshot.ok());
   EXPECT_EQ(snapshot.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotSwapTest, ManifestGateRefusesCorruptManifest) {
+  const std::string emb = WriteArtifact("claimed.emb", 10, 20);
+  const std::string manifest = WriteManifest(emb);
+  // Truncate the manifest so its own footer CRC fails: a broken
+  // attestation must reject the snapshot, never read as "no claim".
+  {
+    std::ifstream in(manifest);
+    std::string contents(std::istreambuf_iterator<char>(in), {});
+    in.close();
+    std::ofstream out(manifest, std::ios::trunc);
+    out << contents.substr(0, contents.size() / 2);
+  }
+
+  SnapshotOptions options;
+  options.manifest_path = manifest;
+  SnapshotRegistry registry;
+  auto snapshot = BuildSnapshot(emb, options, registry.NextSequence());
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_EQ(snapshot.status().code(), StatusCode::kDataLoss)
+      << snapshot.status().ToString();
+}
+
+TEST_F(SnapshotSwapTest, StaleSequenceInstallIsRejected) {
+  const std::string v1 = WriteArtifact("seq1.emb", 10, 16);
+  const std::string v2 = WriteArtifact("seq2.emb", 10, 17);
+  SnapshotRegistry registry;
+  SnapshotOptions options;
+  // Two publishers draw sequences in order but finish out of order: the
+  // older build must not overwrite the newer live generation.
+  const uint64_t seq_older = registry.NextSequence();
+  const uint64_t seq_newer = registry.NextSequence();
+  auto older = BuildSnapshot(v1, options, seq_older);
+  auto newer = BuildSnapshot(v2, options, seq_newer);
+  ASSERT_TRUE(older.ok());
+  ASSERT_TRUE(newer.ok());
+
+  ASSERT_TRUE(registry.Install(std::move(newer).ValueOrDie()).ok());
+  const Status stale = registry.Install(std::move(older).ValueOrDie());
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.code(), StatusCode::kFailedPrecondition)
+      << stale.ToString();
+  EXPECT_EQ(registry.Current()->sequence, seq_newer);
+  EXPECT_EQ(registry.Current()->source_path, v2);
+  EXPECT_EQ(registry.swaps(), 1);
 }
 
 TEST_F(SnapshotSwapTest, InFlightGenerationSurvivesSwap) {

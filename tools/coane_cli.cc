@@ -305,7 +305,9 @@ Status VerifyCheckpointAgainstManifest(const std::string& manifest_path,
                                             checkpoint_path, &fingerprint);
   // kNotFound means the manifest makes no claim about this checkpoint (or
   // the file is already gone, which LoadCheckpoint reports better): not a
-  // verification failure.
+  // verification failure. An unreadable or corrupt manifest keeps its own
+  // code (kIoError/kDataLoss) and fails the resume — a broken attestation
+  // must never read as "nothing to verify".
   if (st.code() == StatusCode::kNotFound) return Status::OK();
   return st;
 }

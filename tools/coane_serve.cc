@@ -115,7 +115,17 @@ void ServeStream(serve::Server* server, int in_fd, int out_fd) {
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0) continue;
     const ssize_t n = read(in_fd, chunk, sizeof(chunk));
-    if (n <= 0) break;  // EOF or error: peer is gone
+    if (n <= 0) {
+      // EOF (or read error): no more bytes will arrive, but a final
+      // request without a trailing newline still gets its one reply —
+      // the complete lines were already drained, so `buffer` holds at
+      // most that one partial line.
+      if (!Trim(buffer).empty()) {
+        const std::string reply = server->HandleLine(buffer) + "\n";
+        if (write(out_fd, reply.data(), reply.size()) < 0) return;
+      }
+      break;
+    }
     buffer.append(chunk, static_cast<size_t>(n));
     size_t line_start = 0;
     for (size_t nl = buffer.find('\n', line_start);
