@@ -6,12 +6,20 @@
 // store the index scanned, so the latency numbers can never quietly come
 // from a broken index.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdint>
+#include <csignal>
 #include <filesystem>
 #include <memory>
 #include <set>
 #include <string>
-#include <unistd.h>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -22,8 +30,10 @@
 #include "common/string_utils.h"
 #include "serve/brute_force_index.h"
 #include "serve/embedding_store.h"
+#include "serve/frontend.h"
 #include "serve/ivf_index.h"
 #include "serve/query_engine.h"
+#include "serve/server.h"
 #include "serve/snapshot.h"
 
 namespace coane {
@@ -61,6 +71,119 @@ void CheckOk(const Status& status, const char* what) {
     COANE_LOG(Error) << what << " failed: " << status.ToString();
     std::exit(1);
   }
+}
+
+int ConnectLoopback(int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+              sizeof(addr)) < 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One request over one fresh connection; returns the first reply line
+/// ("" on connect/IO failure).
+std::string RoundTrip(int port, const std::string& request) {
+  const int fd = ConnectLoopback(port);
+  if (fd < 0) return "";
+  std::string reply;
+  if (send(fd, request.data(), request.size(), MSG_NOSIGNAL) ==
+      static_cast<ssize_t>(request.size())) {
+    char c = 0;
+    while (reply.find('\n') == std::string::npos &&
+           recv(fd, &c, 1, 0) == 1) {
+      reply.push_back(c);
+    }
+  }
+  close(fd);
+  return reply;
+}
+
+// Overload behavior of the TCP front end (DESIGN.md §7): client fleets of
+// growing size hammer a deliberately small pool (max_conns=4,
+// queue_cap=8) through real loopback sockets. The table shows the
+// admission ledger — served vs shed — and that the p99 of *served*
+// requests stays flat as offered load grows past capacity: excess load is
+// refused in O(1), it does not queue behind the pool and poison latency.
+void RunOverload(const benchutil::BenchOptions& opt,
+                 const std::string& store_path) {
+  std::signal(SIGPIPE, SIG_IGN);
+  serve::ServerOptions server_options;
+  serve::Server server(server_options);
+  CheckOk(server.Start(store_path), "Server::Start");
+
+  serve::FrontendOptions frontend_options;
+  frontend_options.port = 0;
+  frontend_options.max_conns = 4;
+  frontend_options.queue_cap = 8;
+  serve::TcpFrontend frontend(&server, frontend_options);
+  server.set_overload_counters(&frontend.counters());
+  CheckOk(frontend.Start(), "TcpFrontend::Start");
+  const int port = frontend.port();
+
+  TablePrinter table(
+      "Serve overload shedding (max_conns=4, queue_cap=8)");
+  table.SetHeader({"clients", "offered", "served", "shed", "failed",
+                   "shed_frac", "p50_ms", "p99_ms"});
+
+  const int64_t requests_per_client = opt.full ? 200 : 50;
+  for (const int clients : {4, 16, 64}) {
+    std::atomic<int64_t> served(0), shed(0), failed(0);
+    std::vector<std::vector<double>> latencies(
+        static_cast<size_t>(clients));
+    std::vector<std::thread> fleet;
+    fleet.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      fleet.emplace_back([&, c]() {
+        uint64_t next_id = opt.seed + static_cast<uint64_t>(c);
+        for (int64_t r = 0; r < requests_per_client; ++r) {
+          next_id =
+              next_id * 6364136223846793005ull + 1442695040888963407ull;
+          const std::string request =
+              "KNN 10 " + std::to_string(next_id % 8000) + "\n";
+          Stopwatch watch;
+          const std::string reply = RoundTrip(port, request);
+          const double elapsed = watch.ElapsedSeconds();
+          if (StartsWith(reply, "OK ")) {
+            served.fetch_add(1);
+            latencies[static_cast<size_t>(c)].push_back(elapsed);
+          } else if (StartsWith(reply, "ERR Unavailable")) {
+            shed.fetch_add(1);
+          } else {
+            failed.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : fleet) t.join();
+
+    LatencyHistogram served_latency("served");
+    for (const std::vector<double>& per_client : latencies) {
+      for (const double s : per_client) served_latency.Record(s);
+    }
+    const int64_t offered = clients * requests_per_client;
+    table.AddRow(
+        {std::to_string(clients), std::to_string(offered),
+         std::to_string(served.load()), std::to_string(shed.load()),
+         std::to_string(failed.load()),
+         FormatDouble(static_cast<double>(shed.load()) /
+                          static_cast<double>(offered),
+                      3),
+         FormatDouble(served_latency.QuantileSeconds(0.5) * 1e3, 4),
+         FormatDouble(served_latency.QuantileSeconds(0.99) * 1e3, 4)});
+  }
+
+  frontend.RequestDrain();
+  CheckOk(frontend.Wait(), "TcpFrontend::Wait");
+  table.ToStdout();
+  benchutil::WriteCsv(table, "serve_overload");
 }
 
 void Run(const benchutil::BenchOptions& opt) {
@@ -179,6 +302,7 @@ void Run(const benchutil::BenchOptions& opt) {
 
   table.ToStdout();
   benchutil::WriteCsv(table, "serve_latency");
+  RunOverload(opt, store_path);
   std::filesystem::remove(store_path);
 }
 

@@ -48,7 +48,8 @@ Status Annotate(const Status& last, const std::string& op, int attempts,
 
 bool IsRetryable(StatusCode code) {
   return code == StatusCode::kIoError ||
-         code == StatusCode::kResourceExhausted;
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kUnavailable;
 }
 
 bool IsRetryable(const Status& status) { return IsRetryable(status.code()); }

@@ -53,7 +53,7 @@ struct RetryPolicy {
 /// try; everything that would deterministically fail again — or that
 /// encodes a cooperative stop the caller asked for — is permanent.
 ///
-///   retryable: kIoError, kResourceExhausted
+///   retryable: kIoError, kResourceExhausted, kUnavailable
 ///   permanent: kInvalidArgument, kDataLoss, kNotFound, kOutOfRange,
 ///              kFailedPrecondition, kInternal, kCancelled,
 ///              kDeadlineExceeded (and kOk, trivially)

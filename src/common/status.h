@@ -38,6 +38,12 @@ enum class StatusCode {
   /// file-size cap, work-unit budget) would be exceeded. The operation
   /// fails fast instead of exhausting memory or CPU.
   kResourceExhausted,
+  /// The service is temporarily unable to take the request — admission
+  /// control shed it under overload, or the server is draining for
+  /// shutdown. Unlike kResourceExhausted (a configured budget would be
+  /// exceeded by *this* request), the request itself is fine: retrying
+  /// later, against a less-loaded instance, is expected to succeed.
+  kUnavailable,
 };
 
 /// A lightweight success-or-error value. Cheap to copy in the OK case
@@ -79,6 +85,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

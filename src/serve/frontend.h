@@ -1,0 +1,203 @@
+#ifndef COANE_SERVE_FRONTEND_H_
+#define COANE_SERVE_FRONTEND_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/admission.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "serve/server.h"
+
+namespace coane {
+namespace serve {
+
+/// Per-stream abuse protections, shared by the TCP workers and the
+/// stdin loop of `coane_serve`.
+struct StreamLimits {
+  /// Close a connection that produces no bytes for this long; <= 0
+  /// disables (stdin mode). Measured between reads, so a client must
+  /// keep actual data flowing — sitting silent after connect is exactly
+  /// the slow-loris posture this kills.
+  double idle_timeout_sec = 0.0;
+  /// Hard cap on one request line (complete or still-accumulating).
+  /// Exceeding it answers "ERR InvalidArgument: ..." and closes the
+  /// connection: a peer trickling an endless line can neither exhaust
+  /// memory nor dodge the idle timeout by staying "active".
+  int64_t max_line_bytes = 1 << 16;
+};
+
+/// Why ServeLineStream returned (drives the per-connection counters).
+enum class StreamEnd {
+  kEof,         ///< peer closed; final unterminated request was answered
+  kQuit,        ///< a QUIT request was handled on this stream
+  kIdleTimeout, ///< idle_timeout_sec passed with no bytes
+  kOversized,   ///< max_line_bytes exceeded
+  kReadError,   ///< read()/poll() failed (or injected serve.read fault)
+  kWriteError,  ///< a reply could not be written (or serve.write fault)
+  kDrained,     ///< the draining flag fired; pending input was flushed
+                ///< with "ERR Unavailable: draining"
+};
+
+/// The shared line-protocol pump: reads newline-terminated requests from
+/// `in_fd`, answers each on `out_fd` via Server::HandleLine. Applies
+/// `limits`, passes every request through the optional `inflight` gate
+/// (a shed answers "ERR Unavailable: retry" without touching the
+/// engine), and bumps `counters` (optional). When `draining` (optional)
+/// reads true between requests, any input already received is answered
+/// with "ERR Unavailable: draining" and the stream ends — the request
+/// that is mid-execution at that moment still completes and its reply is
+/// still written first.
+///
+/// Fault points: "serve.read" fails the next read, "serve.write" the
+/// next reply; both end the stream like the real syscall failing.
+StreamEnd ServeLineStream(Server* server, int in_fd, int out_fd,
+                          const StreamLimits& limits,
+                          AdmissionController* inflight,
+                          OverloadCounters* counters,
+                          const std::atomic<bool>* draining);
+
+/// Knobs of the TCP front end. The defaults suit a small deployment;
+/// `coane_serve` exposes each as a flag.
+struct FrontendOptions {
+  /// 127.0.0.1 port; 0 binds an ephemeral port (port() tells which —
+  /// what tests and the supervisor's port-file pattern want).
+  int port = 0;
+  /// listen(2) backlog.
+  int backlog = 64;
+  /// Concurrent connections in service — the worker pool size. The pool
+  /// is fixed at Start(), so a connection burst can never spawn a
+  /// thread: it queues or sheds.
+  int64_t max_conns = 8;
+  /// Accepted connections allowed to wait for a free worker; beyond
+  /// this, accept answers "ERR Unavailable: retry" and closes.
+  int64_t queue_cap = 16;
+  /// Requests concurrently inside the QueryEngine across all
+  /// connections; 0 means max_conns. Excess requests are shed per line,
+  /// with the connection kept open.
+  int64_t max_inflight = 0;
+  StreamLimits limits;
+  /// Graceful-drain budget: after a drain is requested, in-flight
+  /// requests get this long to finish before `force_cancel` fires.
+  double drain_deadline_sec = 5.0;
+  /// Observed by the accept loop (the SIGINT/SIGTERM token): true
+  /// triggers a graceful drain. nullptr disables; must outlive the
+  /// front end.
+  const std::atomic<bool>* shutdown_flag = nullptr;
+  /// Set to true when the drain deadline expires. The tool wires the
+  /// same atomic as ServerOptions::cancel_flag, so an overrunning
+  /// request is deadline-ed out through the existing RunContext path
+  /// (kCancelled at its next unit-of-work check). nullptr: overrunning
+  /// requests are simply waited for. Must outlive the front end.
+  std::atomic<bool>* force_cancel = nullptr;
+  /// bind(2) retry schedule — a restart racing a TIME_WAIT predecessor
+  /// retries with bounded deterministic backoff instead of dying.
+  RetryPolicy bind_retry;
+};
+
+/// The overload-resilient network front end of `coane_serve`
+/// (DESIGN.md §7, "Overload behavior"): a poll-based accept loop feeding
+/// a fixed worker pool through an AdmissionController-governed bounded
+/// queue. Overload is shed at two layers — whole connections at accept
+/// (pool + queue full) and individual requests at the in-flight gate —
+/// always with an explicit "ERR Unavailable" reply, never an unanswered
+/// socket or an unbounded buffer.
+///
+/// Lifecycle:
+///   TcpFrontend fe(&server, options);
+///   COANE_RETURN_IF_ERROR(fe.Start());   // bind (retrying) + listen +
+///                                        // spawn acceptor and workers
+///   fe.Wait();                           // blocks until a drain: the
+///       // shutdown flag fired, QUIT was served, or RequestDrain() was
+///       // called. Stops accepting, answers queued connections with
+///       // "ERR Unavailable: draining", lets in-flight requests finish
+///       // until drain_deadline_sec, then force-cancels stragglers,
+///       // joins every thread and closes the listener.
+///
+/// Fault points: "serve.bind" (inside the retry loop), "serve.accept"
+/// (drops the accepted connection), plus the stream-level "serve.read" /
+/// "serve.write". The chaos tier (tests/serve/frontend_chaos_test.cc)
+/// arms each against a live socket under TSan.
+class TcpFrontend {
+ public:
+  /// `server` must outlive the front end and have a snapshot installed.
+  TcpFrontend(Server* server, const FrontendOptions& options);
+  /// Drains and joins if the caller did not (equivalent to
+  /// RequestDrain() + Wait()).
+  ~TcpFrontend();
+
+  TcpFrontend(const TcpFrontend&) = delete;
+  TcpFrontend& operator=(const TcpFrontend&) = delete;
+
+  Status Start();
+
+  /// The bound port (valid after Start; the interesting case is
+  /// options.port == 0).
+  int port() const { return port_; }
+
+  /// Begins a graceful drain: stop accepting, flush the pending queue,
+  /// finish in-flight work. Idempotent, safe from any thread (including
+  /// a worker that just served QUIT).
+  void RequestDrain();
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until the front end is fully stopped (see class comment).
+  /// Returns OK after a clean drain, or the accept-loop error that ended
+  /// serving early.
+  Status Wait();
+
+  const OverloadCounters& counters() const { return counters_; }
+  const AdmissionController& conn_admission() const {
+    return conn_admission_;
+  }
+  const AdmissionController& inflight() const { return inflight_; }
+  int64_t worker_count() const {
+    return static_cast<int64_t>(workers_.size());
+  }
+
+ private:
+  struct PendingConn {
+    int fd = -1;
+    /// Whether Offer() classified this connection kQueue (vs kAdmit) —
+    /// decides Promote() vs plain service on dequeue.
+    bool was_queued = false;
+  };
+
+  void AcceptLoop();
+  void WorkerLoop();
+  /// Answers a connection that will never be served (drain) with
+  /// "ERR Unavailable: draining" and closes it.
+  void FlushUnservedConnection(const PendingConn& conn);
+  /// Pops and flushes every queued connection (drain path).
+  void FlushQueue();
+
+  Server* const server_;
+  const FrontendOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  AdmissionController conn_admission_;
+  AdmissionController inflight_;
+  OverloadCounters counters_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingConn> queue_;
+  std::atomic<bool> draining_{false};
+  bool started_ = false;
+  Status accept_error_;  // guarded by mu_
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace coane
+
+#endif  // COANE_SERVE_FRONTEND_H_

@@ -226,6 +226,21 @@ std::string Server::StatsReport() const {
             "  errors " +
             std::to_string(errors_.load(std::memory_order_relaxed)) +
             "  snapshot_swaps " + std::to_string(registry_.swaps());
+  // Overload ledger: always printed (zeros without a front end) so STATS
+  // consumers can parse one stable shape, and a chaos test can assert
+  // that nothing the server refused went uncounted.
+  static const OverloadCounters kNoFrontend;
+  const OverloadCounters& ov = overload_ != nullptr ? *overload_
+                                                    : kNoFrontend;
+  auto count = [](const std::atomic<int64_t>& c) {
+    return std::to_string(c.load(std::memory_order_relaxed));
+  };
+  report += "\nconns_accepted " + count(ov.conns_accepted) +
+            "  conns_rejected " + count(ov.conns_rejected) +
+            "  requests_shed " + count(ov.requests_shed) +
+            "  idle_timeouts " + count(ov.idle_timeouts) +
+            "  oversized " + count(ov.oversized) +
+            "  conns_drained " + count(ov.conns_drained);
   return report;
 }
 

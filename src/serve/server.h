@@ -15,6 +15,31 @@
 namespace coane {
 namespace serve {
 
+/// Overload / abuse counters maintained by the network front end
+/// (`serve/frontend.*`) and surfaced through the "STATS" reply, so load
+/// shedding is never a silent drop: every connection or request the
+/// server refused is accounted for somewhere in this struct. All fields
+/// are monotonic; relaxed ordering is fine — each counter is an
+/// independent tally, never a synchronization point.
+struct OverloadCounters {
+  /// Connections admitted past the accept gate (served or queued).
+  std::atomic<int64_t> conns_accepted{0};
+  /// Connections answered "ERR Unavailable: retry" at accept time
+  /// because the worker pool and pending queue were both full.
+  std::atomic<int64_t> conns_rejected{0};
+  /// Requests answered "ERR Unavailable: retry" by the in-flight gate
+  /// (connection stayed open; the client may retry).
+  std::atomic<int64_t> requests_shed{0};
+  /// Connections closed for exceeding the idle timeout (slow-loris).
+  std::atomic<int64_t> idle_timeouts{0};
+  /// Connections closed for exceeding the request-line byte cap.
+  std::atomic<int64_t> oversized{0};
+  /// Connections closed by graceful drain — each one either finished
+  /// its in-flight request or was flushed with "ERR Unavailable:
+  /// draining" before the close.
+  std::atomic<int64_t> conns_drained{0};
+};
+
 /// Server-wide knobs on top of the per-snapshot SnapshotOptions.
 struct ServerOptions {
   SnapshotOptions snapshot;
@@ -75,9 +100,17 @@ class Server {
     return quit_.load(std::memory_order_acquire);
   }
 
-  /// The "STATS" payload: per-operation latency table plus snapshot
-  /// counters. Also what the tool prints on shutdown.
+  /// The "STATS" payload: per-operation latency table plus snapshot and
+  /// overload counters. Also what the tool prints on shutdown.
   std::string StatsReport() const;
+
+  /// Wires the front end's overload counters into STATS. `counters` must
+  /// outlive the server; nullptr (the default) reports all-zero overload
+  /// counters (stdin mode, tests without a front end). Call before
+  /// serving starts — the pointer is not synchronized.
+  void set_overload_counters(const OverloadCounters* counters) {
+    overload_ = counters;
+  }
 
   SnapshotRegistry* registry() { return &registry_; }
   const QueryEngine& engine() const { return engine_; }
@@ -94,6 +127,7 @@ class Server {
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> errors_{0};
   std::atomic<bool> quit_{false};
+  const OverloadCounters* overload_ = nullptr;
 };
 
 }  // namespace serve

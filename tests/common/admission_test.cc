@@ -1,0 +1,116 @@
+#include "common/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace coane {
+namespace {
+
+TEST(AdmissionControllerTest, AdmitsUpToMaxActiveThenQueuesThenSheds) {
+  AdmissionController gate(AdmissionOptions{/*max_active=*/2,
+                                            /*queue_capacity=*/2});
+  EXPECT_EQ(gate.Offer(), AdmitDecision::kAdmit);
+  EXPECT_EQ(gate.Offer(), AdmitDecision::kAdmit);
+  EXPECT_EQ(gate.Offer(), AdmitDecision::kQueue);
+  EXPECT_EQ(gate.Offer(), AdmitDecision::kQueue);
+  EXPECT_EQ(gate.Offer(), AdmitDecision::kShed);
+  EXPECT_EQ(gate.Offer(), AdmitDecision::kShed);
+
+  EXPECT_EQ(gate.in_service(), 2);
+  EXPECT_EQ(gate.pending(), 2);
+  EXPECT_EQ(gate.offered(), 6);
+  EXPECT_EQ(gate.admitted(), 2);
+  EXPECT_EQ(gate.queued(), 2);
+  EXPECT_EQ(gate.shed(), 2);
+}
+
+TEST(AdmissionControllerTest, ReleaseFreesASlotForTheNextOffer) {
+  AdmissionController gate(AdmissionOptions{/*max_active=*/1,
+                                            /*queue_capacity=*/0});
+  EXPECT_TRUE(gate.TryEnter());
+  EXPECT_FALSE(gate.TryEnter());  // shed, not queued: flat gate
+  gate.Release();
+  EXPECT_TRUE(gate.TryEnter());
+  EXPECT_EQ(gate.shed(), 1);
+  EXPECT_EQ(gate.queued(), 0);
+}
+
+TEST(AdmissionControllerTest, PromoteMovesPendingIntoService) {
+  AdmissionController gate(AdmissionOptions{/*max_active=*/1,
+                                            /*queue_capacity=*/1});
+  ASSERT_EQ(gate.Offer(), AdmitDecision::kAdmit);
+  ASSERT_EQ(gate.Offer(), AdmitDecision::kQueue);
+  gate.Release();   // the admitted unit finishes
+  gate.Promote();   // the queued unit starts service
+  EXPECT_EQ(gate.in_service(), 1);
+  EXPECT_EQ(gate.pending(), 0);
+  EXPECT_EQ(gate.peak_in_service(), 1);
+}
+
+TEST(AdmissionControllerTest, WithdrawDropsPendingWithoutService) {
+  AdmissionController gate(AdmissionOptions{/*max_active=*/1,
+                                            /*queue_capacity=*/4});
+  ASSERT_EQ(gate.Offer(), AdmitDecision::kAdmit);
+  ASSERT_EQ(gate.Offer(), AdmitDecision::kQueue);
+  ASSERT_EQ(gate.Offer(), AdmitDecision::kQueue);
+  gate.Withdraw();
+  gate.Withdraw();
+  EXPECT_EQ(gate.pending(), 0);
+  EXPECT_EQ(gate.withdrawn(), 2);
+  EXPECT_EQ(gate.in_service(), 1);
+}
+
+TEST(AdmissionControllerTest, DegenerateLimitsAreClampedSane) {
+  // max_active < 1 behaves as 1; negative queue as 0.
+  AdmissionController gate(AdmissionOptions{/*max_active=*/0,
+                                            /*queue_capacity=*/-3});
+  EXPECT_EQ(gate.Offer(), AdmitDecision::kAdmit);
+  EXPECT_EQ(gate.Offer(), AdmitDecision::kShed);
+}
+
+TEST(AdmissionControllerTest, ConcurrentOffersNeverExceedTheLimits) {
+  const int64_t kMaxActive = 4;
+  const int64_t kQueueCap = 8;
+  AdmissionController gate(AdmissionOptions{kMaxActive, kQueueCap});
+  constexpr int kThreads = 16;
+  constexpr int kPerThread = 200;
+
+  std::atomic<int64_t> served(0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        switch (gate.Offer()) {
+          case AdmitDecision::kAdmit:
+            EXPECT_LE(gate.peak_in_service(), kMaxActive + kQueueCap);
+            served.fetch_add(1);
+            gate.Release();
+            break;
+          case AdmitDecision::kQueue:
+            gate.Promote();
+            served.fetch_add(1);
+            gate.Release();
+            break;
+          case AdmitDecision::kShed:
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Ledger: every offer is accounted exactly once, nothing outstanding.
+  EXPECT_EQ(gate.offered(), kThreads * kPerThread);
+  EXPECT_EQ(gate.admitted() + gate.queued() + gate.shed(),
+            kThreads * kPerThread);
+  EXPECT_EQ(gate.admitted() + gate.queued(), served.load());
+  EXPECT_EQ(gate.in_service(), 0);
+  EXPECT_EQ(gate.pending(), 0);
+}
+
+}  // namespace
+}  // namespace coane

@@ -5,9 +5,15 @@
 // 40% of the stored vectors. Finishes by piping a request through the
 // real coane_serve binary.
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
@@ -21,7 +27,9 @@
 #include "core/coane_model.h"
 #include "datasets/attributed_sbm.h"
 #include "graph/graph_io.h"
+#include "la/dense_matrix.h"
 #include "serve/brute_force_index.h"
+#include "serve/embedding_store.h"
 #include "serve/ivf_index.h"
 #include "serve/server.h"
 
@@ -166,6 +174,102 @@ TEST_F(ServeE2eTest, ServeBinaryAnswersOverStdin) {
   EXPECT_TRUE(StartsWith(output, "OK 5 ")) << output;
   EXPECT_NE(output.find("count=400"), std::string::npos) << output;
   EXPECT_NE(output.find("OK bye"), std::string::npos) << output;
+}
+/// SIGTERM against the real binary while a TCP client is connected: the
+/// daemon must drain gracefully — the held connection is answered and
+/// closed, final STATS land on stderr, and the exit code is 0 — rather
+/// than dying mid-request.
+TEST_F(ServeE2eTest, SigtermDuringTcpServingDrainsAndExitsZero) {
+  // Signal/drain semantics do not need a trained model; a small compiled
+  // store keeps this test about process lifecycle, not training.
+  DenseMatrix embeddings(64, 8);
+  for (int64_t i = 0; i < embeddings.rows(); ++i) {
+    for (int64_t j = 0; j < embeddings.cols(); ++j) {
+      embeddings.At(i, j) = static_cast<float>((i * 13 + j) % 7) - 3.0f;
+    }
+  }
+  const std::string store_path = Path("drain.store");
+  ASSERT_TRUE(EmbeddingStore::Write(embeddings, 0, store_path).ok());
+
+  int out_pipe[2], err_pipe[2];
+  ASSERT_EQ(pipe(out_pipe), 0);
+  ASSERT_EQ(pipe(err_pipe), 0);
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    dup2(out_pipe[1], STDOUT_FILENO);
+    dup2(err_pipe[1], STDERR_FILENO);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    close(err_pipe[0]);
+    close(err_pipe[1]);
+    const std::string embeddings_flag = "--embeddings=" + store_path;
+    execl(COANE_SERVE_BIN, COANE_SERVE_BIN, embeddings_flag.c_str(),
+          "--port=0", "--max-conns=2", "--queue-cap=4", "--threads=2",
+          "--drain-deadline-sec=5", static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  close(out_pipe[1]);
+  close(err_pipe[1]);
+
+  // The daemon prints "serving on 127.0.0.1:PORT" once the ephemeral
+  // port is bound — the discovery contract for supervisors and tests.
+  std::string banner;
+  char c = 0;
+  while (banner.find('\n') == std::string::npos &&
+         read(out_pipe[0], &c, 1) == 1) {
+    banner.push_back(c);
+  }
+  ASSERT_TRUE(StartsWith(banner, "serving on 127.0.0.1:")) << banner;
+  const int port = std::stoi(banner.substr(banner.rfind(':') + 1));
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ASSERT_EQ(connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof(addr)),
+            0);
+  const std::string request = "KNN 5 0\n";
+  ASSERT_EQ(send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  std::string reply;
+  while (reply.find('\n') == std::string::npos &&
+         recv(fd, &c, 1, 0) == 1) {
+    reply.push_back(c);
+  }
+  EXPECT_TRUE(StartsWith(reply, "OK 5 ")) << reply;
+
+  // SIGTERM with the connection still open: the drain must close it
+  // (observed as EOF here), not strand it.
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  char sink[256];
+  while (recv(fd, sink, sizeof(sink), 0) > 0) {
+  }
+  close(fd);
+
+  std::string stderr_out;
+  ssize_t n = 0;
+  while ((n = read(err_pipe[0], sink, sizeof(sink))) > 0) {
+    stderr_out.append(sink, static_cast<size_t>(n));
+  }
+  close(out_pipe[0]);
+  close(err_pipe[0]);
+
+  int status = -1;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "daemon killed rather than exited";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  // The shutdown report carries the overload ledger for this session:
+  // one accepted connection, drained, nothing rejected or shed.
+  EXPECT_NE(stderr_out.find("conns_accepted 1"), std::string::npos)
+      << stderr_out;
+  EXPECT_NE(stderr_out.find("conns_rejected 0"), std::string::npos)
+      << stderr_out;
+  EXPECT_NE(stderr_out.find("conns_drained 1"), std::string::npos)
+      << stderr_out;
 }
 #endif  // COANE_SERVE_BIN
 

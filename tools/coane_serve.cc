@@ -7,32 +7,35 @@
 // the grammar) on stdin or on a TCP port. PUBLISH hot-swaps a new
 // snapshot without dropping in-flight queries.
 //
+// The TCP path runs on the overload-resilient front end (serve/frontend.h):
+// a fixed worker pool behind admission control, so a connection burst is
+// queued up to --queue-cap and shed with "ERR Unavailable: retry" beyond
+// that — never an unbounded thread spawn. SIGTERM/SIGINT triggers a
+// graceful drain: stop accepting, finish (or deadline-out) in-flight
+// requests, print final STATS, exit 0.
+//
 // Examples:
 //   coane_serve --embeddings=/tmp/cora.emb
 //   coane_serve --embeddings=/tmp/cora.emb --manifest=/tmp/ck/manifest.tsv
 //       --index=ivf --nlist=32 --nprobe=6 --threads=8
-//   coane_serve --embeddings=/tmp/cora.emb --port=7411
+//   coane_serve --embeddings=/tmp/cora.emb --port=7411 --max-conns=16
 //
 //   $ echo "KNN 5 0" | coane_serve --embeddings=/tmp/cora.emb
 //   OK 5 17:0.91327 4:0.902614 ...
 
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
+#include <csignal>
 #include <unistd.h>
 
-#include <cerrno>
+#include <atomic>
 #include <charconv>
 #include <cstdio>
-#include <cstring>
 #include <map>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "common/parallel/global_pool.h"
 #include "common/run_context.h"
 #include "common/string_utils.h"
+#include "serve/frontend.h"
 #include "serve/server.h"
 
 namespace coane {
@@ -98,92 +101,27 @@ int Usage() {
       "  --threads=N         global pool size (default: hardware)\n"
       "  --query-deadline-ms=N  per-request deadline (default: none)\n"
       "  --port=N            serve TCP on 127.0.0.1:N instead of stdin\n"
+      "                      (0 binds an ephemeral port and prints it)\n"
+      "  --backlog=N         listen(2) backlog (default 64)\n"
+      "  --max-conns=N       concurrent connections / worker pool size\n"
+      "                      (default 8)\n"
+      "  --queue-cap=N       accepted connections that may wait for a\n"
+      "                      worker; beyond this accept answers\n"
+      "                      'ERR Unavailable: retry' (default 16)\n"
+      "  --max-inflight=N    requests concurrently in the query engine;\n"
+      "                      excess requests are shed per line\n"
+      "                      (default: max-conns)\n"
+      "  --idle-timeout-sec=N  close a connection silent for N seconds\n"
+      "                      (default 60; 0 disables)\n"
+      "  --max-line-bytes=N  request-line byte cap (default 65536)\n"
+      "  --drain-deadline-sec=N  graceful-drain budget for in-flight\n"
+      "                      requests on SIGTERM/SIGINT (default 5)\n"
       "protocol: KNN k id | KNNV k v1..vd | SCORE u v | GET id | INFO |\n"
-      "          STATS | PUBLISH path | QUIT   (one request per line)\n");
+      "          STATS | PUBLISH path | QUIT   (one request per line)\n"
+      "overload: a shed connection or request answers\n"
+      "          'ERR Unavailable: retry' — clients must back off and\n"
+      "          retry, not treat it as a protocol error\n");
   return 2;
-}
-
-// Reads newline-terminated requests from `in_fd`, writes one reply per
-// request to `out_fd`. Returns when the peer closes, QUIT is handled, or
-// the global cancel token fires (checked between requests via poll).
-void ServeStream(serve::Server* server, int in_fd, int out_fd) {
-  std::string buffer;
-  char chunk[4096];
-  while (!server->ShouldQuit() && !GlobalCancelRequested()) {
-    struct pollfd pfd = {in_fd, POLLIN, 0};
-    const int ready = poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0) continue;
-    const ssize_t n = read(in_fd, chunk, sizeof(chunk));
-    if (n <= 0) {
-      // EOF (or read error): no more bytes will arrive, but a final
-      // request without a trailing newline still gets its one reply —
-      // the complete lines were already drained, so `buffer` holds at
-      // most that one partial line.
-      if (!Trim(buffer).empty()) {
-        const std::string reply = server->HandleLine(buffer) + "\n";
-        if (write(out_fd, reply.data(), reply.size()) < 0) return;
-      }
-      break;
-    }
-    buffer.append(chunk, static_cast<size_t>(n));
-    size_t line_start = 0;
-    for (size_t nl = buffer.find('\n', line_start);
-         nl != std::string::npos; nl = buffer.find('\n', line_start)) {
-      const std::string line = buffer.substr(line_start, nl - line_start);
-      line_start = nl + 1;
-      if (Trim(line).empty()) continue;
-      const std::string reply = server->HandleLine(line) + "\n";
-      if (write(out_fd, reply.data(), reply.size()) < 0) return;
-      if (server->ShouldQuit()) return;
-    }
-    buffer.erase(0, line_start);
-  }
-}
-
-int ServeTcp(serve::Server* server, int port) {
-  const int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
-    return 1;
-  }
-  const int one = 1;
-  setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  struct sockaddr_in addr = {};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
-           sizeof(addr)) < 0 ||
-      listen(listen_fd, 16) < 0) {
-    std::fprintf(stderr, "error: bind/listen on port %d: %s\n", port,
-                 std::strerror(errno));
-    close(listen_fd);
-    return 1;
-  }
-  std::printf("serving on 127.0.0.1:%d\n", port);
-  std::fflush(stdout);
-
-  // One thread per connection: each runs the same thread-safe HandleLine
-  // core, so a PUBLISH on one connection hot-swaps under live queries
-  // from the others. The accept loop polls so SIGINT/QUIT is noticed
-  // within ~100 ms.
-  std::vector<std::thread> connections;
-  while (!server->ShouldQuit() && !GlobalCancelRequested()) {
-    struct pollfd pfd = {listen_fd, POLLIN, 0};
-    const int ready = poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0) continue;
-    const int conn_fd = accept(listen_fd, nullptr, nullptr);
-    if (conn_fd < 0) continue;
-    connections.emplace_back([server, conn_fd]() {
-      ServeStream(server, conn_fd, conn_fd);
-      close(conn_fd);
-    });
-  }
-  close(listen_fd);
-  for (std::thread& t : connections) t.join();
-  return 0;
 }
 
 int Main(int argc, char** argv) {
@@ -193,6 +131,9 @@ int Main(int argc, char** argv) {
   SetGlobalParallelism(static_cast<int>(
       flags.GetInt("threads", ThreadPool::DefaultThreadCount())));
   InstallSignalCancellation();
+  // A client that disconnects mid-reply must surface as a failed write,
+  // not a SIGPIPE that kills the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
 
   serve::ServerOptions options;
   options.snapshot.index_kind = flags.Get("index", "exact");
@@ -212,9 +153,38 @@ int Main(int argc, char** argv) {
       static_cast<uint64_t>(flags.GetInt("seed", 42));
   options.query_deadline_sec =
       static_cast<double>(flags.GetInt("query-deadline-ms", 0)) * 1e-3;
-  options.cancel_flag = GlobalCancelToken();
+
+  const bool tcp = flags.Has("port");
+  // TCP mode decouples request cancellation from the SIGINT/SIGTERM
+  // token: the signal starts a graceful drain (stop accepting, let
+  // in-flight requests finish), and only the drain deadline expiring
+  // hard-cancels whatever is still running. stdin mode keeps the direct
+  // wiring — one stream, nothing to drain.
+  std::atomic<bool> drain_deadline_fired(false);
+  options.cancel_flag =
+      tcp ? &drain_deadline_fired : GlobalCancelToken();
+
+  // Parse every frontend flag before the (possibly expensive) snapshot
+  // build, so a usage error exits before any work.
+  serve::FrontendOptions frontend_options;
+  frontend_options.port = static_cast<int>(flags.GetInt("port", 0));
+  frontend_options.backlog =
+      static_cast<int>(flags.GetInt("backlog", 64));
+  frontend_options.max_conns = flags.GetInt("max-conns", 8);
+  frontend_options.queue_cap = flags.GetInt("queue-cap", 16);
+  frontend_options.max_inflight = flags.GetInt("max-inflight", 0);
+  frontend_options.limits.idle_timeout_sec =
+      static_cast<double>(flags.GetInt("idle-timeout-sec", 60));
+  frontend_options.limits.max_line_bytes =
+      flags.GetInt("max-line-bytes", 1 << 16);
+  frontend_options.drain_deadline_sec =
+      static_cast<double>(flags.GetInt("drain-deadline-sec", 5));
+  frontend_options.shutdown_flag = GlobalCancelToken();
+  frontend_options.force_cancel = &drain_deadline_fired;
 
   serve::Server server(options);
+  serve::OverloadCounters stdin_counters;
+
   const Status started = server.Start(flags.Get("embeddings"));
   if (!started.ok()) {
     std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
@@ -229,14 +199,32 @@ int Main(int argc, char** argv) {
   }
 
   int exit_code = 0;
-  const int port = static_cast<int>(flags.GetInt("port", 0));
-  if (port > 0) {
-    exit_code = ServeTcp(&server, port);
+  if (tcp) {
+    serve::TcpFrontend frontend(&server, frontend_options);
+    server.set_overload_counters(&frontend.counters());
+    const Status up = frontend.Start();
+    if (!up.ok()) {
+      std::fprintf(stderr, "error: %s\n", up.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving on 127.0.0.1:%d\n", frontend.port());
+    std::fflush(stdout);
+    const Status finished = frontend.Wait();
+    if (!finished.ok()) {
+      std::fprintf(stderr, "error: %s\n", finished.ToString().c_str());
+      exit_code = 1;
+    }
   } else {
-    ServeStream(&server, STDIN_FILENO, STDOUT_FILENO);
+    server.set_overload_counters(&stdin_counters);
+    serve::StreamLimits limits;
+    limits.max_line_bytes = flags.GetInt("max-line-bytes", 1 << 16);
+    serve::ServeLineStream(&server, STDIN_FILENO, STDOUT_FILENO, limits,
+                           /*inflight=*/nullptr, &stdin_counters,
+                           /*draining=*/GlobalCancelToken());
   }
 
-  // Shutdown report: the latency histograms and swap counters.
+  // Shutdown report: latency histograms, snapshot counters, and the
+  // overload ledger.
   std::fprintf(stderr, "%s\n", server.StatsReport().c_str());
   return exit_code;
 }
