@@ -11,7 +11,12 @@ AdmissionController::AdmissionController(const AdmissionOptions& options)
 AdmitDecision AdmissionController::Offer() {
   std::lock_guard<std::mutex> lock(mu_);
   ++offered_;
-  if (in_service_ < max_active_) {
+  // FIFO: a new arrival never overtakes a pending unit. Beyond
+  // fairness, this is what keeps in_service_ <= max_active_: a slot
+  // freed by Release() while units are pending belongs to the next
+  // Promote(), so admitting here would let the promoted unit push the
+  // ledger past the cap (Release -> Offer-admits -> Promote overshoot).
+  if (in_service_ < max_active_ && pending_ == 0) {
     ++in_service_;
     ++admitted_;
     peak_in_service_ = std::max(peak_in_service_, in_service_);

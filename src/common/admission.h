@@ -20,7 +20,11 @@ struct AdmissionOptions {
 
 /// What Offer() decided about one arriving unit of work.
 enum class AdmitDecision {
-  /// A service slot was free; the unit is counted in-service now.
+  /// A service slot was free and no earlier unit was pending; the unit
+  /// is counted in-service now. Admission is FIFO — a freed slot with
+  /// units still pending goes to the next Promote(), never to a new
+  /// arrival — which is also what keeps in_service() bounded by
+  /// max_active when callers drive the transitions correctly.
   kAdmit,
   /// All slots busy but the pending queue had room; the caller must park
   /// the unit and later call Promote() (starts service) or Withdraw()
@@ -66,7 +70,10 @@ class AdmissionController {
   /// other outcome is a shed (already counted).
   bool TryEnter() { return Offer() == AdmitDecision::kAdmit; }
 
-  /// Moves one pending unit into service (the caller dequeued it).
+  /// Moves one pending unit into service (the caller dequeued it). The
+  /// FIFO rule in Offer() reserves the freed slot for this call, so a
+  /// caller that only promotes units it dequeued in arrival order never
+  /// drives in_service() past max_active.
   void Promote();
 
   /// Drops one pending unit without serving it (drain, client hung up

@@ -3,6 +3,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -42,11 +43,44 @@ bool WriteAllFd(int fd, const std::string& text) {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
+      // EAGAIN/EWOULDBLOCK here is the SO_SNDTIMEO deadline (set at
+      // accept) expiring with zero progress: the peer stopped reading.
+      // Failing the write frees the worker; blocking would pin it in a
+      // syscall force_cancel cannot interrupt.
       return false;
     }
     offset += static_cast<size_t>(n);
   }
   return true;
+}
+
+/// How long one send() may stall with no progress before it fails
+/// instead of pinning a worker: the idle timeout when configured,
+/// tightened by the drain deadline so a blocked write can never hold
+/// Wait()'s worker joins past the drain budget. Never unbounded — a
+/// peer that connects, sends a request, and never reads the reply must
+/// cost a bounded stall, not a worker forever.
+double WriteStallBudgetSec(const FrontendOptions& options) {
+  constexpr double kFallbackSec = 30.0;
+  double budget = options.limits.idle_timeout_sec > 0.0
+                      ? options.limits.idle_timeout_sec
+                      : kFallbackSec;
+  if (options.drain_deadline_sec > 0.0) {
+    budget = std::min(budget, options.drain_deadline_sec);
+  }
+  return budget;
+}
+
+/// Arms SO_SNDTIMEO on a freshly accepted connection (best effort — a
+/// failing setsockopt falls back to blocking sends, no worse than
+/// before).
+void SetSendTimeout(int fd, double seconds) {
+  struct timeval tv = {};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;  // 0 = forever
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 /// Best-effort slurp of whatever the peer already sent (bounded, never
@@ -86,10 +120,18 @@ StreamEnd ServeLineStream(Server* server, int in_fd, int out_fd,
                           const StreamLimits& limits,
                           AdmissionController* inflight,
                           OverloadCounters* counters,
-                          const std::atomic<bool>* draining) {
+                          const std::atomic<bool>* draining,
+                          Clock::time_point activity_epoch) {
   std::string buffer;
   char chunk[4096];
-  Clock::time_point last_activity = Clock::now();
+  // Backdating to the accept time makes queue wait count against the
+  // idle window: a connection that sat silent in the pending queue past
+  // idle_timeout_sec is killed on the first poll slice here instead of
+  // earning a fresh full timeout, while one whose request is already
+  // buffered in the socket is served normally.
+  Clock::time_point last_activity =
+      activity_epoch == Clock::time_point() ? Clock::now()
+                                            : activity_epoch;
 
   const auto is_draining = [draining]() {
     return draining != nullptr &&
@@ -298,12 +340,17 @@ void TcpFrontend::AcceptLoop() {
     if (ready == 0) continue;
     const int conn_fd = accept(listen_fd_, nullptr, nullptr);
     if (conn_fd < 0) continue;
+    const Clock::time_point accepted_at = Clock::now();
     if (fault::ShouldFail("serve.accept")) {
       // Models accept failing after the kernel handshake: the client
       // sees a close; every other connection is unaffected.
       close(conn_fd);
       continue;
     }
+    // Every write to this peer (shed reply included) is bounded: a
+    // client that never reads costs at most the stall budget, not a
+    // thread blocked in send() forever.
+    SetSendTimeout(conn_fd, WriteStallBudgetSec(options_));
     const AdmitDecision decision = conn_admission_.Offer();
     if (decision == AdmitDecision::kShed) {
       counters_.conns_rejected.fetch_add(1, std::memory_order_relaxed);
@@ -314,8 +361,8 @@ void TcpFrontend::AcceptLoop() {
     counters_.conns_accepted.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.push_back(
-          PendingConn{conn_fd, decision == AdmitDecision::kQueue});
+      queue_.push_back(PendingConn{
+          conn_fd, decision == AdmitDecision::kQueue, accepted_at});
     }
     cv_.notify_one();
   }
@@ -370,7 +417,7 @@ void TcpFrontend::WorkerLoop() {
     if (conn.was_queued) conn_admission_.Promote();
     const StreamEnd end = ServeLineStream(
         server_, conn.fd, conn.fd, options_.limits, &inflight_,
-        &counters_, &draining_);
+        &counters_, &draining_, conn.accepted_at);
     close(conn.fd);
     conn_admission_.Release();
     if (end == StreamEnd::kDrained) {

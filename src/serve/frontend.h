@@ -2,6 +2,7 @@
 #define COANE_SERVE_FRONTEND_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -23,7 +24,13 @@ struct StreamLimits {
   /// Close a connection that produces no bytes for this long; <= 0
   /// disables (stdin mode). Measured between reads, so a client must
   /// keep actual data flowing — sitting silent after connect is exactly
-  /// the slow-loris posture this kills.
+  /// the slow-loris posture this kills. On the TCP path the clock
+  /// starts at accept, so time spent waiting in the pending queue
+  /// counts against the same window: a silent connection dequeued after
+  /// a long wait dies within one poll slice instead of earning a fresh
+  /// full timeout on top. The same budget bounds a stalled reply write
+  /// (SO_SNDTIMEO), so a peer that stops reading cannot pin a worker in
+  /// send() either.
   double idle_timeout_sec = 0.0;
   /// Hard cap on one request line (complete or still-accumulating).
   /// Exceeding it answers "ERR InvalidArgument: ..." and closes the
@@ -56,11 +63,17 @@ enum class StreamEnd {
 ///
 /// Fault points: "serve.read" fails the next read, "serve.write" the
 /// next reply; both end the stream like the real syscall failing.
-StreamEnd ServeLineStream(Server* server, int in_fd, int out_fd,
-                          const StreamLimits& limits,
-                          AdmissionController* inflight,
-                          OverloadCounters* counters,
-                          const std::atomic<bool>* draining);
+///
+/// `activity_epoch` (optional) backdates the idle clock: the TCP
+/// workers pass the connection's accept time so queue wait counts
+/// against `idle_timeout_sec`; the default (a value-initialized time
+/// point) starts the clock at entry (stdin mode, direct tests).
+StreamEnd ServeLineStream(
+    Server* server, int in_fd, int out_fd, const StreamLimits& limits,
+    AdmissionController* inflight, OverloadCounters* counters,
+    const std::atomic<bool>* draining,
+    std::chrono::steady_clock::time_point activity_epoch =
+        std::chrono::steady_clock::time_point());
 
 /// Knobs of the TCP front end. The defaults suit a small deployment;
 /// `coane_serve` exposes each as a flag.
@@ -168,6 +181,11 @@ class TcpFrontend {
     /// Whether Offer() classified this connection kQueue (vs kAdmit) —
     /// decides Promote() vs plain service on dequeue.
     bool was_queued = false;
+    /// When accept(2) returned this fd. Seeds ServeLineStream's idle
+    /// clock, so queue wait counts against idle_timeout_sec — a silent
+    /// client cannot park in the queue for free and then hold a worker
+    /// for a whole fresh idle window.
+    std::chrono::steady_clock::time_point accepted_at;
   };
 
   void AcceptLoop();

@@ -50,6 +50,27 @@ TEST(AdmissionControllerTest, PromoteMovesPendingIntoService) {
   EXPECT_EQ(gate.peak_in_service(), 1);
 }
 
+TEST(AdmissionControllerTest, FreedSlotGoesToPendingUnitNotNewArrival) {
+  AdmissionController gate(AdmissionOptions{/*max_active=*/1,
+                                            /*queue_capacity=*/2});
+  ASSERT_EQ(gate.Offer(), AdmitDecision::kAdmit);
+  ASSERT_EQ(gate.Offer(), AdmitDecision::kQueue);
+  gate.Release();
+  // The freed slot is reserved for the pending unit: admitting this new
+  // arrival instead would let the pending unit's Promote() drive
+  // in_service (and peak_in_service) past max_active — the
+  // Release -> Offer-admits -> Promote interleaving.
+  EXPECT_EQ(gate.Offer(), AdmitDecision::kQueue);
+  gate.Promote();
+  EXPECT_EQ(gate.in_service(), 1);
+  EXPECT_EQ(gate.pending(), 1);
+  EXPECT_EQ(gate.peak_in_service(), 1);
+  gate.Release();
+  gate.Promote();
+  EXPECT_EQ(gate.in_service(), 1);
+  EXPECT_EQ(gate.peak_in_service(), 1);
+}
+
 TEST(AdmissionControllerTest, WithdrawDropsPendingWithoutService) {
   AdmissionController gate(AdmissionOptions{/*max_active=*/1,
                                             /*queue_capacity=*/4});

@@ -48,9 +48,14 @@ int64_t CountProcessThreads() {
   return -1;
 }
 
-int ConnectLoopback(int port) {
+/// `rcvbuf` > 0 clamps SO_RCVBUF before connect (shrinks how many reply
+/// bytes the kernel absorbs for a client that never reads).
+int ConnectLoopback(int port, int rcvbuf = 0) {
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
+  if (rcvbuf > 0) {
+    setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  }
   struct sockaddr_in addr = {};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -370,6 +375,85 @@ TEST_F(FrontendChaosTest, SilentClientIsKilledByIdleTimeout) {
   SendAll(fd2, "KNN 3 1\n");
   EXPECT_TRUE(StartsWith(RecvLine(fd2), "OK 3 "));
   close(fd2);
+}
+
+TEST_F(FrontendChaosTest, QueueWaitCountsAgainstIdleTimeout) {
+  FrontendOptions options = QuickOptions();
+  options.max_conns = 1;
+  options.queue_cap = 2;
+  options.limits.idle_timeout_sec = 1.0;
+  TcpFrontend frontend(server_.get(), options);
+  server_->set_overload_counters(&frontend.counters());
+  ASSERT_TRUE(frontend.Start().ok());
+
+  // Three silent clients: one holds the only worker, two park in the
+  // pending queue. The idle clock starts at accept, so when the queued
+  // pair is finally dequeued its window is already spent and it dies
+  // within a poll slice — were each dequeue to earn a fresh full
+  // timeout, max_conns + queue_cap silent clients would stall all
+  // service for one idle window apiece, serially.
+  const auto start = std::chrono::steady_clock::now();
+  int fds[3];
+  for (int& fd : fds) {
+    fd = ConnectLoopback(frontend.port());
+    ASSERT_GE(fd, 0);
+  }
+  for (const int fd : fds) {
+    const std::string reply = RecvLine(fd);
+    EXPECT_TRUE(StartsWith(reply, "ERR DeadlineExceeded")) << reply;
+    AwaitEof(fd);
+    close(fd);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+  EXPECT_EQ(frontend.counters().idle_timeouts.load(), 3);
+  // Fresh-window-per-dequeue behavior needs >= 3 full idle windows
+  // (3.0 s); accept-anchored accounting kills all three in about one.
+  EXPECT_LT(elapsed, 2.5) << "queue wait did not count against the "
+                             "idle timeout";
+
+  // The workers are free again: the next client is served normally.
+  const int fd = ConnectLoopback(frontend.port());
+  ASSERT_GE(fd, 0);
+  SendAll(fd, "KNN 3 1\n");
+  EXPECT_TRUE(StartsWith(RecvLine(fd), "OK 3 "));
+  close(fd);
+}
+
+// --- Slow-reader abuse: a peer that sends requests but never reads the
+// replies fills the kernel socket buffers; the worker's send() must
+// fail after the bounded stall budget (SO_SNDTIMEO, armed at accept)
+// instead of blocking forever — force_cancel cannot interrupt a blocked
+// syscall, so an unbounded send would also wedge the drain path. ---
+TEST_F(FrontendChaosTest, SlowReaderCannotPinWorkerForever) {
+  FrontendOptions options = QuickOptions();
+  options.max_conns = 1;
+  options.limits.idle_timeout_sec = 0.5;  // also the write stall budget
+  TcpFrontend frontend(server_.get(), options);
+  ASSERT_TRUE(frontend.Start().ok());
+
+  // Far more reply bytes than the kernel can buffer (~20 MB of KNN 255
+  // replies against a clamped client receive buffer), never read.
+  const int hog = ConnectLoopback(frontend.port(), /*rcvbuf=*/4096);
+  ASSERT_GE(hog, 0);
+  std::string burst;
+  burst.reserve(8000 * 10);
+  for (int i = 0; i < 8000; ++i) burst += "KNN 255 0\n";
+  SendAll(hog, burst);  // may fail midway once the server gives up — ok
+
+  // The only worker must shake the hog off within the stall budget and
+  // serve the next client; a hang here times out RecvLine.
+  const int fd = ConnectLoopback(frontend.port());
+  ASSERT_GE(fd, 0);
+  SendAll(fd, "KNN 3 1\n");
+  EXPECT_TRUE(StartsWith(RecvLine(fd), "OK 3 "));
+  close(fd);
+  close(hog);
+
+  frontend.RequestDrain();
+  EXPECT_TRUE(frontend.Wait().ok());
 }
 
 // --- In-flight request gate: a saturated engine sheds per request with

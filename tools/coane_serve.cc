@@ -198,9 +198,14 @@ int Main(int argc, char** argv) {
                  snapshot->index->name().c_str());
   }
 
+  // The front end lives at Main scope — not inside the if(tcp) block —
+  // because the server keeps a pointer to its counters for the shutdown
+  // StatsReport below; in stdin mode it is constructed but never
+  // started, which is a no-op.
+  serve::TcpFrontend frontend(&server, frontend_options);
+
   int exit_code = 0;
   if (tcp) {
-    serve::TcpFrontend frontend(&server, frontend_options);
     server.set_overload_counters(&frontend.counters());
     const Status up = frontend.Start();
     if (!up.ok()) {
