@@ -1,0 +1,117 @@
+// Round-throughput trajectory of distributed sharded training: one
+// in-process coordinator/worker fleet over a mid-size synthetic graph,
+// timed round by round. Besides the human table/CSV this bench emits
+// bench_out/BENCH_dist.json — the machine-readable trajectory CI
+// archives to watch round latency drift.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/string_utils.h"
+#include "datasets/dataset_registry.h"
+#include "dist/coordinator.h"
+#include "dist/inprocess_launcher.h"
+#include "dist/shard_plan.h"
+
+namespace coane {
+namespace {
+
+void Run(const benchutil::BenchOptions& opt) {
+  const std::string dataset = "cora";
+  const double scale = opt.full ? 1.0 : 0.2;
+  AttributedNetwork net = benchutil::Unwrap(
+      MakeDataset(dataset, scale, opt.seed), "MakeDataset");
+
+  dist::ShardPlan plan;
+  plan.num_shards = 4;
+  plan.quorum = 4;
+  plan.round_epochs = 2;
+  plan.base.seed = opt.seed;
+  plan.base.embedding_dim = opt.full ? 64 : 16;
+  plan.base.walk_length = opt.full ? 80 : 20;
+  plan.base.context_size = 3;
+  plan.base.num_negative = 5;
+  plan.base.max_epochs = opt.full ? 12 : 8;
+
+  const std::string work_dir = "bench_out/dist_rounds_work";
+  std::error_code ec;
+  std::filesystem::remove_all(work_dir, ec);  // fresh run, no resume
+  dist::InProcessLauncher launcher(net.graph, plan, work_dir);
+  dist::CoordinatorOptions options;
+  options.work_dir = work_dir;
+  options.poll_interval_sec = 0.005;
+  dist::Coordinator coordinator(plan, &launcher, options);
+  if (Status st = coordinator.Prepare(); !st.ok()) {
+    COANE_LOG(Error) << "Prepare failed: " << st.ToString();
+    std::exit(1);
+  }
+
+  TablePrinter table("Distributed round throughput (" + dataset +
+                     ", scale " + FormatDouble(scale, 2) + ", " +
+                     std::to_string(plan.num_shards) + " shards)");
+  table.SetHeader({"round", "end_epoch", "shards", "degraded", "seconds",
+                   "epochs/sec"});
+
+  std::string json = "{\n  \"bench\": \"dist_rounds\",\n  \"shards\": " +
+                     std::to_string(plan.num_shards) +
+                     ",\n  \"round_epochs\": " +
+                     std::to_string(plan.round_epochs) +
+                     ",\n  \"rounds\": [\n";
+  int prev_end = 0;
+  for (int round = 0; round < plan.num_rounds(); ++round) {
+    Stopwatch watch;
+    auto record = coordinator.RunRound();
+    if (!record.ok()) {
+      COANE_LOG(Error) << "round " << round
+                       << " failed: " << record.status().ToString();
+      std::exit(1);
+    }
+    const double sec = watch.ElapsedSeconds();
+    const dist::RoundRecord& r = record.value();
+    const int epochs = r.end_epoch - prev_end;
+    prev_end = r.end_epoch;
+    // Throughput counts shard-epochs: every committed shard trained
+    // `epochs` epochs concurrently inside this wall-clock window.
+    const double shard_epochs_per_sec =
+        sec > 0 ? static_cast<double>(epochs) *
+                      static_cast<double>(r.committed.size()) / sec
+                : 0.0;
+    table.AddRow({std::to_string(r.round), std::to_string(r.end_epoch),
+                  std::to_string(r.committed.size()),
+                  r.degraded ? "yes" : "no", FormatDouble(sec, 3),
+                  FormatDouble(shard_epochs_per_sec, 2)});
+    json += std::string("    {\"round\": ") + std::to_string(r.round) +
+            ", \"end_epoch\": " + std::to_string(r.end_epoch) +
+            ", \"committed\": " + std::to_string(r.committed.size()) +
+            ", \"degraded\": " + (r.degraded ? "true" : "false") +
+            ", \"seconds\": " + FormatDouble(sec, 4) +
+            ", \"shard_epochs_per_sec\": " +
+            FormatDouble(shard_epochs_per_sec, 2) + "}" +
+            (round + 1 < plan.num_rounds() ? ",\n" : "\n");
+  }
+  json += "  ]\n}\n";
+
+  table.ToStdout();
+  benchutil::WriteCsv(table, "BENCH_dist");
+  std::filesystem::create_directories("bench_out", ec);
+  const std::string json_path = "bench_out/BENCH_dist.json";
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("[json written to %s]\n", json_path.c_str());
+  } else {
+    COANE_LOG(Warning) << "could not write " << json_path;
+  }
+  std::filesystem::remove_all(work_dir, ec);
+}
+
+}  // namespace
+}  // namespace coane
+
+int main(int argc, char** argv) {
+  coane::Run(coane::benchutil::ParseArgs(argc, argv));
+  return 0;
+}

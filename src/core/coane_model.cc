@@ -519,6 +519,45 @@ Status CoaneModel::LoadCheckpoint(const std::string& path) {
   return Status::OK();
 }
 
+Status CoaneModel::ApplyAveragedState(const TrainingCheckpoint& merged) {
+  if (!preprocessed_) {
+    return Status::FailedPrecondition(
+        "call Preprocess() before ApplyAveragedState()");
+  }
+  if (merged.has_decoder != (decoder_ != nullptr)) {
+    return Status::DataLoss("decoder presence mismatch in merged state");
+  }
+  if (merged.epochs_done != epochs_done_) {
+    return Status::FailedPrecondition(
+        "merged state is at epoch " + std::to_string(merged.epochs_done) +
+        " but this model is at epoch " + std::to_string(epochs_done_) +
+        " — merges apply only at matching round boundaries");
+  }
+  const std::string backup = SnapshotState();
+  Status st = [&]() -> Status {
+    ByteReader encoder_reader(merged.encoder_blob);
+    COANE_RETURN_IF_ERROR(
+        ReadEncoderWeightsInto(&encoder_reader, encoder_.get()));
+    if (decoder_) {
+      ByteReader decoder_reader(merged.decoder_blob);
+      COANE_RETURN_IF_ERROR(
+          ReadMlpWeightsInto(&decoder_reader, decoder_.get()));
+    }
+    ByteReader optimizer_reader(merged.optimizer_blob);
+    COANE_RETURN_IF_ERROR(
+        ReadAdamStateInto(&optimizer_reader, &optimizer_));
+    return Status::OK();
+  }();
+  if (!st.ok()) {
+    const Status rollback = RestoreState(backup);
+    COANE_CHECK(rollback.ok());
+    return st;
+  }
+  optimizer_.set_learning_rate(merged.learning_rate);
+  RenewEmbeddings();
+  return Status::OK();
+}
+
 Result<DenseMatrix> TrainCoaneEmbeddings(const Graph& graph,
                                          const CoaneConfig& config,
                                          const RunContext* ctx) {

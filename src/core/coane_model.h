@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/run_context.h"
 #include "common/status.h"
+#include "core/checkpoint.h"
 #include "core/coane_config.h"
 #include "graph/graph.h"
 #include "la/dense_matrix.h"
@@ -89,6 +90,18 @@ class CoaneModel {
   /// and the model keeps its current state. A resumed run is bit-identical
   /// to an uninterrupted run with the same seed.
   Status LoadCheckpoint(const std::string& path);
+
+  /// Adopts averaged *parameters* from a merged checkpoint produced by
+  /// dist::AverageCheckpoints: encoder filters, decoder weights, Adam
+  /// moments/steps, and learning rate — but NOT the RNG state (each shard
+  /// keeps its own deterministic stream; the merged checkpoint carries
+  /// none) and NOT epochs_done (the merge is an epoch-boundary barrier,
+  /// so the merged count must already equal this model's — enforced).
+  /// All-or-nothing like LoadCheckpoint: any shape mismatch returns
+  /// kDataLoss/kFailedPrecondition with the model state unchanged.
+  /// Idempotent: applying the same merged state twice is a no-op, which
+  /// is what makes a worker relaunched after publishing safe.
+  Status ApplyAveragedState(const TrainingCheckpoint& merged);
 
   /// Node embeddings Z (n x d'), refreshed after each epoch.
   const DenseMatrix& embeddings() const { return z_; }

@@ -1,0 +1,157 @@
+#ifndef COANE_DIST_COORDINATOR_H_
+#define COANE_DIST_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/run_context.h"
+#include "common/status.h"
+#include "core/artifact_manifest.h"
+#include "dist/round_log.h"
+#include "dist/shard_plan.h"
+
+namespace coane {
+namespace dist {
+
+/// What the launcher can report about a worker it started.
+struct WorkerReport {
+  bool running = false;
+  bool exited = false;
+  int exit_code = 0;
+  /// Terminating signal when the worker died on one (0 otherwise).
+  int term_signal = 0;
+};
+
+/// How the coordinator runs workers. The process implementation
+/// (tools/coane_distd) forks and execs one worker process per Start —
+/// the PR 4 supervisor pattern; the in-process implementation
+/// (dist/inprocess_launcher.h) runs ShardWorker::RunRound on a thread,
+/// which is what the chaos tests and single-process `--max-workers`
+/// mode use. Either way the coordinator only learns about workers
+/// through Poll and the artifacts they publish — there is no in-memory
+/// back channel, so both launchers exercise the same trust gates.
+class WorkerLauncher {
+ public:
+  virtual ~WorkerLauncher() = default;
+  /// Launches shard `shard` for `round`; returns an opaque handle.
+  virtual Result<int64_t> Start(int shard, int round) = 0;
+  virtual WorkerReport Poll(int64_t handle) = 0;
+  /// Hard-kills the worker (SIGKILL / cancel flag). Poll must
+  /// eventually report it exited.
+  virtual void Kill(int64_t handle) = 0;
+};
+
+/// Robustness ledger surfaced as a STATS line by coane_distd, in the
+/// serve ledger style ("name value" pairs, stable order).
+struct DistStats {
+  int64_t rounds_committed = 0;
+  int64_t degraded_rounds = 0;
+  int64_t shards_merged = 0;
+  int64_t shards_missing = 0;
+  int64_t worker_failures = 0;
+  int64_t worker_restarts = 0;
+  int64_t lease_expiries = 0;
+  int64_t artifacts_quarantined = 0;
+
+  std::string ToString() const;
+};
+
+struct CoordinatorOptions {
+  std::string work_dir;
+  /// Straggler deadline per round: once at least `quorum` shards have
+  /// verified outputs and this much wall clock has passed since the
+  /// round started, the round commits without the stragglers (which are
+  /// killed). <= 0 waits for every live shard indefinitely. Below
+  /// quorum the deadline does NOT fire — it authorizes degradation,
+  /// never failure.
+  double round_deadline_sec = 0.0;
+  /// Heartbeat lease: a running worker whose heartbeat file mtime is
+  /// older than this is declared hung, killed, and restarted.
+  /// <= 0 disables liveness checking.
+  double lease_sec = 0.0;
+  /// Relaunch budget per shard per round; a shard that exhausts it is
+  /// dead for the round (quorum decides whether the round survives).
+  int max_restarts_per_round = 3;
+  /// Concurrent workers; 0 means one per shard. Lower values serialize
+  /// shards — results are byte-identical either way (the determinism
+  /// contract across process placement).
+  int max_concurrent_workers = 0;
+  double poll_interval_sec = 0.02;
+  /// Backoff schedule between relaunches of a failed shard.
+  RetryPolicy restart_backoff;
+  /// Retry schedule for coordinator-side artifact I/O.
+  RetryPolicy io_retry;
+};
+
+/// The round state machine of distributed training (DESIGN.md §8).
+/// Per round, every shard walks pending -> running -> done, with the
+/// failure edges running -> backoff -> running (bounded restarts) and
+/// running/backoff -> dead (budget exhausted). The round commits when
+/// every live shard is done, or — past the straggler deadline — when at
+/// least `quorum` are. Commit averages the verified shard outputs,
+/// writes the merged artifacts (attested in the coordinator manifest),
+/// and appends a sequence-gated record to the round log. On restart the
+/// coordinator resumes after the last committed round, and workers with
+/// already-verified outputs are not relaunched — every step is
+/// idempotent.
+///
+/// Trust: a worker's output enters a merge only after
+/// VerifyArtifactAgainstManifest passes against the *worker's* manifest
+/// under the plan fingerprint, with the round number baked into the
+/// manifest kind. Torn, rotted, stale, or foreign bytes fail that gate;
+/// the artifact is quarantined to .corrupt and the shard treated as
+/// failed (restarted while budget lasts).
+class Coordinator {
+ public:
+  /// `plan` and `launcher` must outlive the coordinator.
+  Coordinator(const ShardPlan& plan, WorkerLauncher* launcher,
+              const CoordinatorOptions& options);
+
+  /// Creates the work-dir layout, writes/verifies plan.tsv, and loads
+  /// the round log and coordinator manifest. Idempotent; must succeed
+  /// before RunRound/Run.
+  Status Prepare();
+
+  /// Runs one full round (the next uncommitted one) to commit. Exposed
+  /// for the bench harness's per-round timing; Run() is the normal
+  /// driver. Returns the committed record.
+  Result<RoundRecord> RunRound(const RunContext* ctx = nullptr);
+
+  /// Prepare + every remaining round + final export: the last round's
+  /// merged embeddings are re-verified and copied to `out_path` (skipped
+  /// when empty). Already-committed rounds are skipped (crash-resume).
+  Status Run(const std::string& out_path, const RunContext* ctx = nullptr);
+
+  const DistStats& stats() const { return stats_; }
+  const RoundLog* round_log() const { return round_log_.get(); }
+  uint64_t plan_fingerprint() const { return plan_fingerprint_; }
+
+ private:
+  /// Both round outputs of (shard, round) verify against the shard's
+  /// manifest under the plan fingerprint.
+  Status VerifyShardOutput(int shard, int round) const;
+  /// Renames the shard's round outputs to .corrupt so they can never be
+  /// re-verified, and counts the quarantine.
+  void QuarantineShardOutput(int shard, int round);
+  /// Averages the verified outputs of `shards` (ascending), writes the
+  /// merged artifacts, attests them, and commits the round record.
+  Result<RoundRecord> CommitRound(int round,
+                                  const std::vector<int>& shards);
+
+  const ShardPlan& plan_;
+  WorkerLauncher* const launcher_;
+  const CoordinatorOptions options_;
+  const uint64_t plan_fingerprint_;
+  bool prepared_ = false;
+  std::unique_ptr<RoundLog> round_log_;
+  ArtifactManifest manifest_;
+  DistStats stats_;
+};
+
+}  // namespace dist
+}  // namespace coane
+
+#endif  // COANE_DIST_COORDINATOR_H_

@@ -1,0 +1,45 @@
+#ifndef COANE_DIST_MERGE_H_
+#define COANE_DIST_MERGE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/checkpoint.h"
+#include "la/dense_matrix.h"
+
+namespace coane {
+namespace dist {
+
+/// Element-wise parameter averaging across shard checkpoints — the round
+/// barrier of distributed training (DESIGN.md §8). Operates directly on
+/// the serialized blobs (src/nn/serialize.h layouts), verifying that
+/// every shard has the *identical* structure: same matrix count and
+/// shapes in encoder and decoder, same Adam slot count and step
+/// counters, same epochs_done and decoder presence. Any disagreement is
+/// a poisoned or stale input and fails with kDataLoss /
+/// kFailedPrecondition before a single averaged byte is produced.
+///
+/// Determinism: inputs are averaged in the order given (the coordinator
+/// passes ascending shard ids) with double-precision accumulation, so
+/// the merged bytes are a pure function of the committed shard set —
+/// independent of which worker finished first or on which machine.
+/// A single input is returned bit-exactly (average of one == identity),
+/// which is what makes --shards=1 match single-process training.
+///
+/// The merged checkpoint carries `merged_fingerprint` (the plan
+/// fingerprint) and an empty rng_state: it is a parameter artifact, not
+/// a resumable training state — workers adopt it through
+/// CoaneModel::ApplyAveragedState, never LoadCheckpoint.
+Result<TrainingCheckpoint> AverageCheckpoints(
+    const std::vector<const TrainingCheckpoint*>& shards,
+    uint64_t merged_fingerprint);
+
+/// Element-wise average of equally-shaped embedding matrices, same
+/// ordering/accumulation contract as AverageCheckpoints.
+Result<DenseMatrix> AverageEmbeddings(
+    const std::vector<const DenseMatrix*>& shards);
+
+}  // namespace dist
+}  // namespace coane
+
+#endif  // COANE_DIST_MERGE_H_

@@ -1,0 +1,101 @@
+#ifndef COANE_DIST_WORKER_H_
+#define COANE_DIST_WORKER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/retry.h"
+#include "common/run_context.h"
+#include "common/status.h"
+#include "core/artifact_manifest.h"
+#include "core/coane_model.h"
+#include "dist/shard_plan.h"
+#include "graph/graph.h"
+
+namespace coane {
+namespace dist {
+
+/// Knobs of one shard worker (DESIGN.md §8). All state lives under
+/// ShardDir(work_dir, shard); everything the worker publishes passes
+/// through its own ArtifactManifest so the coordinator can verify bytes
+/// before merging.
+struct WorkerOptions {
+  std::string work_dir;
+  int shard = 0;
+  /// The round to run; the coordinator drives rounds one at a time.
+  int round = 0;
+  /// Retry schedule for checkpoint/manifest/embedding writes.
+  RetryPolicy io_retry;
+  /// Budget for the previous round's merged artifact to appear before
+  /// the wait fails with the artifact's kUnavailable status. The wait
+  /// polls on the io_retry backoff schedule.
+  double merge_wait_sec = 60.0;
+};
+
+/// One shard's training loop for one round:
+///
+///   resume own checkpoint (tolerant: corrupt -> .corrupt, replay from
+///       scratch through the committed merged artifacts — deterministic)
+///   while epochs_done < RoundEndEpoch(round):
+///     at a round boundary q*round_epochs (q > 0): wait for and apply
+///         merged round q-1 (idempotent; parameters only, own RNG kept)
+///     TrainEpoch; save own checkpoint; touch the heartbeat lease file
+///   publish round_<r>.ckpt / round_<r>.emb, attested in the shard
+///       manifest under the plan fingerprint with the round number in
+///       the manifest kind (the round-sequence gate)
+///
+/// Crash contract: the worker may be SIGKILLed at any instant. Its own
+/// checkpoint is written atomically after every epoch, so a relaunch
+/// resumes at the last epoch boundary and — because per-epoch training
+/// is deterministic and merge application is idempotent — finishes the
+/// round byte-identical to an uninterrupted worker.
+///
+/// Fault points (all shard-qualified so chaos tests can target one
+/// worker): "dist.crash.shard<s>" SIGKILLs the process at the next epoch
+/// boundary, "dist.abort.shard<s>" returns kInternal there (the
+/// in-process stand-in for a crash), "dist.hang.shard<s>" stops
+/// heartbeating for COANE_HANG_SEC (default 5) seconds, and
+/// "dist.corrupt.shard<s>" flips a byte of the published model artifact
+/// *after* the manifest attested it — the merge-poisoning scenario the
+/// coordinator's verify gate must catch.
+class ShardWorker {
+ public:
+  /// `graph` and `plan` must outlive the worker.
+  ShardWorker(const Graph& graph, const ShardPlan& plan,
+              const WorkerOptions& options);
+  ~ShardWorker();
+
+  /// Runs the round to completion (see class comment). `ctx` is honoured
+  /// at every epoch and wait boundary.
+  Status RunRound(const RunContext* ctx = nullptr);
+
+  /// The model, for tests that inspect post-round state. Valid after a
+  /// successful RunRound.
+  const CoaneModel* model() const { return model_.get(); }
+
+ private:
+  Status EnsureModel(const RunContext* ctx);
+  /// Tolerant resume of the shard-private checkpoint (manifest-gated;
+  /// corrupt artifacts are quarantined to .corrupt and training replays).
+  Status ResumeOwnCheckpoint();
+  /// Waits for merged round `merged_round` to verify against the
+  /// coordinator manifest, then applies it. kUnavailable while absent.
+  Status ApplyMerge(int merged_round, const RunContext* ctx);
+  /// Writes shard.ckpt and refreshes the shard manifest entry.
+  Status SaveOwn();
+  /// Publishes the round outputs and attests them in the shard manifest.
+  Status Publish();
+  Status TouchHeartbeat();
+
+  const Graph& graph_;
+  const ShardPlan& plan_;
+  const WorkerOptions options_;
+  const uint64_t plan_fingerprint_;
+  std::unique_ptr<CoaneModel> model_;
+  ArtifactManifest manifest_;
+};
+
+}  // namespace dist
+}  // namespace coane
+
+#endif  // COANE_DIST_WORKER_H_

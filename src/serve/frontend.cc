@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "common/fault_injection.h"
+#include "common/os_error.h"
 #include "common/string_utils.h"
 
 namespace coane {
@@ -255,7 +256,7 @@ TcpFrontend::~TcpFrontend() {
 Status TcpFrontend::Start() {
   listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
-    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+    return ErrnoToStatus(errno, "socket");
   }
   const int one = 1;
   setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -275,9 +276,12 @@ Status TcpFrontend::Start() {
         }
         if (bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
                  sizeof(addr)) < 0) {
-          return Status::IoError("bind 127.0.0.1:" +
-                                 std::to_string(options_.port) + ": " +
-                                 std::strerror(errno));
+          // EADDRINUSE maps to kUnavailable — retryable, which is the
+          // whole point of the TIME_WAIT retry loop; a genuinely broken
+          // bind (EACCES etc.) maps to kIoError and is retried the same
+          // bounded number of times before surfacing.
+          return ErrnoToStatus(errno, "bind 127.0.0.1:" +
+                                          std::to_string(options_.port));
         }
         return Status::OK();
       });
@@ -287,8 +291,7 @@ Status TcpFrontend::Start() {
     return bound;
   }
   if (listen(listen_fd_, std::max(1, options_.backlog)) < 0) {
-    const Status st = Status::IoError(std::string("listen: ") +
-                                      std::strerror(errno));
+    const Status st = ErrnoToStatus(errno, "listen");
     close(listen_fd_);
     listen_fd_ = -1;
     return st;
@@ -333,8 +336,7 @@ void TcpFrontend::AcceptLoop() {
     if (ready < 0) {
       if (errno == EINTR) continue;
       std::lock_guard<std::mutex> lock(mu_);
-      accept_error_ = Status::IoError(std::string("poll(listen): ") +
-                                      std::strerror(errno));
+      accept_error_ = ErrnoToStatus(errno, "poll(listen)");
       break;
     }
     if (ready == 0) continue;

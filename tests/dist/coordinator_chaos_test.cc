@@ -1,0 +1,297 @@
+// Chaos tests for the coordinator/worker round state machine, driven
+// through the in-process launcher so the full thread dance runs under
+// TSan. The recurring assertion is the DESIGN.md §8 determinism
+// contract: whatever crashes, hangs, restarts, or scheduling the run
+// suffers, the surviving shard set alone determines the output bytes —
+// a faulted run that keeps all shards must end byte-identical to an
+// undisturbed one.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.h"
+#include "common/fault_injection.h"
+#include "datasets/attributed_sbm.h"
+#include "dist/coordinator.h"
+#include "dist/inprocess_launcher.h"
+#include "dist/merge.h"
+#include "dist/shard_plan.h"
+#include "graph/graph_io.h"
+
+namespace coane {
+namespace dist {
+namespace {
+
+AttributedNetwork TinyNet() {
+  AttributedSbmConfig c;
+  c.num_nodes = 60;
+  c.num_classes = 2;
+  c.num_attributes = 48;  // >= classes * (circles * 8 + 6) topic slots
+  c.circles_per_class = 2;
+  c.seed = 71;
+  return GenerateAttributedSbm(c).ValueOrDie();
+}
+
+ShardPlan TinyPlan(int shards, int quorum) {
+  ShardPlan plan;
+  plan.num_shards = shards;
+  plan.quorum = quorum;
+  plan.round_epochs = 2;
+  plan.base.walk_length = 10;
+  plan.base.context_size = 3;
+  plan.base.embedding_dim = 8;
+  plan.base.num_negative = 3;
+  plan.base.max_epochs = 4;  // two rounds of two epochs
+  plan.base.batch_size = 16;
+  plan.base.decoder_hidden = {16};
+  plan.base.seed = 7;
+  return plan;
+}
+
+struct RunOutcome {
+  Status status = Status::OK();
+  DistStats stats;
+  std::vector<RoundRecord> rounds;
+  std::string out_bytes;
+  int64_t starts = 0;
+};
+
+class CoordinatorChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = TinyNet();
+    char tmpl[] = "/tmp/coane_dist_chaos_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    root_ = tmpl;
+  }
+
+  void TearDown() override {
+    fault::Reset();
+    ::unsetenv("COANE_HANG_SEC");
+    if (!root_.empty()) {
+      std::system(("rm -rf " + root_).c_str());
+    }
+  }
+
+  std::string Dir(const std::string& name) const {
+    return root_ + "/" + name;
+  }
+
+  CoordinatorOptions FastOptions(const std::string& work_dir) const {
+    CoordinatorOptions options;
+    options.work_dir = work_dir;
+    options.poll_interval_sec = 0.005;
+    options.restart_backoff.initial_backoff_sec = 0.01;
+    options.restart_backoff.max_backoff_sec = 0.05;
+    return options;
+  }
+
+  RunOutcome RunDist(const ShardPlan& plan,
+                     const CoordinatorOptions& options) {
+    RunOutcome outcome;
+    InProcessLauncher launcher(net_.graph, plan, options.work_dir);
+    launcher.set_merge_wait_sec(20.0);
+    Coordinator coordinator(plan, &launcher, options);
+    const std::string out = options.work_dir + "/final.emb";
+    outcome.status = coordinator.Run(out);
+    outcome.stats = coordinator.stats();
+    if (coordinator.round_log() != nullptr) {
+      outcome.rounds = coordinator.round_log()->rounds();
+    }
+    outcome.starts = launcher.starts();
+    auto bytes = ReadFileToString(out);
+    if (bytes.ok()) outcome.out_bytes = std::move(bytes).ValueOrDie();
+    return outcome;
+  }
+
+  // An undisturbed full-quorum run: the golden bytes for this fixture's
+  // graph and plan shape.
+  RunOutcome Baseline(int shards) {
+    const ShardPlan plan = TinyPlan(shards, shards);
+    RunOutcome outcome = RunDist(plan, FastOptions(Dir("baseline")));
+    EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    EXPECT_FALSE(outcome.out_bytes.empty());
+    return outcome;
+  }
+
+  AttributedNetwork net_;
+  std::string root_;
+};
+
+TEST_F(CoordinatorChaosTest, FullQuorumRunCommitsEveryRoundCleanly) {
+  const RunOutcome outcome = Baseline(3);
+  ASSERT_EQ(outcome.rounds.size(), 2u);
+  for (const RoundRecord& r : outcome.rounds) {
+    EXPECT_FALSE(r.degraded);
+    EXPECT_EQ(r.committed, (std::vector<int>{0, 1, 2}));
+    EXPECT_TRUE(r.missing.empty());
+  }
+  EXPECT_EQ(outcome.stats.rounds_committed, 2);
+  EXPECT_EQ(outcome.stats.worker_failures, 0);
+  EXPECT_EQ(outcome.stats.degraded_rounds, 0);
+  EXPECT_EQ(outcome.stats.shards_merged, 6);
+}
+
+TEST_F(CoordinatorChaosTest, SchedulingPlacementDoesNotChangeBytes) {
+  const RunOutcome concurrent = Baseline(3);
+  ShardPlan plan = TinyPlan(3, 3);
+  CoordinatorOptions serial = FastOptions(Dir("serial"));
+  serial.max_concurrent_workers = 1;  // one worker at a time
+  const RunOutcome sequential = RunDist(plan, serial);
+  ASSERT_TRUE(sequential.status.ok()) << sequential.status.ToString();
+  EXPECT_EQ(sequential.out_bytes, concurrent.out_bytes);
+}
+
+TEST_F(CoordinatorChaosTest, CrashedWorkerResumesByteIdentical) {
+  const RunOutcome baseline = Baseline(3);
+
+  // Shard 1 dies (kInternal — the in-process stand-in for SIGKILL at an
+  // epoch boundary; the process tier covers the real signal) on its 2nd
+  // epoch attempt, i.e. mid-round with one epoch checkpointed. The
+  // relaunch must resume from the shard checkpoint and land on exactly
+  // the baseline bytes.
+  fault::Arm("dist.abort.shard1", 2);
+  const RunOutcome crashed =
+      RunDist(TinyPlan(3, 3), FastOptions(Dir("crash")));
+  ASSERT_TRUE(crashed.status.ok()) << crashed.status.ToString();
+  EXPECT_GE(crashed.stats.worker_failures, 1);
+  EXPECT_GE(crashed.stats.worker_restarts, 1);
+  EXPECT_EQ(crashed.stats.degraded_rounds, 0);
+  EXPECT_EQ(crashed.out_bytes, baseline.out_bytes);
+}
+
+TEST_F(CoordinatorChaosTest, PermanentlyDeadShardCommitsAtQuorum) {
+  // Shard 2 fails every attempt; quorum 2 of 3 lets each round commit
+  // without it, recorded as degraded.
+  fault::ArmPermanent("dist.abort.shard2", 1);
+  ShardPlan plan = TinyPlan(3, 2);
+  CoordinatorOptions options = FastOptions(Dir("dead"));
+  options.max_restarts_per_round = 1;
+  const RunOutcome outcome = RunDist(plan, options);
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  ASSERT_EQ(outcome.rounds.size(), 2u);
+  for (const RoundRecord& r : outcome.rounds) {
+    EXPECT_TRUE(r.degraded);
+    EXPECT_EQ(r.committed, (std::vector<int>{0, 1}));
+    EXPECT_EQ(r.missing, (std::vector<int>{2}));
+  }
+  EXPECT_EQ(outcome.stats.degraded_rounds, 2);
+  EXPECT_EQ(outcome.stats.shards_missing, 2);
+  EXPECT_FALSE(outcome.out_bytes.empty());
+
+  // The merged artifact is exactly the average of the two survivors'
+  // published outputs — the dead shard contributed nothing.
+  auto s0 = LoadEmbeddings(
+      ShardRoundEmbeddingsPath(options.work_dir, 0, 1));
+  auto s1 = LoadEmbeddings(
+      ShardRoundEmbeddingsPath(options.work_dir, 1, 1));
+  ASSERT_TRUE(s0.ok() && s1.ok());
+  auto average = AverageEmbeddings({&s0.value(), &s1.value()});
+  ASSERT_TRUE(average.ok());
+  // Round-trip the expectation through the same text serialization the
+  // coordinator used, so both sides carry identical formatting rounding.
+  const std::string expected_path = root_ + "/expected.emb";
+  ASSERT_TRUE(SaveEmbeddings(average.value(), expected_path).ok());
+  auto expected = LoadEmbeddings(expected_path);
+  ASSERT_TRUE(expected.ok());
+  auto merged = LoadEmbeddings(MergedEmbeddingsPath(options.work_dir, 1));
+  ASSERT_TRUE(merged.ok());
+  ASSERT_TRUE(merged.value().SameShape(expected.value()));
+  EXPECT_EQ(std::memcmp(merged.value().data(), expected.value().data(),
+                        static_cast<size_t>(merged.value().size()) *
+                            sizeof(float)),
+            0);
+}
+
+TEST_F(CoordinatorChaosTest, CorruptOutputQuarantinedAndNeverMerged) {
+  const RunOutcome baseline = Baseline(3);
+
+  // Shard 1's first publish rots its model bytes *after* the manifest
+  // attested them. The coordinator's verify gate must quarantine the
+  // output and relaunch; the relaunch re-publishes clean bytes, so the
+  // final embeddings match the baseline exactly — proof the poisoned
+  // artifact never reached a merge.
+  fault::Arm("dist.corrupt.shard1", 1);
+  CoordinatorOptions options = FastOptions(Dir("corrupt"));
+  const RunOutcome outcome = RunDist(TinyPlan(3, 3), options);
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_GE(outcome.stats.artifacts_quarantined, 1);
+  EXPECT_GE(outcome.stats.worker_failures, 1);
+  EXPECT_EQ(outcome.out_bytes, baseline.out_bytes);
+  // The distrusted bytes are still on disk, renamed out of trust.
+  const std::string quarantined =
+      ShardRoundModelPath(options.work_dir, 1, 0) + ".corrupt";
+  EXPECT_TRUE(ReadFileToString(quarantined).ok());
+}
+
+TEST_F(CoordinatorChaosTest, HungWorkerLeaseExpiresAndRecovers) {
+  const RunOutcome baseline = Baseline(3);
+
+  // Shard 0 stops heartbeating for far longer than the lease; the
+  // coordinator must declare it hung, kill it, and relaunch. The
+  // relaunch resumes deterministically.
+  ::setenv("COANE_HANG_SEC", "30", 1);
+  fault::Arm("dist.hang.shard0", 1);
+  CoordinatorOptions options = FastOptions(Dir("hang"));
+  options.lease_sec = 0.6;
+  const RunOutcome outcome = RunDist(TinyPlan(3, 3), options);
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_GE(outcome.stats.lease_expiries, 1);
+  EXPECT_GE(outcome.stats.worker_restarts, 1);
+  EXPECT_EQ(outcome.out_bytes, baseline.out_bytes);
+}
+
+TEST_F(CoordinatorChaosTest, StragglerDeadlineCommitsDegraded) {
+  // Shard 2 hangs long past the round deadline while 0 and 1 finish.
+  // With quorum 2 the deadline authorizes a degraded commit; the
+  // straggler is cut from round 0 but rejoins round 1.
+  ::setenv("COANE_HANG_SEC", "30", 1);
+  fault::Arm("dist.hang.shard2", 1);
+  ShardPlan plan = TinyPlan(3, 2);
+  CoordinatorOptions options = FastOptions(Dir("straggler"));
+  options.round_deadline_sec = 0.7;
+  const RunOutcome outcome = RunDist(plan, options);
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  ASSERT_EQ(outcome.rounds.size(), 2u);
+  EXPECT_TRUE(outcome.rounds[0].degraded);
+  EXPECT_EQ(outcome.rounds[0].missing, (std::vector<int>{2}));
+  EXPECT_FALSE(outcome.rounds[1].degraded);
+  EXPECT_EQ(outcome.stats.degraded_rounds, 1);
+  EXPECT_FALSE(outcome.out_bytes.empty());
+}
+
+TEST_F(CoordinatorChaosTest, RestartedCoordinatorResumesWithoutRework) {
+  const ShardPlan plan = TinyPlan(3, 3);
+  CoordinatorOptions options = FastOptions(Dir("resume"));
+  const RunOutcome first = RunDist(plan, options);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+
+  // A fresh coordinator over the same work dir finds every round
+  // committed in the round log: no worker launches, same bytes.
+  const RunOutcome second = RunDist(plan, options);
+  ASSERT_TRUE(second.status.ok()) << second.status.ToString();
+  EXPECT_EQ(second.starts, 0);
+  EXPECT_EQ(second.stats.rounds_committed, 0);
+  EXPECT_EQ(second.out_bytes, first.out_bytes);
+}
+
+TEST_F(CoordinatorChaosTest, QuorumUnreachableFailsWithUnavailable) {
+  // Two of three shards are permanently dead and quorum needs all
+  // three: the round must fail fast with kUnavailable, not hang.
+  fault::ArmPermanent("dist.abort.shard0", 1);
+  fault::ArmPermanent("dist.abort.shard1", 1);
+  CoordinatorOptions options = FastOptions(Dir("noquorum"));
+  options.max_restarts_per_round = 0;
+  const RunOutcome outcome = RunDist(TinyPlan(3, 3), options);
+  ASSERT_FALSE(outcome.status.ok());
+  EXPECT_EQ(outcome.status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(outcome.rounds.empty());
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace coane

@@ -1,0 +1,132 @@
+#include "dist/round_log.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+
+#include "common/atomic_file.h"
+#include "common/fault_injection.h"
+
+namespace coane {
+namespace dist {
+namespace {
+
+constexpr uint64_t kFp = 0xDEADBEEFCAFEULL;
+
+std::string TempLogPath() {
+  char tmpl[] = "/tmp/coane_roundlog_XXXXXX";
+  const int fd = ::mkstemp(tmpl);
+  EXPECT_GE(fd, 0);
+  if (fd >= 0) ::close(fd);
+  return tmpl;
+}
+
+RoundRecord MakeRecord(int round, std::vector<int> committed,
+                       std::vector<int> missing) {
+  RoundRecord r;
+  r.round = round;
+  r.end_epoch = (round + 1) * 2;
+  r.committed = std::move(committed);
+  r.missing = std::move(missing);
+  r.degraded = !r.missing.empty();
+  r.merged_model_crc = 0x11111111u + static_cast<uint32_t>(round);
+  r.merged_embeddings_crc = 0x22222222u + static_cast<uint32_t>(round);
+  return r;
+}
+
+class RoundLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { path_ = TempLogPath(); }
+  void TearDown() override {
+    fault::Reset();
+    ::unlink(path_.c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(RoundLogTest, CommitAndLoadRoundTrips) {
+  RoundLog log(kFp);
+  EXPECT_EQ(log.next_round(), 0);
+  ASSERT_TRUE(log.Commit(MakeRecord(0, {0, 1, 2}, {}), path_).ok());
+  ASSERT_TRUE(log.Commit(MakeRecord(1, {0, 2}, {1}), path_).ok());
+  EXPECT_EQ(log.next_round(), 2);
+
+  auto loaded = RoundLog::Load(path_, kFp);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().rounds().size(), 2u);
+  const RoundRecord& r1 = loaded.value().rounds()[1];
+  EXPECT_EQ(r1.round, 1);
+  EXPECT_EQ(r1.end_epoch, 4);
+  EXPECT_EQ(r1.committed, (std::vector<int>{0, 2}));
+  EXPECT_EQ(r1.missing, (std::vector<int>{1}));
+  EXPECT_TRUE(r1.degraded);
+  EXPECT_EQ(r1.merged_model_crc, 0x11111112u);
+  EXPECT_EQ(r1.merged_embeddings_crc, 0x22222223u);
+}
+
+TEST_F(RoundLogTest, SequenceGateRejectsStaleOrSkippedRounds) {
+  RoundLog log(kFp);
+  ASSERT_TRUE(log.Commit(MakeRecord(0, {0}, {}), path_).ok());
+  // Replaying round 0 (a resurrected stale coordinator) is rejected.
+  EXPECT_EQ(log.Commit(MakeRecord(0, {0}, {}), path_).code(),
+            StatusCode::kFailedPrecondition);
+  // Skipping ahead is rejected too.
+  EXPECT_EQ(log.Commit(MakeRecord(2, {0}, {}), path_).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(log.next_round(), 1);
+}
+
+TEST_F(RoundLogTest, RejectsInconsistentRecords) {
+  RoundLog log(kFp);
+  // Empty committed set: a round must merge at least one shard.
+  EXPECT_FALSE(log.Commit(MakeRecord(0, {}, {0}), path_).ok());
+  // Overlapping committed/missing.
+  EXPECT_FALSE(log.Commit(MakeRecord(0, {0, 1}, {1}), path_).ok());
+  // Unsorted committed list.
+  EXPECT_FALSE(log.Commit(MakeRecord(0, {1, 0}, {}), path_).ok());
+  EXPECT_EQ(log.next_round(), 0);
+}
+
+TEST_F(RoundLogTest, LoadRejectsForeignPlanFingerprint) {
+  RoundLog log(kFp);
+  ASSERT_TRUE(log.Commit(MakeRecord(0, {0}, {}), path_).ok());
+  auto loaded = RoundLog::Load(path_, kFp + 1);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RoundLogTest, LoadRejectsCorruption) {
+  RoundLog log(kFp);
+  ASSERT_TRUE(log.Commit(MakeRecord(0, {0, 1}, {}), path_).ok());
+  auto contents = ReadFileToString(path_);
+  ASSERT_TRUE(contents.ok());
+  std::string rotted = std::move(contents).ValueOrDie();
+  rotted[rotted.size() / 2] ^= 0x20;
+  ASSERT_TRUE(WriteFileAtomic(path_, rotted).ok());
+  auto loaded = RoundLog::Load(path_, kFp);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(RoundLogTest, FailedWriteLeavesLogConsistent) {
+  RoundLog log(kFp);
+  ASSERT_TRUE(log.Commit(MakeRecord(0, {0}, {}), path_).ok());
+  fault::Arm("dist.roundlog_write", 1);
+  EXPECT_FALSE(log.Commit(MakeRecord(1, {0}, {}), path_).ok());
+  // The in-memory log rolled the record back: next_round still 1, and
+  // the durable file still parses as the one-round history.
+  EXPECT_EQ(log.next_round(), 1);
+  auto loaded = RoundLog::Load(path_, kFp);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().rounds().size(), 1u);
+  // After the fault clears, the same commit goes through.
+  fault::Reset();
+  EXPECT_TRUE(log.Commit(MakeRecord(1, {0}, {}), path_).ok());
+  EXPECT_EQ(log.next_round(), 2);
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace coane

@@ -1,0 +1,161 @@
+#include "dist/shard_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <string>
+
+#include "common/atomic_file.h"
+#include "core/checkpoint.h"
+
+namespace coane {
+namespace dist {
+namespace {
+
+ShardPlan SmallPlan() {
+  ShardPlan plan;
+  plan.num_shards = 4;
+  plan.quorum = 3;
+  plan.round_epochs = 2;
+  plan.base.max_epochs = 7;
+  plan.base.seed = 42;
+  return plan;
+}
+
+std::string TempDir() {
+  char tmpl[] = "/tmp/coane_plan_XXXXXX";
+  EXPECT_NE(::mkdtemp(tmpl), nullptr);
+  return tmpl;
+}
+
+TEST(ShardPlanTest, RoundArithmeticWithShortFinalRound) {
+  const ShardPlan plan = SmallPlan();  // 7 epochs, 2 per round
+  EXPECT_EQ(plan.num_rounds(), 4);
+  EXPECT_EQ(plan.RoundEndEpoch(0), 2);
+  EXPECT_EQ(plan.RoundEndEpoch(1), 4);
+  EXPECT_EQ(plan.RoundEndEpoch(2), 6);
+  EXPECT_EQ(plan.RoundEndEpoch(3), 7);  // short final round
+}
+
+TEST(ShardPlanTest, ValidateRejectsBadShapes) {
+  ShardPlan plan = SmallPlan();
+  EXPECT_TRUE(ValidatePlan(plan).ok());
+  plan.num_shards = 0;
+  EXPECT_EQ(ValidatePlan(plan).code(), StatusCode::kInvalidArgument);
+  plan = SmallPlan();
+  plan.quorum = 0;
+  EXPECT_EQ(ValidatePlan(plan).code(), StatusCode::kInvalidArgument);
+  plan = SmallPlan();
+  plan.quorum = plan.num_shards + 1;
+  EXPECT_EQ(ValidatePlan(plan).code(), StatusCode::kInvalidArgument);
+  plan = SmallPlan();
+  plan.round_epochs = 0;
+  EXPECT_EQ(ValidatePlan(plan).code(), StatusCode::kInvalidArgument);
+  plan = SmallPlan();
+  plan.base.max_epochs = 0;
+  EXPECT_EQ(ValidatePlan(plan).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardPlanTest, SingleShardConfigIsIdentity) {
+  ShardPlan plan = SmallPlan();
+  plan.num_shards = 1;
+  plan.quorum = 1;
+  const CoaneConfig derived = ShardConfig(plan, 0);
+  EXPECT_EQ(derived.seed, plan.base.seed);
+  EXPECT_EQ(ConfigFingerprint(derived), ConfigFingerprint(plan.base));
+}
+
+TEST(ShardPlanTest, MultiShardConfigsGetDistinctSeeds) {
+  const ShardPlan plan = SmallPlan();
+  const CoaneConfig a = ShardConfig(plan, 0);
+  const CoaneConfig b = ShardConfig(plan, 1);
+  EXPECT_NE(a.seed, b.seed);
+  EXPECT_NE(a.seed, plan.base.seed);  // even shard 0 re-derives
+  // Everything except the seed stays the base config.
+  EXPECT_EQ(a.max_epochs, plan.base.max_epochs);
+  EXPECT_EQ(a.embedding_dim, plan.base.embedding_dim);
+}
+
+TEST(ShardPlanTest, FingerprintCoversShapeButNotRuntimeKnobs) {
+  const ShardPlan plan = SmallPlan();
+  const uint64_t fp = PlanFingerprint(plan);
+
+  ShardPlan other = SmallPlan();
+  other.quorum = 4;  // runtime knob: retunable between resume attempts
+  EXPECT_EQ(PlanFingerprint(other), fp);
+
+  other = SmallPlan();
+  other.num_shards = 5;
+  EXPECT_NE(PlanFingerprint(other), fp);
+  other = SmallPlan();
+  other.round_epochs = 3;
+  EXPECT_NE(PlanFingerprint(other), fp);
+  other = SmallPlan();
+  other.base.seed = 43;
+  EXPECT_NE(PlanFingerprint(other), fp);
+}
+
+TEST(ShardPlanTest, PlanFileRoundTrips) {
+  const std::string dir = TempDir();
+  const ShardPlan plan = SmallPlan();
+  EXPECT_EQ(VerifyPlanFile(dir, plan).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(SavePlanFile(dir, plan).ok());
+  EXPECT_TRUE(VerifyPlanFile(dir, plan).ok());
+
+  // Quorum is a runtime knob: a retuned quorum still verifies.
+  ShardPlan retuned = plan;
+  retuned.quorum = 2;
+  EXPECT_TRUE(VerifyPlanFile(dir, retuned).ok());
+
+  // A different shard count is a different run: reject.
+  ShardPlan foreign = plan;
+  foreign.num_shards = 2;
+  EXPECT_EQ(VerifyPlanFile(dir, foreign).code(),
+            StatusCode::kFailedPrecondition);
+
+  ::unlink(PlanPath(dir).c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(ShardPlanTest, CorruptPlanFileIsDataLoss) {
+  const std::string dir = TempDir();
+  const ShardPlan plan = SmallPlan();
+  ASSERT_TRUE(SavePlanFile(dir, plan).ok());
+  auto contents = ReadFileToString(PlanPath(dir));
+  ASSERT_TRUE(contents.ok());
+  std::string rotted = std::move(contents).ValueOrDie();
+  rotted[rotted.find("num_shards") + 12] ^= 1;
+  ASSERT_TRUE(WriteFileAtomic(PlanPath(dir), rotted).ok());
+  EXPECT_EQ(VerifyPlanFile(dir, plan).code(), StatusCode::kDataLoss);
+  ::unlink(PlanPath(dir).c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(ShardPlanTest, MakeDirsCreatesNestedAndIsIdempotent) {
+  const std::string dir = TempDir();
+  const std::string nested = dir + "/a/b/c";
+  ASSERT_TRUE(MakeDirs(nested).ok());
+  struct ::stat st;
+  ASSERT_EQ(::stat(nested.c_str(), &st), 0);
+  EXPECT_TRUE(S_ISDIR(st.st_mode));
+  EXPECT_TRUE(MakeDirs(nested).ok());  // second call: still OK
+  ::rmdir(nested.c_str());
+  ::rmdir((dir + "/a/b").c_str());
+  ::rmdir((dir + "/a").c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(ShardPlanTest, LayoutPathsAndKindsEmbedTheRound) {
+  EXPECT_EQ(PlanPath("w"), "w/plan.tsv");
+  EXPECT_EQ(ShardCheckpointPath("w", 2), "w/shards/2/shard.ckpt");
+  EXPECT_NE(RoundModelKind(0), RoundModelKind(1));
+  EXPECT_NE(MergedModelKind(3), MergedEmbeddingsKind(3));
+  EXPECT_NE(ShardRoundModelPath("w", 1, 0), ShardRoundModelPath("w", 1, 1));
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace coane

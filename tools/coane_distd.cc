@@ -1,0 +1,409 @@
+// coane_distd — fault-tolerant multi-process sharded training.
+//
+// A coordinator assigns shards of the epoch budget to worker processes,
+// collects their round outputs through a manifest-gated artifact
+// exchange, and averages parameters at round barriers. The run survives
+// worker crashes (SIGKILL mid-round resumes from the shard's own
+// checkpoint), hangs (heartbeat leases), stragglers (quorum commits past
+// the round deadline, recorded as degraded), and corrupt shard outputs
+// (quarantined, never merged). See DESIGN.md §8.
+//
+//   coane_distd train --edges=cora.edges --attrs=cora.attrs \
+//       --out=cora.emb --work-dir=/tmp/dist --shards=4 --quorum=3 \
+//       --round-epochs=2 --epochs=10 --round-deadline-sec=120
+//
+// The `worker` subcommand is the coordinator's child process entry point
+// (the PR 4 supervisor pattern: one fork/exec per shard attempt); it is
+// not meant to be invoked by hand but is safe to.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/os_error.h"
+#include "common/parallel/global_pool.h"
+#include "common/retry.h"
+#include "common/run_context.h"
+#include "common/string_utils.h"
+#include "core/coane_model.h"
+#include "dist/coordinator.h"
+#include "dist/shard_plan.h"
+#include "dist/worker.h"
+#include "graph/graph_io.h"
+
+namespace coane {
+namespace {
+
+using dist::Coordinator;
+using dist::CoordinatorOptions;
+using dist::ShardPlan;
+using dist::ShardWorker;
+using dist::WorkerLauncher;
+using dist::WorkerOptions;
+using dist::WorkerReport;
+
+// Same parsing contract as coane_cli: "--key=value", bare "--key" is
+// "true", malformed numbers are a usage error (exit 2), never an abort.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (!StartsWith(arg, "--")) continue;
+      raw_.push_back(arg);
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it != values_.end() ? it->second : fallback;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    double v = 0.0;
+    const char* begin = it->second.data();
+    const char* end = begin + it->second.size();
+    auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc() || ptr != end) BadValue(key, it->second);
+    return v;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    int64_t v = 0;
+    const char* begin = it->second.data();
+    const char* end = begin + it->second.size();
+    auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc() || ptr != end) BadValue(key, it->second);
+    return v;
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  /// The "--flag" strings exactly as given, in order — what the
+  /// coordinator forwards to worker processes so both sides build the
+  /// same plan and config from the same values.
+  const std::vector<std::string>& raw() const { return raw_; }
+
+ private:
+  [[noreturn]] static void BadValue(const std::string& key,
+                                    const std::string& value) {
+    std::fprintf(stderr,
+                 "usage error: invalid numeric value '%s' for --%s\n",
+                 value.c_str(), key.c_str());
+    std::exit(2);
+  }
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> raw_;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: coane_distd <command> [--flags]\n"
+      "commands:\n"
+      "  train   coordinator: run sharded training to completion\n"
+      "    --edges=FILE [--attrs=FILE] --out=FILE --work-dir=DIR\n"
+      "    sharding:\n"
+      "      --shards=N          worker shards (default 1; --shards=1 is\n"
+      "                          byte-identical to coane_cli train)\n"
+      "      --quorum=K          min shards per round commit (default N);\n"
+      "                          rounds with K..N-1 shards commit degraded\n"
+      "      --round-epochs=E    epochs between averaging barriers (1)\n"
+      "    robustness:\n"
+      "      --round-deadline-sec=S  once quorum is met, cut stragglers\n"
+      "                          after S seconds (0 = wait for all)\n"
+      "      --lease-sec=S       kill+restart a worker silent for S\n"
+      "                          seconds (0 = off)\n"
+      "      --worker-restarts=N relaunch budget per shard per round (3)\n"
+      "      --max-workers=N     concurrent worker processes (0 = one\n"
+      "                          per shard; results identical at any N)\n"
+      "      --io-retries=N      attempts per artifact/manifest write (3)\n"
+      "      --merge-wait-sec=S  worker wait for the previous round's\n"
+      "                          merge to appear (60)\n"
+      "    training: --dim --epochs --context --walks --walk-length\n"
+      "      --negatives --gamma --lr --seed --presample --grad-clip\n"
+      "      --threads (per worker)\n"
+      "    prints one line per committed round and a final STATS line\n"
+      "  worker  internal: train one shard for one round (fork/exec'd by\n"
+      "          train); adds --shard=S --round=R to the train flags\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+bool IsStopped(const Status& status) {
+  return status.code() == StatusCode::kCancelled ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
+RetryPolicy MakeRetryPolicy(const Flags& flags) {
+  RetryPolicy policy;
+  policy.max_attempts =
+      static_cast<int>(std::max<int64_t>(1, flags.GetInt("io-retries", 3)));
+  policy.initial_backoff_sec = 0.01;
+  policy.max_backoff_sec = 0.5;
+  policy.jitter_seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  return policy;
+}
+
+// Identical to coane_cli's train config block — --shards=1 must produce
+// the exact CoaneConfig (hence fingerprint and bytes) the CLI would.
+CoaneConfig ConfigFromFlags(const Flags& flags, const Graph& graph) {
+  CoaneConfig config;
+  config.embedding_dim = flags.GetInt("dim", 128);
+  config.max_epochs = static_cast<int>(flags.GetInt("epochs", 10));
+  config.context_size = static_cast<int>(flags.GetInt("context", 5));
+  config.num_walks = static_cast<int>(flags.GetInt("walks", 1));
+  config.walk_length = static_cast<int>(flags.GetInt("walk-length", 80));
+  config.num_negative = static_cast<int>(flags.GetInt("negatives", 20));
+  config.attribute_gamma =
+      static_cast<float>(flags.GetDouble("gamma", 1e5));
+  config.learning_rate = static_cast<float>(flags.GetDouble("lr", 0.001));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.grad_clip_norm =
+      static_cast<float>(flags.GetDouble("grad-clip", 0.0));
+  if (flags.Has("presample")) {
+    config.negative_mode = NegativeSamplingMode::kPreSampled;
+  }
+  if (graph.num_attributes() == 0) {
+    config.use_attributes = false;
+    config.use_attribute_loss = false;
+  }
+  return config;
+}
+
+ShardPlan PlanFromFlags(const Flags& flags, const Graph& graph) {
+  ShardPlan plan;
+  plan.num_shards = static_cast<int>(flags.GetInt("shards", 1));
+  plan.quorum =
+      static_cast<int>(flags.GetInt("quorum", plan.num_shards));
+  plan.round_epochs = static_cast<int>(flags.GetInt("round-epochs", 1));
+  plan.base = ConfigFromFlags(flags, graph);
+  return plan;
+}
+
+Result<Graph> LoadFromFlags(const Flags& flags, const RunContext* ctx) {
+  const std::string edges = flags.Get("edges");
+  if (edges.empty()) {
+    return Status::InvalidArgument("--edges is required");
+  }
+  return RetryResultOp<Graph>(
+      MakeRetryPolicy(flags), ctx, "graph_io.load",
+      [&](const RunContext* attempt_ctx) -> Result<Graph> {
+        LoadOptions options;
+        options.run_context = attempt_ctx;
+        return LoadAttributedGraph(edges, flags.Get("attrs"),
+                                   flags.Get("labels"), options, nullptr);
+      });
+}
+
+// Runs workers as real OS processes: one fork/exec of this binary's
+// `worker` subcommand per Start, SIGKILL on Kill, waitpid(WNOHANG) on
+// Poll. Reaped exit statuses are cached so the coordinator can keep
+// polling an exited handle (waitpid only answers once per child).
+class ProcessWorkerLauncher : public WorkerLauncher {
+ public:
+  ProcessWorkerLauncher(std::string exe, std::vector<std::string> flags)
+      : exe_(std::move(exe)), flags_(std::move(flags)) {}
+
+  Result<int64_t> Start(int shard, int round) override {
+    std::vector<std::string> args;
+    args.push_back(exe_);
+    args.push_back("worker");
+    for (const std::string& flag : flags_) args.push_back(flag);
+    args.push_back("--shard=" + std::to_string(shard));
+    args.push_back("--round=" + std::to_string(round));
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) return ErrnoToStatus(errno, "fork");
+    if (pid == 0) {
+      ::execv(argv[0], argv.data());
+      std::fprintf(stderr, "execv %s: %s\n", argv[0],
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    return static_cast<int64_t>(pid);
+  }
+
+  WorkerReport Poll(int64_t handle) override {
+    auto it = reaped_.find(handle);
+    if (it != reaped_.end()) return it->second;
+    WorkerReport report;
+    int status = 0;
+    const pid_t r =
+        ::waitpid(static_cast<pid_t>(handle), &status, WNOHANG);
+    if (r == 0) {
+      report.running = true;
+      return report;
+    }
+    report.exited = true;
+    if (r > 0 && WIFEXITED(status)) {
+      report.exit_code = WEXITSTATUS(status);
+    } else if (r > 0 && WIFSIGNALED(status)) {
+      report.term_signal = WTERMSIG(status);
+      report.exit_code = 128 + report.term_signal;
+    } else {
+      report.exit_code = 127;  // unknown child: count it as failed
+    }
+    reaped_[handle] = report;
+    return report;
+  }
+
+  void Kill(int64_t handle) override {
+    if (reaped_.count(handle) > 0) return;
+    ::kill(static_cast<pid_t>(handle), SIGKILL);
+  }
+
+ private:
+  const std::string exe_;
+  const std::vector<std::string> flags_;
+  std::map<int64_t, WorkerReport> reaped_;
+};
+
+RunContext MakeRunContext(const Flags& flags) {
+  InstallSignalCancellation();
+  RunContext ctx = RunContext::WithGlobalCancel();
+  const double deadline_sec = flags.GetDouble("deadline-sec", 0.0);
+  if (deadline_sec > 0.0) ctx.SetDeadlineAfter(deadline_sec);
+  return ctx;
+}
+
+int RunTrain(const char* exe, const Flags& flags) {
+  const std::string out = flags.Get("out");
+  const std::string work_dir = flags.Get("work-dir");
+  if (out.empty() || work_dir.empty()) return Usage();
+  // Coordinator-side faults (plan/round-log/merged writes) arm from the
+  // global COANE_FAULT; worker faults arm per shard in the worker
+  // process from COANE_FAULT_SHARD_<s>, so a chaos test can kill shard 1
+  // without touching shard 0 or the coordinator.
+  if (Status st = fault::ArmFromEnv(); !st.ok()) {
+    std::fprintf(stderr, "usage error: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  RunContext ctx = MakeRunContext(flags);
+
+  auto graph = LoadFromFlags(flags, &ctx);
+  if (!graph.ok()) return Fail(graph.status());
+  if (graph.value().num_attributes() == 0) {
+    std::printf("no attributes given; training structure-only (WF mode)\n");
+  }
+  const ShardPlan plan = PlanFromFlags(flags, graph.value());
+
+  ProcessWorkerLauncher launcher(exe, flags.raw());
+  CoordinatorOptions options;
+  options.work_dir = work_dir;
+  options.round_deadline_sec = flags.GetDouble("round-deadline-sec", 0.0);
+  options.lease_sec = flags.GetDouble("lease-sec", 0.0);
+  options.max_restarts_per_round =
+      static_cast<int>(flags.GetInt("worker-restarts", 3));
+  options.max_concurrent_workers =
+      static_cast<int>(flags.GetInt("max-workers", 0));
+  options.poll_interval_sec = flags.GetDouble("poll-interval-sec", 0.02);
+  options.restart_backoff = MakeRetryPolicy(flags);
+  options.io_retry = MakeRetryPolicy(flags);
+
+  Coordinator coordinator(plan, &launcher, options);
+  const Status st = coordinator.Run(out, &ctx);
+  std::printf("STATS %s\n", coordinator.stats().ToString().c_str());
+  if (!st.ok()) {
+    if (IsStopped(st)) {
+      std::printf("stopped: %s — rerun with the same flags to resume "
+                  "after round %d\n",
+                  st.ToString().c_str(),
+                  coordinator.round_log() != nullptr
+                      ? coordinator.round_log()->next_round() - 1
+                      : -1);
+      return 0;
+    }
+    return Fail(st);
+  }
+  std::printf("embeddings written to %s (%d shards, %d rounds)\n",
+              out.c_str(), plan.num_shards, plan.num_rounds());
+  return 0;
+}
+
+int RunWorker(const Flags& flags) {
+  const std::string work_dir = flags.Get("work-dir");
+  if (work_dir.empty() || !flags.Has("shard") || !flags.Has("round")) {
+    return Usage();
+  }
+  const int shard = static_cast<int>(flags.GetInt("shard", 0));
+  // Shard-targeted chaos only: the global COANE_FAULT is deliberately
+  // NOT armed here — it would fire in every worker at once.
+  const std::string fault_env =
+      "COANE_FAULT_SHARD_" + std::to_string(shard);
+  if (const char* spec = std::getenv(fault_env.c_str())) {
+    if (Status st = fault::ArmFromEnv(spec); !st.ok()) {
+      std::fprintf(stderr, "usage error: %s: %s\n", fault_env.c_str(),
+                   st.ToString().c_str());
+      return 2;
+    }
+  }
+  RunContext ctx = MakeRunContext(flags);
+
+  auto graph = LoadFromFlags(flags, &ctx);
+  if (!graph.ok()) return Fail(graph.status());
+
+  WorkerOptions options;
+  options.work_dir = work_dir;
+  options.shard = shard;
+  options.round = static_cast<int>(flags.GetInt("round", 0));
+  options.io_retry = MakeRetryPolicy(flags);
+  options.merge_wait_sec = flags.GetDouble("merge-wait-sec", 60.0);
+
+  // Bound to a local: ShardWorker keeps a reference to the plan.
+  const ShardPlan plan = PlanFromFlags(flags, graph.value());
+  ShardWorker worker(graph.value(), plan, options);
+  const Status st = worker.RunRound(&ctx);
+  if (!st.ok()) return Fail(st);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  const int64_t threads =
+      flags.GetInt("threads", ThreadPool::DefaultThreadCount());
+  if (threads < 1) {
+    std::fprintf(stderr, "usage error: --threads must be >= 1\n");
+    return 2;
+  }
+  SetGlobalParallelism(static_cast<int>(threads));
+  if (command == "train") return RunTrain(argv[0], flags);
+  if (command == "worker") return RunWorker(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace coane
+
+int main(int argc, char** argv) { return coane::Main(argc, argv); }

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "common/atomic_file.h"
+#include "common/os_error.h"
 #include "common/retry.h"
 #include "common/run_context.h"
 #include "common/status.h"
@@ -156,11 +157,12 @@ class Supervisor {
           consecutive_failures);
 
       if (consecutive_failures >= max_crashes_at_step_) {
-        return Quarantine(reason, epoch_after, consecutive_failures);
+        return Quarantine(reason, outcome, epoch_after,
+                          consecutive_failures);
       }
       if (attempt > max_restarts_) {
         return Quarantine("restart budget exhausted (" + reason + ")",
-                          epoch_after, consecutive_failures);
+                          outcome, epoch_after, consecutive_failures);
       }
       const double delay = BackoffDelaySeconds(backoff_, attempt);
       std::printf("[supervisor] restarting from epoch %lld in %.3fs\n",
@@ -251,16 +253,28 @@ class Supervisor {
     if (outcome.exited) {
       return "exited with code " + std::to_string(outcome.exit_code);
     }
-    return "died on signal " + std::to_string(outcome.term_signal);
+    return "died on signal " + std::to_string(outcome.term_signal) +
+           " (" + SignalName(outcome.term_signal) + ")";
   }
 
-  int Quarantine(const std::string& reason, int64_t epoch,
-                 int failures) const {
+  int Quarantine(const std::string& reason, const ChildOutcome& outcome,
+                 int64_t epoch, int failures) const {
     const std::string path = checkpoint_dir_ + "/quarantine.txt";
+    // The human paged by this report triages from it alone: the signal
+    // name says *how* the child died, the checkpoint epoch says where a
+    // manual --resume would pick up (-1: no checkpoint survived).
+    const std::string signal_line =
+        outcome.term_signal != 0
+            ? SignalName(outcome.term_signal) + " (" +
+                  std::to_string(outcome.term_signal) + ")"
+            : "none (child was not signalled)";
     std::string report =
         "coane_supervisor quarantine report\n"
         "reason: " + reason + "\n"
         "stuck at epoch: " + std::to_string(epoch) + "\n"
+        "terminating signal: " + signal_line + "\n"
+        "last checkpoint epoch: " +
+        std::to_string(CheckpointEpoch(checkpoint_path_)) + "\n"
         "consecutive failures: " + std::to_string(failures) + "\n"
         "child command:";
     for (const std::string& arg : child_argv_) report += " " + arg;
