@@ -1,6 +1,8 @@
 #include "common/atomic_file.h"
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -84,6 +86,31 @@ Result<std::string> ReadFileToString(const std::string& path) {
   buffer << in.rdbuf();
   if (in.bad()) return Status::IoError("read failure on " + path);
   return buffer.str();
+}
+
+Status RemoveTree(const std::string& path) {
+  struct stat st;
+  if (::lstat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::OK();
+    return Errno("lstat failed on", path);
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    if (::unlink(path.c_str()) != 0) return Errno("unlink failed on", path);
+    return Status::OK();
+  }
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return Errno("opendir failed on", path);
+  Status result = Status::OK();
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    result = RemoveTree(path + "/" + name);
+    if (!result.ok()) break;
+  }
+  ::closedir(dir);
+  if (!result.ok()) return result;
+  if (::rmdir(path.c_str()) != 0) return Errno("rmdir failed on", path);
+  return Status::OK();
 }
 
 }  // namespace coane

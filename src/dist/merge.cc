@@ -1,5 +1,6 @@
 #include "dist/merge.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
@@ -9,10 +10,24 @@ namespace coane {
 namespace dist {
 namespace {
 
+/// Sorted double-precision mean of `vals` (modifies vals in place).
+/// Sorting before summation makes the result a pure function of the
+/// value *multiset* — independent of input order — and dividing by the
+/// count (instead of multiplying by its reciprocal) makes the average of
+/// n identical values bit-exact: n*v is exact in double (24-bit mantissa
+/// times a small integer) and correctly-rounded division returns the
+/// representable true quotient v.
+double SortedMean(std::vector<double>& vals) {
+  std::sort(vals.begin(), vals.end());
+  double sum = 0.0;
+  for (double v : vals) sum += v;
+  return sum / static_cast<double>(vals.size());
+}
+
 /// Averages one matrix (header + payload) drawn from every reader in
-/// lockstep. All shards must present the same shape; accumulation is in
-/// double, in reader order, so the result is bit-deterministic for a
-/// fixed input order.
+/// lockstep. All shards must present the same shape; per element the
+/// shard values are averaged with SortedMean, so the merged bytes are
+/// invariant to the order the shard blobs are presented in.
 Status AverageOneMatrix(std::vector<ByteReader>& readers,
                         std::string* out) {
   int64_t rows = 0, cols = 0;
@@ -38,18 +53,17 @@ Status AverageOneMatrix(std::vector<ByteReader>& readers,
   }
   AppendI64(out, rows);
   AppendI64(out, cols);
-  const double inv = 1.0 / static_cast<double>(readers.size());
+  std::vector<double> vals(readers.size());
   for (int64_t i = 0; i < rows * cols; ++i) {
-    double sum = 0.0;
     for (size_t k = 0; k < readers.size(); ++k) {
       float v = 0.0f;
       if (!readers[k].ReadF32(&v)) {
         return Status::DataLoss("truncated matrix payload in shard blob " +
                                 std::to_string(k));
       }
-      sum += static_cast<double>(v);
+      vals[k] = static_cast<double>(v);
     }
-    AppendF32(out, static_cast<float>(sum * inv));
+    AppendF32(out, static_cast<float>(SortedMean(vals)));
   }
   return Status::OK();
 }
@@ -178,16 +192,15 @@ Result<TrainingCheckpoint> AverageCheckpoints(
   merged.has_decoder = first.has_decoder;
   merged.rng_state.clear();  // parameter artifact, not a resumable state
 
-  double lr_sum = 0.0;
+  std::vector<double> lrs;
   std::vector<const std::string*> encoder_blobs, decoder_blobs, adam_blobs;
   for (const TrainingCheckpoint* shard : shards) {
-    lr_sum += static_cast<double>(shard->learning_rate);
+    lrs.push_back(static_cast<double>(shard->learning_rate));
     encoder_blobs.push_back(&shard->encoder_blob);
     decoder_blobs.push_back(&shard->decoder_blob);
     adam_blobs.push_back(&shard->optimizer_blob);
   }
-  merged.learning_rate =
-      static_cast<float>(lr_sum / static_cast<double>(shards.size()));
+  merged.learning_rate = static_cast<float>(SortedMean(lrs));
 
   COANE_RETURN_IF_ERROR(
       AverageMatrixBlob(encoder_blobs, "encoder", &merged.encoder_blob));
@@ -216,15 +229,14 @@ Result<DenseMatrix> AverageEmbeddings(
     }
   }
   DenseMatrix merged(rows, cols, 0.0f);
-  const double inv = 1.0 / static_cast<double>(shards.size());
+  std::vector<double> vals(shards.size());
   for (int64_t i = 0; i < rows; ++i) {
     float* out_row = merged.Row(i);
     for (int64_t j = 0; j < cols; ++j) {
-      double sum = 0.0;
-      for (const DenseMatrix* shard : shards) {
-        sum += static_cast<double>(shard->At(i, j));
+      for (size_t k = 0; k < shards.size(); ++k) {
+        vals[k] = static_cast<double>(shards[k]->At(i, j));
       }
-      out_row[j] = static_cast<float>(sum * inv);
+      out_row[j] = static_cast<float>(SortedMean(vals));
     }
   }
   return merged;

@@ -19,12 +19,16 @@ namespace dist {
 /// a poisoned or stale input and fails with kDataLoss /
 /// kFailedPrecondition before a single averaged byte is produced.
 ///
-/// Determinism: inputs are averaged in the order given (the coordinator
-/// passes ascending shard ids) with double-precision accumulation, so
-/// the merged bytes are a pure function of the committed shard set —
-/// independent of which worker finished first or on which machine.
-/// A single input is returned bit-exactly (average of one == identity),
-/// which is what makes --shards=1 match single-process training.
+/// Determinism: per element, shard values are sorted before the
+/// double-precision summation and the sum is divided by the shard count,
+/// so the merged bytes are a pure function of the committed shard value
+/// *multiset* — invariant to the order the inputs are passed in, to
+/// which worker finished first, and to where it ran. Averaging n
+/// identical inputs is bit-exact (n*v is exact in double and the
+/// correctly-rounded division returns v); in particular a single input
+/// is returned unchanged, which is what makes --shards=1 match
+/// single-process training. tests/dist/merge_property_test.cc holds both
+/// properties under randomized inputs.
 ///
 /// The merged checkpoint carries `merged_fingerprint` (the plan
 /// fingerprint) and an empty rng_state: it is a parameter artifact, not

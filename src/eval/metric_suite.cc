@@ -1,0 +1,51 @@
+#include "eval/metric_suite.h"
+
+#include "eval/clustering_task.h"
+#include "eval/link_prediction.h"
+#include "eval/node_classification.h"
+
+namespace coane {
+
+std::vector<std::pair<std::string, double>> MetricSuite::Entries() const {
+  return {{"macro_f1", macro_f1},
+          {"micro_f1", micro_f1},
+          {"link_auc", link_auc},
+          {"nmi", nmi}};
+}
+
+Result<MetricSuite> ComputeNodeMetrics(const DenseMatrix& embeddings,
+                                       const std::vector<int32_t>& labels,
+                                       int num_classes,
+                                       const MetricSuiteOptions& options) {
+  MetricSuite suite;
+  auto f1 = EvaluateNodeClassification(embeddings, labels, num_classes,
+                                       options.train_ratio, options.seed,
+                                       options.num_trials, options.ctx);
+  if (!f1.ok()) return f1.status();
+  suite.macro_f1 = f1.value().macro_f1;
+  suite.micro_f1 = f1.value().micro_f1;
+
+  auto nmi = EvaluateClusteringNmi(embeddings, labels, num_classes,
+                                   options.seed, options.ctx);
+  if (!nmi.ok()) return nmi.status();
+  suite.nmi = nmi.value();
+  return suite;
+}
+
+Result<MetricSuite> ComputeMetricSuite(const DenseMatrix& embeddings,
+                                       const DenseMatrix& lp_embeddings,
+                                       const std::vector<int32_t>& labels,
+                                       int num_classes,
+                                       const LinkSplit& split,
+                                       const MetricSuiteOptions& options) {
+  auto suite = ComputeNodeMetrics(embeddings, labels, num_classes, options);
+  if (!suite.ok()) return suite.status();
+
+  auto lp = EvaluateLinkPrediction(lp_embeddings, split, options.seed,
+                                   options.ctx);
+  if (!lp.ok()) return lp.status();
+  suite.value().link_auc = lp.value().test_auc;
+  return suite;
+}
+
+}  // namespace coane

@@ -1,0 +1,68 @@
+#ifndef COANE_EVAL_METRIC_SUITE_H_
+#define COANE_EVAL_METRIC_SUITE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/run_context.h"
+#include "common/status.h"
+#include "graph/edge_split.h"
+#include "la/dense_matrix.h"
+
+namespace coane {
+
+/// The Table 2/4 metric bundle of one embedding: node-classification
+/// Macro/Micro-F1 (Table 2), link-prediction test AUC (Table 4), and
+/// clustering NMI (Table 4) — the quality surface every reproduction
+/// claim in this repo is stated against. Benches and the quality
+/// regression harness (src/quality) compute it through ComputeMetricSuite
+/// below instead of re-wiring the four task evaluators per call site.
+struct MetricSuite {
+  double macro_f1 = 0.0;
+  double micro_f1 = 0.0;
+  double link_auc = 0.0;
+  double nmi = 0.0;
+
+  /// Stable (name, value) view for reports, gates, and tables — the one
+  /// place the metric roster is enumerated.
+  std::vector<std::pair<std::string, double>> Entries() const;
+};
+
+/// Protocol knobs of Sec. 4.2, shared by every consumer so two suites are
+/// comparable by construction.
+struct MetricSuiteOptions {
+  /// Classification: fraction of nodes used to fit the one-vs-rest LR.
+  double train_ratio = 0.5;
+  /// Classification trials averaged over random splits.
+  int num_trials = 2;
+  /// Split/classifier/k-means seed. Same seed + same embeddings ==
+  /// identical doubles (every evaluator is deterministic).
+  uint64_t seed = 42;
+  const RunContext* ctx = nullptr;
+};
+
+/// Computes the full suite. `embeddings` were trained on the full graph
+/// and drive classification + clustering against `labels`;
+/// `lp_embeddings` were trained on `split.train_graph` (the residual
+/// graph without val/test edges — the caller guarantees this, the paper's
+/// protocol demands it) and drive the link-prediction AUC on `split`.
+/// Passing the same matrix for both is allowed but leaks test edges into
+/// the AUC; the quality harness never does.
+Result<MetricSuite> ComputeMetricSuite(const DenseMatrix& embeddings,
+                                       const DenseMatrix& lp_embeddings,
+                                       const std::vector<int32_t>& labels,
+                                       int num_classes,
+                                       const LinkSplit& split,
+                                       const MetricSuiteOptions& options);
+
+/// Classification + clustering half only (no link split available — e.g.
+/// scoring a checkpointed artifact on its own). link_auc is left 0.
+Result<MetricSuite> ComputeNodeMetrics(const DenseMatrix& embeddings,
+                                       const std::vector<int32_t>& labels,
+                                       int num_classes,
+                                       const MetricSuiteOptions& options);
+
+}  // namespace coane
+
+#endif  // COANE_EVAL_METRIC_SUITE_H_

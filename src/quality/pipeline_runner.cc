@@ -1,0 +1,194 @@
+#include "quality/pipeline_runner.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/atomic_file.h"
+#include "common/checksum.h"
+#include "common/fault_injection.h"
+#include "common/parallel/global_pool.h"
+#include "common/stopwatch.h"
+#include "core/coane_model.h"
+#include "dist/coordinator.h"
+#include "dist/inprocess_launcher.h"
+#include "dist/shard_plan.h"
+#include "graph/graph_io.h"
+
+namespace coane {
+namespace quality {
+namespace {
+
+/// Restores global parallelism to 1 (the harness's resting state) on
+/// every exit path, so a failed case cannot leak an 8-thread pool into
+/// the next one and silently change *its* execution mode.
+class ParallelismScope {
+ public:
+  explicit ParallelismScope(int threads) { SetGlobalParallelism(threads); }
+  ~ParallelismScope() { SetGlobalParallelism(1); }
+  ParallelismScope(const ParallelismScope&) = delete;
+  ParallelismScope& operator=(const ParallelismScope&) = delete;
+};
+
+/// Resets fault injection on every exit path of a degraded case.
+class FaultScope {
+ public:
+  ~FaultScope() { fault::Reset(); }
+};
+
+Result<DenseMatrix> TrainDirect(const Graph& graph,
+                                const CoaneConfig& config, int threads) {
+  ParallelismScope scope(threads);
+  return TrainCoaneEmbeddings(graph, config);
+}
+
+/// The supervisor seam without the SIGKILL: train the first half of the
+/// epoch budget single-threaded, checkpoint, destroy the model (every
+/// byte of training state must round-trip through the file), then finish
+/// in a fresh model at `finish_threads`. Crossing a thread-count change
+/// at the resume point makes the case assert the PR 1 and PR 3 contracts
+/// jointly rather than one at a time.
+Result<DenseMatrix> TrainResumed(const Graph& graph,
+                                 const CoaneConfig& config,
+                                 const std::string& checkpoint_path,
+                                 int finish_threads) {
+  const int midpoint = (config.max_epochs + 1) / 2;
+  {
+    ParallelismScope scope(1);
+    CoaneModel first(graph, config);
+    COANE_RETURN_IF_ERROR(first.Preprocess());
+    while (first.epochs_done() < midpoint) {
+      auto epoch = first.TrainEpoch();
+      if (!epoch.ok()) return epoch.status();
+    }
+    COANE_RETURN_IF_ERROR(first.SaveCheckpoint(checkpoint_path));
+  }
+
+  ParallelismScope scope(finish_threads);
+  CoaneModel second(graph, config);
+  COANE_RETURN_IF_ERROR(second.Preprocess());
+  COANE_RETURN_IF_ERROR(second.LoadCheckpoint(checkpoint_path));
+  auto rest = second.Train();
+  if (!rest.ok()) return rest.status();
+  return second.embeddings();
+}
+
+/// One coordinator run over `graph`, exporting the final-round merged
+/// embeddings to `out_path`. Workers run on InProcessLauncher threads at
+/// global parallelism 1: the determinism contract makes the bytes
+/// independent of thread count anyway, and keeping worker training off
+/// the shared pool means concurrent shards never contend inside
+/// ParallelFor.
+Status TrainSharded(const Graph& graph, const QualityCase& qcase,
+                    const CoaneConfig& base_config,
+                    const std::string& work_dir,
+                    const std::string& out_path) {
+  ParallelismScope scope(1);
+
+  dist::ShardPlan plan;
+  plan.num_shards = qcase.shards;
+  plan.quorum = qcase.quorum > 0 ? qcase.quorum : qcase.shards;
+  plan.round_epochs = qcase.round_epochs;
+  plan.base = base_config;
+  COANE_RETURN_IF_ERROR(dist::ValidatePlan(plan));
+  COANE_RETURN_IF_ERROR(dist::MakeDirs(work_dir));
+
+  dist::InProcessLauncher launcher(graph, plan, work_dir);
+  launcher.set_merge_wait_sec(60.0);
+
+  dist::CoordinatorOptions options;
+  options.work_dir = work_dir;
+  options.poll_interval_sec = 0.005;
+  options.restart_backoff.initial_backoff_sec = 0.01;
+  options.restart_backoff.max_backoff_sec = 0.05;
+  // A permanently dead shard must exhaust its budget quickly so the
+  // round can commit degraded at quorum instead of burning wall clock.
+  options.max_restarts_per_round = qcase.dead_shard >= 0 ? 1 : 3;
+
+  dist::Coordinator coordinator(plan, &launcher, options);
+  return coordinator.Run(out_path);
+}
+
+/// Saves nothing itself — reads back the artifact every mode already
+/// wrote, CRCs the exact bytes, and returns the reloaded matrix. All
+/// metric computation downstream sees only what a consumer of the file
+/// would see.
+Result<DenseMatrix> LoadArtifact(const std::string& path, uint32_t* crc) {
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  *crc = Crc32(bytes.value());
+  return LoadEmbeddings(path);
+}
+
+/// Produces the embedding artifact for one graph under the case's mode.
+Status RunOneGraph(const QualityCase& qcase, const Graph& graph,
+                   const CoaneConfig& base_config,
+                   const std::string& work_dir, const std::string& tag,
+                   std::string* artifact_path) {
+  const std::string dir = work_dir + "/" + tag;
+  COANE_RETURN_IF_ERROR(dist::MakeDirs(dir));
+  *artifact_path = dir + "/embeddings.txt";
+
+  switch (qcase.mode) {
+    case RunMode::kDirect: {
+      auto emb = TrainDirect(graph, base_config, qcase.threads);
+      if (!emb.ok()) return emb.status();
+      return SaveEmbeddings(emb.value(), *artifact_path);
+    }
+    case RunMode::kResume: {
+      auto emb = TrainResumed(graph, base_config, dir + "/resume.ckpt",
+                              qcase.threads);
+      if (!emb.ok()) return emb.status();
+      return SaveEmbeddings(emb.value(), *artifact_path);
+    }
+    case RunMode::kSharded:
+      return TrainSharded(graph, qcase, base_config, dir + "/work",
+                          *artifact_path);
+  }
+  return Status::InvalidArgument("unknown run mode");
+}
+
+}  // namespace
+
+Result<PipelineResult> RunQualityCase(const QualityCase& qcase,
+                                      const QualitySubstrate& substrate,
+                                      const CoaneConfig& base_config,
+                                      const std::string& work_dir,
+                                      const MetricSuiteOptions& eval_options) {
+  FaultScope fault_scope;
+  if (qcase.mode == RunMode::kSharded && qcase.dead_shard >= 0) {
+    // Every attempt of the dead shard aborts, across both graph runs —
+    // the shard is down for the whole case, not flaky for one round.
+    fault::ArmPermanent(
+        "dist.abort.shard" + std::to_string(qcase.dead_shard), 1);
+  }
+
+  Stopwatch train_clock;
+  std::string full_path;
+  COANE_RETURN_IF_ERROR(RunOneGraph(qcase, substrate.net.graph, base_config,
+                                    work_dir, "full", &full_path));
+  std::string lp_path;
+  COANE_RETURN_IF_ERROR(RunOneGraph(qcase, substrate.split.train_graph,
+                                    base_config, work_dir, "lp", &lp_path));
+
+  PipelineResult result;
+  result.seconds = train_clock.ElapsedSeconds();
+
+  uint32_t full_crc = 0;
+  auto full_emb = LoadArtifact(full_path, &full_crc);
+  if (!full_emb.ok()) return full_emb.status();
+  uint32_t lp_crc = 0;
+  auto lp_emb = LoadArtifact(lp_path, &lp_crc);
+  if (!lp_emb.ok()) return lp_emb.status();
+  result.artifact_crcs = {full_crc, lp_crc};
+
+  auto suite = ComputeMetricSuite(
+      full_emb.value(), lp_emb.value(),
+      substrate.net.graph.labels(), substrate.num_classes, substrate.split,
+      eval_options);
+  if (!suite.ok()) return suite.status();
+  result.metrics = std::move(suite).ValueOrDie();
+  return result;
+}
+
+}  // namespace quality
+}  // namespace coane

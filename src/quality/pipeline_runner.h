@@ -1,0 +1,59 @@
+#ifndef COANE_QUALITY_PIPELINE_RUNNER_H_
+#define COANE_QUALITY_PIPELINE_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/coane_config.h"
+#include "eval/metric_suite.h"
+#include "quality/config_matrix.h"
+#include "quality/substrate.h"
+
+namespace coane {
+namespace quality {
+
+/// What one config-matrix row produced: the Table 2/4 suite computed from
+/// the saved-and-reloaded artifacts, plus the artifact CRCs the
+/// bit-identical gate compares. Metrics are always computed from the
+/// *files*, never from in-memory matrices — SaveEmbeddings writes
+/// 6-significant-digit text, so the file is the unit the determinism
+/// contract is stated in and the only representation two pipelines
+/// (in-process vs. coordinator-exported) share exactly.
+struct PipelineResult {
+  MetricSuite metrics;
+  /// {full-graph artifact, LP-train-graph artifact} CRC32s, in that order.
+  std::vector<uint32_t> artifact_crcs;
+  /// Wall-clock seconds spent training (both graphs, all legs).
+  double seconds = 0.0;
+};
+
+/// Runs one case end to end: trains on substrate.net.graph (for
+/// classification + clustering) and on substrate.split.train_graph (for
+/// link prediction) under the case's execution mode, saves both embedding
+/// artifacts under `work_dir`, and scores the reloaded artifacts.
+///
+/// Execution-mode notes:
+///  - Global parallelism is set per the case and restored to 1 on every
+///    exit path. Sharded cases always run workers sequentially at
+///    parallelism 1 (the determinism contract makes thread count
+///    irrelevant to the bytes; keeping worker threads off the shared pool
+///    keeps the harness TSan-exact).
+///  - kResume trains ceil(epochs/2) single-threaded, checkpoints, drops
+///    the model, and finishes in a fresh model at case.threads — the
+///    supervisor's kill+resume seam without the SIGKILL (the recovery and
+///    quality_e2e tiers supply the real signal).
+///  - kSharded with dead_shard >= 0 arms the shard-qualified abort fault
+///    permanently for the whole case and resets fault injection before
+///    returning.
+Result<PipelineResult> RunQualityCase(const QualityCase& qcase,
+                                      const QualitySubstrate& substrate,
+                                      const CoaneConfig& base_config,
+                                      const std::string& work_dir,
+                                      const MetricSuiteOptions& eval_options);
+
+}  // namespace quality
+}  // namespace coane
+
+#endif  // COANE_QUALITY_PIPELINE_RUNNER_H_

@@ -1,0 +1,41 @@
+#ifndef COANE_QUALITY_SUBSTRATE_H_
+#define COANE_QUALITY_SUBSTRATE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "datasets/attributed_sbm.h"
+#include "graph/edge_split.h"
+
+namespace coane {
+namespace quality {
+
+/// The fixed evaluation substrate of the quality regression harness
+/// (DESIGN.md §9): one planted-partition SBM with attribute signal, plus
+/// the seeded link-prediction split every configuration is scored on.
+///
+/// Everything downstream hangs off determinism: the generator is a pure
+/// function of the seed, the split a pure function of (graph, seed), so
+/// two harness runs — or two configurations inside one run — disagree
+/// only through the training pipeline under test, never through the data.
+struct QualitySubstrate {
+  AttributedNetwork net;
+  /// 70/10/20 link split of net.graph; LP pipelines train on
+  /// split.train_graph, classification/clustering pipelines on net.graph.
+  LinkSplit split;
+  int num_classes = 0;
+};
+
+/// Substrate scale. kFast is the per-PR gate budget (ctest `quality`
+/// tier, sanitizer-friendly); kFull is the bench-grade matrix
+/// (`coane_quality --full`) with a larger graph and tighter metric noise.
+enum class SubstrateScale { kFast, kFull };
+
+/// Generates the substrate. Deterministic given (scale, seed).
+Result<QualitySubstrate> MakeQualitySubstrate(SubstrateScale scale,
+                                              uint64_t seed);
+
+}  // namespace quality
+}  // namespace coane
+
+#endif  // COANE_QUALITY_SUBSTRATE_H_

@@ -1,0 +1,134 @@
+// Known-answer fixtures for the metric kernels the quality regression
+// harness gates on (AUC, NMI, micro/macro-F1). Every expectation here is
+// hand-computed in the comments — these tests pin the *conventions*
+// (average ranks for AUC ties, the 0.5 empty-class AUC, the sklearn
+// trivial-partition NMI, zero-denominator F1 terms) that the tolerance
+// gates of src/quality silently rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "eval/nmi.h"
+
+namespace coane {
+namespace {
+
+// --- RocAuc: tie handling via average ranks ---------------------------
+
+TEST(RocAucKnownAnswer, TwoWayTieUsesAverageRanks) {
+  // sorted: 0.3(rank 1), 0.5, 0.5 (avg rank 2.5 each), 0.7(rank 4)
+  // positives: 0.5 -> 2.5, 0.7 -> 4  =>  R+ = 6.5, n+ = n- = 2
+  // U = 6.5 - 2*3/2 = 3.5  =>  AUC = 3.5 / 4 = 0.875
+  std::vector<double> scores = {0.5, 0.5, 0.3, 0.7};
+  std::vector<int> labels = {1, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.875);
+}
+
+TEST(RocAucKnownAnswer, ThreeWayTieUsesAverageRanks) {
+  // ranks: 0.2 -> 1.5, 1.5; 0.6 -> 4, 4, 4 (avg of 3..5); 0.9 -> 6
+  // positives: 0.2(1.5) + 0.6(4) + 0.6(4) + 0.9(6) => R+ = 15.5, n+=4 n-=2
+  // U = 15.5 - 4*5/2 = 5.5  =>  AUC = 5.5 / 8 = 0.6875
+  std::vector<double> scores = {0.2, 0.2, 0.6, 0.6, 0.6, 0.9};
+  std::vector<int> labels = {0, 1, 0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.6875);
+}
+
+TEST(RocAucKnownAnswer, AllScoresTiedIsChance) {
+  // One tie group: every example gets the same average rank, so the
+  // statistic must land exactly on chance whatever the labels are.
+  std::vector<double> scores = {0.4, 0.4, 0.4, 0.4};
+  std::vector<int> labels = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.5);
+}
+
+TEST(RocAucKnownAnswer, EmptyPositivesIsChanceByConvention) {
+  std::vector<double> scores = {0.1, 0.9, 0.4};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, {0, 0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc(scores, {1, 1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({}, {}), 0.5);
+}
+
+// --- ComputeF1: zero-denominator and single-class conventions ---------
+
+TEST(F1KnownAnswer, SingleClassPerfect) {
+  std::vector<int32_t> y = {0, 0, 0};
+  F1Scores f1 = ComputeF1(y, y, 1);
+  EXPECT_DOUBLE_EQ(f1.macro, 1.0);
+  EXPECT_DOUBLE_EQ(f1.micro, 1.0);
+}
+
+TEST(F1KnownAnswer, ClassNeverPredictedScoresZeroF1) {
+  // truth {0,1}, pred {0,0}:
+  //   class 0: tp=1 fp=1 fn=0 -> f1 = 2/3
+  //   class 1: tp=0 fp=0 fn=1 -> f1 = 0 (recall 0, precision undefined)
+  // macro = (2/3 + 0)/2 = 1/3; micro: tp=1 fp=1 fn=1 -> 2/4 = 0.5
+  F1Scores f1 = ComputeF1({0, 1}, {0, 0}, 2);
+  EXPECT_NEAR(f1.macro, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f1.micro, 0.5);
+}
+
+TEST(F1KnownAnswer, SpuriousClassPredictionScoresZeroF1) {
+  // truth {0,0,0}, pred {0,0,1}:
+  //   class 0: tp=2 fp=0 fn=1 -> f1 = 4/5
+  //   class 1: tp=0 fp=1 fn=0 -> f1 = 0 (precision 0, recall undefined)
+  // macro = 2/5; micro: tp=2 fp=1 fn=1 -> 4/6 = 2/3
+  F1Scores f1 = ComputeF1({0, 0, 0}, {0, 0, 1}, 2);
+  EXPECT_NEAR(f1.macro, 0.4, 1e-12);
+  EXPECT_NEAR(f1.micro, 2.0 / 3.0, 1e-12);
+}
+
+TEST(F1KnownAnswer, EmptyInputIsZeroNotNan) {
+  F1Scores f1 = ComputeF1({}, {}, 3);
+  EXPECT_DOUBLE_EQ(f1.macro, 0.0);
+  EXPECT_DOUBLE_EQ(f1.micro, 0.0);
+}
+
+// --- NormalizedMutualInformation: hand-computed contingencies ---------
+
+TEST(NmiKnownAnswer, RelabeledIdenticalPartitionIsOne) {
+  // NMI is invariant to label names: {0,0,1,1} vs {1,1,0,0} is the same
+  // partition.
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation({0, 0, 1, 1}, {1, 1, 0, 0}),
+                   1.0);
+}
+
+TEST(NmiKnownAnswer, IndependentPartitionsAreZero) {
+  // Joint counts are the exact product of the marginals, so MI = 0.
+  EXPECT_NEAR(NormalizedMutualInformation({0, 0, 1, 1}, {0, 1, 0, 1}), 0.0,
+              1e-12);
+}
+
+TEST(NmiKnownAnswer, HandComputedContingency) {
+  // a = {0,0,1,1}, b = {0,1,1,1}; n = 4. Contingency:
+  //   (a0,b0)=1  (a0,b1)=1  (a1,b1)=2
+  // I  = .25 ln(.25/(.5*.25)) + .25 ln(.25/(.5*.75)) + .5 ln(.5/(.5*.75))
+  // Ha = ln 2
+  // Hb = -(.25 ln .25 + .75 ln .75)
+  // NMI = I / sqrt(Ha * Hb)
+  const double i = 0.25 * std::log(2.0) + 0.25 * std::log(2.0 / 3.0) +
+                   0.5 * std::log(4.0 / 3.0);
+  const double ha = std::log(2.0);
+  const double hb = -(0.25 * std::log(0.25) + 0.75 * std::log(0.75));
+  const double expected = i / std::sqrt(ha * hb);
+  EXPECT_NEAR(NormalizedMutualInformation({0, 0, 1, 1}, {0, 1, 1, 1}),
+              expected, 1e-12);
+  // And the value itself, so a broken reference formula above cannot
+  // silently agree with a broken implementation.
+  EXPECT_NEAR(expected, 0.3455920299442113, 1e-12);
+}
+
+TEST(NmiKnownAnswer, TrivialPartitionConventions) {
+  // Both single-cluster: identical trivial partitions -> 1 (sklearn
+  // convention), regardless of the label value used.
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation({5, 5, 5}, {2, 2, 2}), 1.0);
+  // One side trivial, the other not: zero entropy on one side -> 0.
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation({0, 0, 0}, {0, 1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation({0, 1, 2}, {0, 0, 0}), 0.0);
+  // Empty inputs -> 0, not NaN.
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace coane
