@@ -1,6 +1,7 @@
 #ifndef COANE_COMMON_FAULT_INJECTION_H_
 #define COANE_COMMON_FAULT_INJECTION_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
@@ -45,6 +46,29 @@ void ArmTransient(const std::string& point, int trigger_hit, int fail_count);
 /// must exhaust its attempts and surface the failure.
 void ArmPermanent(const std::string& point, int trigger_hit);
 
+/// Arms `point` as a *rate* fault: ShouldDrop(point, key) answers true for
+/// a deterministic `rate` fraction of keys, selected by hashing key with
+/// `seed`. Unlike hit-indexed arming the decision depends only on
+/// (rate, seed, key) — never on call order or thread interleaving — so a
+/// loader sharded eight ways drops exactly the same keys as a sequential
+/// one. Used for degraded-input injection, e.g. the `graph.attr_drop`
+/// point dropping a fraction of node attribute rows. `rate` is clamped to
+/// [0, 1].
+void ArmRate(const std::string& point, double rate, uint64_t seed);
+
+/// Registers one hit on `point` and returns true when the point is
+/// rate-armed and `key` falls in the armed fraction (see ArmRate). Points
+/// armed with Arm/ArmTransient/ArmPermanent never answer true here — the
+/// hit-indexed and rate grammars are distinct failure models.
+bool ShouldDrop(const std::string& point, uint64_t key);
+
+/// The pure decision function behind ShouldDrop: true iff hashing `key`
+/// with `seed` lands in the `rate` fraction. No registry, no hit counter —
+/// code that must reproduce an injected mask exactly (e.g. the quality
+/// harness synthesizing the same degraded graph in memory) calls this
+/// directly with the same (rate, seed).
+bool RateDecision(double rate, uint64_t seed, uint64_t key);
+
 /// Arms points from a spec string, so a *child process* (the supervisor's
 /// fork/exec'd trainee) can be fault-injected from integration tests that
 /// cannot call Arm in its address space. Format, comma-separated:
@@ -52,8 +76,11 @@ void ArmPermanent(const std::string& point, int trigger_hit);
 ///   point@hit        fail exactly the hit-th hit (transient, count 1)
 ///   point@hitxN      fail hits [hit, hit+N) then recover
 ///   point@hitx*      fail every hit from hit onward (permanent)
+///   point@pR         rate fault: drop fraction R of keys (seed 0)
+///   point@pRsS       rate fault with explicit seed S
 ///
-/// e.g. COANE_FAULT="checkpoint.write@1x2,cli.crash@3". When `spec` is
+/// e.g. COANE_FAULT="checkpoint.write@1x2,cli.crash@3" or
+/// COANE_FAULT="graph.attr_drop@p0.3s42". When `spec` is
 /// null the COANE_FAULT environment variable is read; an unset/empty
 /// variable arms nothing. Returns InvalidArgument naming the bad token on
 /// a malformed spec (nothing is armed in that case).

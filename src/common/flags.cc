@@ -1,0 +1,55 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_utils.h"
+
+namespace coane {
+namespace flags {
+
+void BadNumericValue(const std::string& key, const std::string& value) {
+  std::fprintf(stderr, "usage error: invalid numeric value '%s' for --%s\n",
+               value.c_str(), key.c_str());
+  std::exit(2);
+}
+
+FlagSet::FlagSet(int argc, char** argv, int first) {
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) continue;
+    raw_.push_back(arg);
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::string FlagSet::Get(const std::string& key,
+                         const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it != values_.end() ? it->second : fallback;
+}
+
+int64_t FlagSet::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  int64_t v = 0;
+  if (!ParseWhole(it->second, &v)) BadNumericValue(key, it->second);
+  return v;
+}
+
+double FlagSet::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  double v = 0.0;
+  if (!ParseWhole(it->second, &v)) BadNumericValue(key, it->second);
+  return v;
+}
+
+}  // namespace flags
+}  // namespace coane

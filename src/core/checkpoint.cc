@@ -57,6 +57,9 @@ uint64_t ConfigFingerprint(const CoaneConfig& c) {
   HashValue(&h, c.positive_topk);
   HashValue(&h, c.skipgram_positive);
   HashValue(&h, c.use_attributes);
+  // Imputation policy: two runs with different policies train on
+  // different feature matrices, so their checkpoints must not mix.
+  HashValue(&h, static_cast<int>(c.missing_attrs));
   // Parameter shapes.
   HashValue(&h, c.embedding_dim);
   HashValue(&h, static_cast<int>(c.encoder_kind));
@@ -74,6 +77,10 @@ Status WriteCheckpointFile(const std::string& path,
   AppendF32(&meta, ckpt.learning_rate);
   AppendU64(&meta, ckpt.config_fingerprint);
   AppendU32(&meta, ckpt.has_decoder ? 1 : 0);
+  // Appended after the original fields so pre-field readers (which stop
+  // at has_decoder) and pre-field files (which simply end there) both
+  // keep working without a format-version bump.
+  AppendU64(&meta, ckpt.data_fingerprint);
 
   std::string out;
   AppendU32(&out, kCheckpointMagic);
@@ -148,6 +155,10 @@ Result<TrainingCheckpoint> ReadCheckpointFile(const std::string& path) {
       return Status::DataLoss("checkpoint meta section malformed: " + path);
     }
     ckpt.has_decoder = has_decoder != 0;
+    // Optional trailing field (see WriteCheckpointFile): absent in
+    // pre-field files, leaving the default 0 = "unknown".
+    uint64_t data_fp = 0;
+    if (m.ReadU64(&data_fp)) ckpt.data_fingerprint = data_fp;
   }
 
   auto rng = require(kRng);

@@ -36,6 +36,13 @@ struct TrainingCheckpoint {
   int64_t epochs_done = 0;
   float learning_rate = 0.0f;      // current (possibly decayed) Adam lr
   uint64_t config_fingerprint = 0; // rejects resume under a changed config
+  /// Fingerprint of the training *data* the run consumed — today the
+  /// attribute observation mask (AttrMaskFingerprint), 0 for complete
+  /// data. Written by every save; files from before the field read back
+  /// as 0, which loaders treat as "unknown, accept". A nonzero mismatch
+  /// rejects the resume: continuing a run against differently-degraded
+  /// data would silently train on different features.
+  uint64_t data_fingerprint = 0;
   bool has_decoder = false;
   std::string rng_state;       // Rng::SerializeState blob
   std::string encoder_blob;    // AppendEncoderWeights payload

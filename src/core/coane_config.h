@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/attr_impute.h"
 #include "nn/context_conv.h"
 
 namespace coane {
@@ -72,6 +73,14 @@ struct CoaneConfig {
   /// clean error instead of NaN embeddings.
   int divergence_max_retries = 2;
   float divergence_lr_decay = 0.5f;
+
+  // --- Degraded inputs (DESIGN.md "Degraded inputs").
+  /// How Preprocess materializes attribute rows the observation mask
+  /// marks missing (see graph/attr_impute.h). kZero reproduces the
+  /// pre-mask numbers exactly; kNeighbor is the Hou et al. estimate. The
+  /// policy is part of the config fingerprint: a resume under a different
+  /// policy is rejected, because it would train on different features.
+  MissingAttrPolicy missing_attrs = MissingAttrPolicy::kZero;
 
   // --- Optimization (Sec. 3.3.4).
   int max_epochs = 5;

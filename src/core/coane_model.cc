@@ -13,6 +13,7 @@
 #include "common/stopwatch.h"
 #include "core/checkpoint.h"
 #include "core/objective.h"
+#include "graph/attr_impute.h"
 #include "la/vector_ops.h"
 #include "nn/linear.h"
 #include "nn/serialize.h"
@@ -86,8 +87,19 @@ Status CoaneModel::Preprocess(const RunContext* ctx) {
     return Status::FailedPrecondition(
         "graph has no attributes; set use_attributes = false");
   }
-  features_ = config_.use_attributes ? graph_.attributes()
-                                     : IdentityFeatures(graph_.num_nodes());
+  if (config_.use_attributes) {
+    // Materialize the training features through the imputation stage: a
+    // complete graph passes through unchanged, a masked one has its
+    // missing rows/cells filled per config_.missing_attrs (or rejected).
+    // The mask fingerprint rides along into every checkpoint.
+    auto imputed = ImputeMissingAttributes(graph_, config_.missing_attrs);
+    if (!imputed.ok()) return imputed.status();
+    features_ = std::move(imputed).ValueOrDie();
+    data_fingerprint_ = AttrMaskFingerprint(graph_);
+  } else {
+    features_ = IdentityFeatures(graph_.num_nodes());
+    data_fingerprint_ = 0;
+  }
 
   // --- Structural contexts (Sec. 3.1).
   RandomWalkConfig walk_cfg;
@@ -458,6 +470,7 @@ Status CoaneModel::SaveCheckpoint(const std::string& path,
   ckpt.epochs_done = epochs_done_;
   ckpt.learning_rate = optimizer_.config().learning_rate;
   ckpt.config_fingerprint = ConfigFingerprint(config_);
+  ckpt.data_fingerprint = data_fingerprint_;
   ckpt.has_decoder = decoder_ != nullptr;
   ckpt.rng_state = rng_.SerializeState();
   AppendEncoderWeights(&ckpt.encoder_blob, *encoder_);
@@ -483,6 +496,15 @@ Status CoaneModel::LoadCheckpoint(const std::string& path) {
     return Status::FailedPrecondition(
         "checkpoint " + path +
         " was written under a different configuration");
+  }
+  // A recorded 0 means "pre-field file / complete data" and is accepted;
+  // any other value must match this model's mask exactly — resuming
+  // against differently-degraded data would train on different features.
+  if (ckpt.data_fingerprint != 0 &&
+      ckpt.data_fingerprint != data_fingerprint_) {
+    return Status::FailedPrecondition(
+        "checkpoint " + path +
+        " was written against differently-masked attribute data");
   }
   if (ckpt.has_decoder != (decoder_ != nullptr)) {
     return Status::DataLoss("decoder presence mismatch in " + path);
@@ -526,6 +548,11 @@ Status CoaneModel::ApplyAveragedState(const TrainingCheckpoint& merged) {
   }
   if (merged.has_decoder != (decoder_ != nullptr)) {
     return Status::DataLoss("decoder presence mismatch in merged state");
+  }
+  if (merged.data_fingerprint != 0 &&
+      merged.data_fingerprint != data_fingerprint_) {
+    return Status::FailedPrecondition(
+        "merged state was averaged over differently-masked attribute data");
   }
   if (merged.epochs_done != epochs_done_) {
     return Status::FailedPrecondition(

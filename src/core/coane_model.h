@@ -110,9 +110,15 @@ class CoaneModel {
   const ContextSet& contexts() const { return *contexts_; }
   const CooccurrenceMatrices& cooccurrence() const { return cooccurrence_; }
   const ContextEncoder& encoder() const { return *encoder_; }
-  /// Feature matrix actually used (graph attributes, or one-hot identity in
-  /// the WF ablation).
+  /// Feature matrix actually used (graph attributes — imputed under
+  /// config.missing_attrs when the graph carries an observation mask — or
+  /// one-hot identity in the WF ablation).
   const SparseMatrix& features() const { return features_; }
+
+  /// AttrMaskFingerprint of the training graph (0 = complete data or the
+  /// WF ablation). Baked into every checkpoint this model writes, checked
+  /// on every checkpoint it consumes. Valid after Preprocess().
+  uint64_t data_fingerprint() const { return data_fingerprint_; }
 
   const CoaneConfig& config() const { return config_; }
 
@@ -139,6 +145,7 @@ class CoaneModel {
   Rng rng_;
   bool preprocessed_ = false;
   int epochs_done_ = 0;
+  uint64_t data_fingerprint_ = 0;
 
   SparseMatrix features_;
   std::unique_ptr<ContextSet> contexts_;

@@ -184,11 +184,17 @@ Result<TrainingCheckpoint> AverageCheckpoints(
     if (shards[k]->has_decoder != first.has_decoder) {
       return Status::DataLoss("decoder presence differs across shards");
     }
+    if (shards[k]->data_fingerprint != first.data_fingerprint) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(k) +
+          " trained against differently-masked attribute data");
+    }
   }
 
   TrainingCheckpoint merged;
   merged.epochs_done = first.epochs_done;
   merged.config_fingerprint = merged_fingerprint;
+  merged.data_fingerprint = first.data_fingerprint;
   merged.has_decoder = first.has_decoder;
   merged.rng_state.clear();  // parameter artifact, not a resumable state
 

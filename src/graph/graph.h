@@ -30,6 +30,18 @@ struct NeighborEntry {
   float weight;
 };
 
+/// One explicitly-missing attribute cell: node `node` has no observation
+/// for attribute `col` (as opposed to an observed zero). Produced by the
+/// loader for `nan` / empty-trailing-cell attribute entries.
+struct MissingAttrCell {
+  NodeId node = 0;
+  int64_t col = 0;
+};
+
+inline bool operator==(const MissingAttrCell& a, const MissingAttrCell& b) {
+  return a.node == b.node && a.col == b.col;
+}
+
 /// An immutable attributed network G = (V, E, X): weighted undirected CSR
 /// adjacency, a sparse node-attribute matrix X (n x d), and optional class
 /// labels. Instances are created through GraphBuilder. Copyable value type.
@@ -70,6 +82,43 @@ class Graph {
   /// Sparse n x d attribute matrix X. Empty (0 cols) if not set.
   const SparseMatrix& attributes() const { return attributes_; }
 
+  /// Per-node attribute observation flags (1 = the node's attribute row was
+  /// observed, 0 = the whole row is missing). Empty means every node is
+  /// observed — the representation of a complete network, and what every
+  /// pre-mask workflow sees.
+  const std::vector<uint8_t>& attr_observed() const { return attr_observed_; }
+
+  /// True when node v's attribute row was observed (always true for graphs
+  /// without a mask).
+  bool AttrObserved(NodeId v) const {
+    return attr_observed_.empty() ||
+           attr_observed_[static_cast<size_t>(v)] != 0;
+  }
+
+  /// Explicitly-missing cells of otherwise-observed nodes, sorted by
+  /// (node, col) and deduplicated. Cells of fully-unobserved nodes are not
+  /// expanded here — the node mask already covers them.
+  const std::vector<MissingAttrCell>& missing_attr_cells() const {
+    return missing_attr_cells_;
+  }
+
+  /// True when any attribute observation is missing (a node or a cell).
+  /// Complete graphs answer false and skip the imputation stage entirely.
+  bool has_missing_attrs() const {
+    if (!missing_attr_cells_.empty()) return true;
+    for (const uint8_t o : attr_observed_) {
+      if (o == 0) return true;
+    }
+    return false;
+  }
+
+  /// Number of nodes whose whole attribute row is unobserved.
+  int64_t num_unobserved_nodes() const {
+    int64_t count = 0;
+    for (const uint8_t o : attr_observed_) count += (o == 0) ? 1 : 0;
+    return count;
+  }
+
   /// Class label per node in [0, num_classes); empty if unlabeled.
   const std::vector<int32_t>& labels() const { return labels_; }
 
@@ -89,6 +138,8 @@ class Graph {
   std::vector<int64_t> adj_ptr_;       // size num_nodes_ + 1
   std::vector<NeighborEntry> adj_;     // both directions, sorted per row
   SparseMatrix attributes_;
+  std::vector<uint8_t> attr_observed_;            // empty = all observed
+  std::vector<MissingAttrCell> missing_attr_cells_;  // sorted, deduped
   std::vector<int32_t> labels_;
 };
 

@@ -21,6 +21,17 @@ GraphBuilder& GraphBuilder::SetAttributes(SparseMatrix attributes) {
   return *this;
 }
 
+GraphBuilder& GraphBuilder::SetAttrObserved(std::vector<uint8_t> observed) {
+  attr_observed_ = std::move(observed);
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::SetMissingAttrCells(
+    std::vector<MissingAttrCell> cells) {
+  missing_attr_cells_ = std::move(cells);
+  return *this;
+}
+
 GraphBuilder& GraphBuilder::SetLabels(std::vector<int32_t> labels) {
   labels_ = std::move(labels);
   return *this;
@@ -53,6 +64,32 @@ Result<Graph> GraphBuilder::Build() && {
   if (!labels_.empty() &&
       static_cast<int64_t>(labels_.size()) != num_nodes_) {
     return Status::InvalidArgument("labels size mismatch");
+  }
+  if (!attr_observed_.empty()) {
+    if (!has_attributes_) {
+      return Status::InvalidArgument(
+          "attribute observation mask without an attribute matrix");
+    }
+    if (static_cast<int64_t>(attr_observed_.size()) != num_nodes_) {
+      return Status::InvalidArgument(
+          "observation mask has " + std::to_string(attr_observed_.size()) +
+          " entries but the graph has " + std::to_string(num_nodes_) +
+          " nodes");
+    }
+  }
+  if (!missing_attr_cells_.empty() && !has_attributes_) {
+    return Status::InvalidArgument(
+        "missing attribute cells without an attribute matrix");
+  }
+  for (const MissingAttrCell& c : missing_attr_cells_) {
+    if (c.node < 0 || c.node >= num_nodes_) {
+      return Status::OutOfRange("missing-cell node " +
+                                std::to_string(c.node) + " out of range");
+    }
+    if (c.col < 0 || c.col >= attributes_.cols()) {
+      return Status::OutOfRange("missing-cell column " +
+                                std::to_string(c.col) + " out of range");
+    }
   }
   int num_classes = 0;
   for (int32_t l : labels_) {
@@ -101,6 +138,28 @@ Result<Graph> GraphBuilder::Build() && {
   } else {
     g.attributes_ = SparseMatrix::FromTriplets(num_nodes_, 0, {});
   }
+  // Canonicalize the mask: cells sorted/deduplicated, and cells of fully
+  // unobserved nodes folded into the node mask (the row is already
+  // missing; keeping its cells would double-count).
+  std::sort(missing_attr_cells_.begin(), missing_attr_cells_.end(),
+            [](const MissingAttrCell& a, const MissingAttrCell& b) {
+              return a.node != b.node ? a.node < b.node : a.col < b.col;
+            });
+  missing_attr_cells_.erase(
+      std::unique(missing_attr_cells_.begin(), missing_attr_cells_.end()),
+      missing_attr_cells_.end());
+  if (!attr_observed_.empty()) {
+    std::vector<MissingAttrCell> kept;
+    kept.reserve(missing_attr_cells_.size());
+    for (const MissingAttrCell& c : missing_attr_cells_) {
+      if (attr_observed_[static_cast<size_t>(c.node)] != 0) {
+        kept.push_back(c);
+      }
+    }
+    missing_attr_cells_ = std::move(kept);
+  }
+  g.attr_observed_ = std::move(attr_observed_);
+  g.missing_attr_cells_ = std::move(missing_attr_cells_);
   g.labels_ = std::move(labels_);
   return g;
 }

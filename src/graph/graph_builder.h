@@ -30,6 +30,15 @@ class GraphBuilder {
   /// Attaches the n x d attribute matrix (row i = node i's attributes).
   GraphBuilder& SetAttributes(SparseMatrix attributes);
 
+  /// Attaches the per-node attribute observation mask (1 = observed). An
+  /// empty vector means fully observed. Requires SetAttributes; the size
+  /// must match the node count (validated at Build).
+  GraphBuilder& SetAttrObserved(std::vector<uint8_t> observed);
+
+  /// Attaches the explicitly-missing cells of partially-observed nodes.
+  /// Build sorts by (node, col), deduplicates, and validates ranges.
+  GraphBuilder& SetMissingAttrCells(std::vector<MissingAttrCell> cells);
+
   /// Attaches per-node class labels; values must be in [0, k) for some k.
   GraphBuilder& SetLabels(std::vector<int32_t> labels);
 
@@ -42,6 +51,8 @@ class GraphBuilder {
   std::vector<Edge> edges_;
   SparseMatrix attributes_;
   bool has_attributes_ = false;
+  std::vector<uint8_t> attr_observed_;
+  std::vector<MissingAttrCell> missing_attr_cells_;
   std::vector<int32_t> labels_;
 };
 

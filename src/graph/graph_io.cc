@@ -199,6 +199,15 @@ std::string LoadSummary::ToString() const {
   if (attributes_loaded > 0) out << ", " << attributes_loaded << " attributes";
   if (labels_loaded > 0) out << ", " << labels_loaded << " labels";
   if (duplicate_edges > 0) out << "; " << duplicate_edges << " duplicate edge(s) merged";
+  if (duplicate_attributes > 0) {
+    out << "; " << duplicate_attributes << " duplicate attribute(s) merged";
+  }
+  if (missing_attr_cells > 0 || nodes_missing_attrs > 0 ||
+      injected_attr_drops > 0) {
+    out << "; missing attrs (cells " << missing_attr_cells << ", nodes "
+        << nodes_missing_attrs << ", injected drops " << injected_attr_drops
+        << ")";
+  }
   if (quarantined_lines > 0) {
     out << "; quarantined " << quarantined_lines << " line(s)"
         << " (bad tokens " << bad_tokens
@@ -346,11 +355,20 @@ Result<Graph> LoadAttributedGraph(const std::string& edges_path,
   GraphBuilder builder(resolved_nodes);
   builder.AddEdges(edges);
 
-  // --- Attributes.
+  // --- Attributes. Missing observations are first-class data here: a
+  // `nan` value or an empty trailing cell ("node index" with no value)
+  // records a masked cell instead of quarantining the line, and a node
+  // that never appears gets an unobserved mask row. Only *corrupt* values
+  // (inf, unparsable tokens) go through the bad-line policy.
   if (!attributes_path.empty()) {
     LineScanner scanner;
     COANE_RETURN_IF_ERROR(scanner.Open(attributes_path, options));
     std::vector<SparseMatrix::Triplet> triplets;
+    // Cell keys are (node << 32 | col); attribute indices are capped far
+    // below 2^32 in practice so the packing is collision-free.
+    std::unordered_set<uint64_t> value_cells;
+    std::unordered_set<uint64_t> marker_cells;
+    std::vector<uint8_t> node_in_file(static_cast<size_t>(resolved_nodes), 0);
     int64_t max_attr = -1;
     std::vector<Token> row;
     int64_t line = 0;
@@ -359,10 +377,11 @@ Result<Graph> LoadAttributedGraph(const std::string& edges_path,
       if (summary->lines_parsed % kLinesPerContextCheck == 0) {
         COANE_RETURN_IF_STOPPED(options.run_context, "graph_io.load");
       }
-      if (row.size() != 3) {
+      if (row.size() != 3 && row.size() != 2) {
         COANE_RETURN_IF_ERROR(diag.Flag(
             scanner.path(), line, row.empty() ? 1 : row[0].column,
-            "attribute line needs 'node index value', got " +
+            "attribute line needs 'node index value' (or 'node index' for "
+            "a missing cell), got " +
                 std::to_string(row.size()) + " field(s)",
             &LoadSummary::bad_tokens));
         continue;
@@ -394,30 +413,100 @@ Result<Graph> LoadAttributedGraph(const std::string& edges_path,
             &LoadSummary::attr_dim_mismatches, StatusCode::kOutOfRange));
         continue;
       }
+      bool is_missing = row.size() == 2;  // empty trailing cell
       double value = 0.0;
-      bool finite = false;
-      if (!ParseDouble(row[2].text, &value, &finite)) {
-        COANE_RETURN_IF_ERROR(diag.Flag(scanner.path(), line, row[2].column,
-                                        "bad attribute value '" +
-                                            row[2].text + "'",
-                                        &LoadSummary::bad_tokens));
-        continue;
+      if (!is_missing) {
+        bool finite = false;
+        if (!ParseDouble(row[2].text, &value, &finite)) {
+          COANE_RETURN_IF_ERROR(diag.Flag(scanner.path(), line,
+                                          row[2].column,
+                                          "bad attribute value '" +
+                                              row[2].text + "'",
+                                          &LoadSummary::bad_tokens));
+          continue;
+        }
+        if (!finite) {
+          if (std::isnan(value)) {
+            // An explicit "this observation is missing" marker.
+            is_missing = true;
+          } else {
+            // inf / overflow: corruption, not missingness.
+            COANE_RETURN_IF_ERROR(
+                diag.Flag(scanner.path(), line, row[2].column,
+                          "non-finite attribute value '" + row[2].text + "'",
+                          &LoadSummary::non_finite_values));
+            continue;
+          }
+        }
       }
-      if (!finite) {
-        COANE_RETURN_IF_ERROR(
-            diag.Flag(scanner.path(), line, row[2].column,
-                      "non-finite attribute value '" + row[2].text + "'",
-                      &LoadSummary::non_finite_values));
-        continue;
-      }
+      const uint64_t key = (static_cast<uint64_t>(node) << 32) |
+                           (static_cast<uint64_t>(attr) & 0xFFFFFFFFULL);
+      node_in_file[static_cast<size_t>(node)] = 1;
       max_attr = std::max(max_attr, attr);
+      if (is_missing) {
+        // A value for the same cell wins over a missing marker, in either
+        // order; the contradiction is counted as a duplicate.
+        if (value_cells.count(key) != 0 || !marker_cells.insert(key).second) {
+          ++summary->duplicate_attributes;
+          continue;
+        }
+        ++summary->missing_attr_cells;
+        continue;
+      }
+      if (value_cells.count(key) != 0 || marker_cells.count(key) != 0) {
+        ++summary->duplicate_attributes;
+      }
+      value_cells.insert(key);
       triplets.push_back({node, attr, static_cast<float>(value)});
       ++summary->attributes_loaded;
     }
     const int64_t resolved_attrs =
         std::max(options.num_attributes, max_attr + 1);
-    builder.SetAttributes(SparseMatrix::FromTriplets(
-        resolved_nodes, resolved_attrs, std::move(triplets)));
+    if (resolved_attrs > 0) {
+      // Node-level mask: a node the attribute file never mentions has an
+      // unobserved row. The deterministic attr-drop fault (rate-armed,
+      // keyed by node id — see fault::ArmRate) masks further rows here,
+      // before imputation ever sees them.
+      std::vector<uint8_t> observed(static_cast<size_t>(resolved_nodes), 1);
+      std::vector<uint8_t> dropped(static_cast<size_t>(resolved_nodes), 0);
+      for (int64_t v = 0; v < resolved_nodes; ++v) {
+        if (node_in_file[static_cast<size_t>(v)] == 0) {
+          observed[static_cast<size_t>(v)] = 0;
+          ++summary->nodes_missing_attrs;
+        }
+      }
+      for (int64_t v = 0; v < resolved_nodes; ++v) {
+        if (observed[static_cast<size_t>(v)] != 0 &&
+            fault::ShouldDrop("graph.attr_drop", static_cast<uint64_t>(v))) {
+          observed[static_cast<size_t>(v)] = 0;
+          dropped[static_cast<size_t>(v)] = 1;
+          ++summary->injected_attr_drops;
+        }
+      }
+      if (summary->injected_attr_drops > 0) {
+        std::vector<SparseMatrix::Triplet> kept;
+        kept.reserve(triplets.size());
+        for (const SparseMatrix::Triplet& t : triplets) {
+          if (dropped[static_cast<size_t>(t.row)] == 0) kept.push_back(t);
+        }
+        triplets = std::move(kept);
+      }
+      std::vector<MissingAttrCell> cells;
+      cells.reserve(marker_cells.size());
+      for (const uint64_t key : marker_cells) {
+        const auto node = static_cast<NodeId>(key >> 32);
+        if (value_cells.count(key) != 0) continue;  // value won later
+        if (dropped[static_cast<size_t>(node)] != 0) continue;
+        cells.push_back({node, static_cast<int64_t>(key & 0xFFFFFFFFULL)});
+      }
+      builder.SetAttributes(SparseMatrix::FromTriplets(
+          resolved_nodes, resolved_attrs, std::move(triplets)));
+      builder.SetAttrObserved(std::move(observed));
+      builder.SetMissingAttrCells(std::move(cells));
+    } else {
+      builder.SetAttributes(SparseMatrix::FromTriplets(
+          resolved_nodes, resolved_attrs, std::move(triplets)));
+    }
   }
 
   // --- Labels.

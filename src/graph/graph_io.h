@@ -62,6 +62,14 @@ struct LoadSummary {
   int64_t attributes_loaded = 0; ///< attribute triplets accepted
   int64_t labels_loaded = 0;     ///< label lines accepted
   int64_t duplicate_edges = 0;   ///< repeated {u,v} lines (weights summed)
+  int64_t duplicate_attributes = 0; ///< repeated (node, attr) entries (summed)
+
+  /// Degraded-input accounting: *missing* data is recognized, not
+  /// rejected — these lines load (into the observation mask) in both
+  /// strict and lenient mode and are never quarantined.
+  int64_t missing_attr_cells = 0;  ///< explicit "nan" / empty-cell entries
+  int64_t nodes_missing_attrs = 0; ///< nodes absent from the attribute file
+  int64_t injected_attr_drops = 0; ///< rows dropped by graph.attr_drop
 
   int64_t quarantined_lines = 0; ///< lenient mode: lines dropped
   int64_t bad_tokens = 0;        ///< unparsable fields / wrong field count
@@ -94,8 +102,18 @@ Result<Graph> LoadAttributedGraph(const std::string& edges_path,
 
 /// Hardened variant: validates every line against `options`, returning
 /// file:line:column diagnostics (strict) or quarantining bad lines into
-/// `summary` (lenient). `summary` may be null. Fault point:
-/// "graph_io.load" (fires per file opened).
+/// `summary` (lenient). `summary` may be null. Fault points:
+/// "graph_io.load" (fires per file opened) and "graph.attr_drop" (rate
+/// fault keyed by node id; drops whole attribute rows into the mask —
+/// see fault::ArmRate).
+///
+/// Missing attributes are data, not errors, in *both* policies: a
+/// 3-field line whose value is `nan` and a 2-field "node index" line
+/// (empty trailing cell) record a masked cell; a node that never appears
+/// in the attribute file gets an unobserved row in the mask. `inf`
+/// remains a quarantinable non-finite value — corruption, not
+/// missingness. The mask lands in Graph::attr_observed() /
+/// Graph::missing_attr_cells() and the counters above.
 Result<Graph> LoadAttributedGraph(const std::string& edges_path,
                                   const std::string& attributes_path,
                                   const std::string& labels_path,

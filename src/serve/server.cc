@@ -187,6 +187,7 @@ std::string Server::HandleLine(const std::string& line) {
            " metric=" + MetricName(snapshot->index->metric()) +
            " index=" + snapshot->index->name() +
            " seq=" + std::to_string(snapshot->sequence) +
+           " missing_attrs=" + MissingAttrPolicyName(options_.missing_attrs) +
            " source=" + snapshot->source_path;
   }
 

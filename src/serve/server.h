@@ -9,6 +9,7 @@
 #include "common/latency_histogram.h"
 #include "common/run_context.h"
 #include "common/status.h"
+#include "graph/attr_impute.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
 
@@ -49,6 +50,13 @@ struct ServerOptions {
   /// External cancel token (the tool wires the SIGINT token here);
   /// nullptr disables. Must outlive the server.
   const std::atomic<bool>* cancel_flag = nullptr;
+  /// Provenance of the served artifact: the imputation policy the
+  /// upstream trainer ran with (coane_serve --missing-attrs, default
+  /// zero). Purely descriptive at serve time — embeddings are already
+  /// materialized — but surfaced in the "INFO" reply so clients of a
+  /// degraded-input model can tell which policy produced what they are
+  /// querying.
+  MissingAttrPolicy missing_attrs = MissingAttrPolicy::kZero;
 };
 
 /// The transport-independent core of `coane_serve`: parses one

@@ -73,7 +73,7 @@ class CoordinatorChaosTest : public ::testing::Test {
     fault::Reset();
     ::unsetenv("COANE_HANG_SEC");
     if (!root_.empty()) {
-      std::system(("rm -rf " + root_).c_str());
+      ASSERT_TRUE(RemoveTree(root_).ok());
     }
   }
 

@@ -17,6 +17,8 @@
 #include <iterator>
 #include <string>
 
+#include "common/atomic_file.h"
+
 namespace coane {
 namespace {
 
@@ -54,7 +56,7 @@ class DistE2eTest : public ::testing::Test {
   }
 
   void TearDown() override {
-    if (!dir_.empty()) RunShell("rm -rf " + dir_);
+    if (!dir_.empty()) ASSERT_TRUE(RemoveTree(dir_).ok());
   }
 
   // Shared hyperparameters: small enough for fast worker processes,

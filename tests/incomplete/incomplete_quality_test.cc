@@ -1,0 +1,110 @@
+// The missing-rate quality sweep on the fast substrate: degraded inputs
+// must stay inside their calibrated per-rate metric tolerances, and at
+// the pinned rate the pipeline must stay bit-identical across thread
+// counts, kill+resume, and the single-shard coordinator path. This test
+// runs the same machinery `bench_incomplete` publishes, trimmed to two
+// rates so the ctest tier stays sanitizer-friendly.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/atomic_file.h"
+#include "quality/missing_sweep.h"
+
+namespace coane {
+namespace quality {
+namespace {
+
+TEST(IncompleteQualityTest, SweepRatesMustStartAtZero) {
+  MissingSweepOptions options;
+  options.rates = {0.1, 0.3};
+  options.determinism_rate = -1.0;
+  auto report = RunMissingRateSweep(options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+
+  options.rates = {};
+  report = RunMissingRateSweep(options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IncompleteQualityTest, DeterminismRateMustBeASweptRate) {
+  MissingSweepOptions options;
+  options.rates = {0.0, 0.1};
+  options.determinism_rate = 0.3;  // not swept
+  auto report = RunMissingRateSweep(options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IncompleteQualityTest, FastSweepPassesGatesAndStaysDeterministic) {
+  char tmpl[] = "/tmp/coane_incomplete_sweep_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+
+  // Two rates (reference + one degraded) keep the tier fast; the full
+  // four-point curve is the bench's job.
+  MissingSweepOptions options;
+  options.full = false;
+  options.seed = 42;
+  options.work_dir = dir + "/work";
+  options.rates = {0.0, 0.3};
+  options.determinism_rate = 0.3;
+  options.policy = MissingAttrPolicy::kNeighbor;
+
+  auto report = RunMissingRateSweep(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const MissingSweepReport& r = report.value();
+
+  EXPECT_TRUE(r.all_pass);
+  ASSERT_EQ(r.rates.size(), 2u);
+
+  // Reference row: complete data, no mask, no gate failures.
+  const MissingRateReport& ref = r.rates[0];
+  EXPECT_EQ(ref.rate, 0.0);
+  EXPECT_EQ(ref.dropped_nodes, 0);
+  EXPECT_EQ(ref.mask_fingerprint, 0u);
+  EXPECT_EQ(ref.impute.filled_entries, 0);
+
+  // Degraded row: a real mask, imputation did work, metrics inside the
+  // calibrated envelope.
+  const MissingRateReport& deg = r.rates[1];
+  EXPECT_EQ(deg.rate, 0.3);
+  EXPECT_GT(deg.dropped_nodes, 0);
+  EXPECT_NE(deg.mask_fingerprint, 0u);
+  EXPECT_GT(deg.impute.unobserved_nodes, 0);
+  EXPECT_GT(deg.impute.filled_entries, 0);
+  EXPECT_TRUE(deg.verdict.pass) << [&] {
+    std::string all;
+    for (const auto& f : deg.verdict.failures) all += f + "; ";
+    return all;
+  }();
+
+  // Determinism block: threads8 / resume / shards1, all bit-identical to
+  // the degraded row's artifacts.
+  ASSERT_EQ(r.determinism.size(), 3u);
+  for (const auto& det : r.determinism) {
+    EXPECT_TRUE(det.verdict.pass) << det.spec.name;
+    EXPECT_EQ(det.spec.gate, GateClass::kBitIdentical);
+  }
+
+  // The JSON artifact carries the curve the CI job uploads.
+  const std::string json_path = dir + "/BENCH_incomplete.json";
+  ASSERT_TRUE(WriteMissingSweepJson(r, json_path).ok());
+  auto json = ReadFileToString(json_path);
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json.value().find("\"bench\": \"incomplete\""),
+            std::string::npos);
+  EXPECT_NE(json.value().find("\"all_pass\": true"), std::string::npos);
+  EXPECT_NE(json.value().find("\"determinism\""), std::string::npos);
+  EXPECT_NE(json.value().find("\"policy\": \"neighbor\""), std::string::npos);
+
+  ASSERT_TRUE(RemoveTree(dir).ok());
+}
+
+}  // namespace
+}  // namespace quality
+}  // namespace coane

@@ -1,0 +1,221 @@
+// Degraded-input loader semantics: missing attribute observations are
+// DATA, not errors — recognized identically in strict and lenient mode,
+// recorded in the observation mask with exact LoadSummary counters —
+// while genuine corruption (inf, missing columns) keeps its error path.
+// Also covers the deterministic `graph.attr_drop` rate fault and its
+// parity with the in-memory WithDroppedAttributes degrader.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/fault_injection.h"
+#include "graph/attr_impute.h"
+#include "graph/graph_io.h"
+
+namespace coane {
+namespace {
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+}
+
+class LoaderMissingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::Reset();
+    // Four nodes on a path; every test supplies its own attribute file.
+    WriteFile(edges_, "0 1\n1 2\n2 3\n");
+  }
+  void TearDown() override {
+    fault::Reset();
+    std::remove(edges_.c_str());
+    std::remove(attrs_.c_str());
+  }
+
+  const std::string edges_ = "/tmp/coane_missing.edges";
+  const std::string attrs_ = "/tmp/coane_missing.attrs";
+};
+
+TEST_F(LoaderMissingTest, NanValueIsAMissingCellEvenInStrictMode) {
+  WriteFile(attrs_, "0 0 1.0\n1 1 nan\n2 0 0.5\n3 1 2.0\n");
+  LoadOptions strict;  // default policy: strict
+  LoadSummary summary;
+  auto g = LoadAttributedGraph(edges_, attrs_, "", strict, &summary);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+
+  EXPECT_EQ(summary.missing_attr_cells, 1);
+  EXPECT_EQ(summary.attributes_loaded, 3);
+  EXPECT_EQ(summary.quarantined_lines, 0);
+  ASSERT_EQ(g.value().missing_attr_cells().size(), 1u);
+  EXPECT_EQ(g.value().missing_attr_cells()[0], (MissingAttrCell{1, 1}));
+  // A masked cell stores nothing; the node itself stays observed.
+  EXPECT_EQ(g.value().attributes().At(1, 1), 0.0f);
+  EXPECT_TRUE(g.value().AttrObserved(1));
+  EXPECT_TRUE(g.value().has_missing_attrs());
+}
+
+TEST_F(LoaderMissingTest, EmptyTrailingCellIsMissingButMissingColumnIsBad) {
+  // "1 1" lost only its value cell -> masked observation. "2" lost its
+  // attribute index too -> structurally broken line.
+  WriteFile(attrs_, "0 0 1.0\n1 1\n2\n");
+
+  LoadOptions strict;
+  auto rejected = LoadAttributedGraph(edges_, attrs_, "", strict);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find(attrs_ + ":3:"),
+            std::string::npos)
+      << rejected.status().ToString();
+
+  LoadOptions lenient;
+  lenient.bad_line_policy = BadLinePolicy::kSkip;
+  LoadSummary summary;
+  auto g = LoadAttributedGraph(edges_, attrs_, "", lenient, &summary);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(summary.attributes_loaded, 1);
+  EXPECT_EQ(summary.missing_attr_cells, 1);
+  EXPECT_EQ(summary.quarantined_lines, 1);
+  EXPECT_EQ(summary.bad_tokens, 1);
+  ASSERT_EQ(g.value().missing_attr_cells().size(), 1u);
+  EXPECT_EQ(g.value().missing_attr_cells()[0], (MissingAttrCell{1, 1}));
+}
+
+TEST_F(LoaderMissingTest, InfStaysCorruptWhileNanIsData) {
+  WriteFile(attrs_, "0 0 inf\n");
+  LoadOptions strict;
+  auto rejected = LoadAttributedGraph(edges_, attrs_, "", strict);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+
+  WriteFile(attrs_, "0 0 inf\n0 1 nan\n1 0 1.0\n");
+  LoadOptions lenient;
+  lenient.bad_line_policy = BadLinePolicy::kSkip;
+  LoadSummary summary;
+  auto g = LoadAttributedGraph(edges_, attrs_, "", lenient, &summary);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(summary.non_finite_values, 1);
+  EXPECT_EQ(summary.quarantined_lines, 1);
+  EXPECT_EQ(summary.missing_attr_cells, 1);
+  EXPECT_EQ(summary.attributes_loaded, 1);
+}
+
+TEST_F(LoaderMissingTest, NodeAbsentFromAttributeFileIsUnobserved) {
+  // Nodes 1 and 3 appear in the edge list but never in the attribute
+  // file: their whole rows are unobserved, not observed-as-zero.
+  WriteFile(attrs_, "0 0 1.0\n2 1 0.5\n");
+  LoadOptions strict;
+  LoadSummary summary;
+  auto g = LoadAttributedGraph(edges_, attrs_, "", strict, &summary);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+
+  EXPECT_EQ(summary.nodes_missing_attrs, 2);
+  EXPECT_EQ(summary.missing_attr_cells, 0);
+  EXPECT_EQ(g.value().num_unobserved_nodes(), 2);
+  EXPECT_TRUE(g.value().AttrObserved(0));
+  EXPECT_FALSE(g.value().AttrObserved(1));
+  EXPECT_TRUE(g.value().AttrObserved(2));
+  EXPECT_FALSE(g.value().AttrObserved(3));
+  EXPECT_TRUE(g.value().has_missing_attrs());
+}
+
+TEST_F(LoaderMissingTest, DuplicateAttributeLinesAreSummedAndCounted) {
+  WriteFile(attrs_, "0 0 1.0\n0 0 2.0\n1 1 4.0\n");
+  LoadOptions strict;
+  LoadSummary summary;
+  auto g = LoadAttributedGraph(edges_, attrs_, "", strict, &summary);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+
+  EXPECT_EQ(summary.duplicate_attributes, 1);
+  EXPECT_EQ(summary.attributes_loaded, 3);
+  // Same convention as duplicate edges: the repeated cell's values sum.
+  EXPECT_EQ(g.value().attributes().At(0, 0), 3.0f);
+}
+
+TEST_F(LoaderMissingTest, ValueWinsOverMissingMarkerInEitherOrder) {
+  // Cell (0,0): marker first, then a value. Cell (1,1): value first,
+  // then a marker. Both contradictions resolve to the value and count as
+  // duplicates; neither cell ends up masked.
+  WriteFile(attrs_, "0 0 nan\n0 0 5.0\n1 1 5.0\n1 1 nan\n");
+  LoadOptions strict;
+  LoadSummary summary;
+  auto g = LoadAttributedGraph(edges_, attrs_, "", strict, &summary);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+
+  EXPECT_TRUE(g.value().missing_attr_cells().empty());
+  EXPECT_EQ(g.value().attributes().At(0, 0), 5.0f);
+  EXPECT_EQ(g.value().attributes().At(1, 1), 5.0f);
+  EXPECT_EQ(summary.duplicate_attributes, 2);
+  // Only the marker that was accepted before being overridden was
+  // counted; the late marker of (1,1) was a duplicate from the start.
+  EXPECT_EQ(summary.missing_attr_cells, 1);
+}
+
+TEST_F(LoaderMissingTest, AttrDropFaultMasksRowsDeterministically) {
+  WriteFile(attrs_, "0 0 1.0\n1 0 2.0\n2 0 3.0\n3 0 4.0\n");
+  const double rate = 0.5;
+  const uint64_t seed = 7;
+
+  fault::ArmRate("graph.attr_drop", rate, seed);
+  LoadOptions strict;
+  LoadSummary summary;
+  auto g = LoadAttributedGraph(edges_, attrs_, "", strict, &summary);
+  fault::Reset();
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+
+  int64_t expected_drops = 0;
+  for (NodeId v = 0; v < 4; ++v) {
+    const bool dropped = fault::RateDecision(rate, seed, v);
+    expected_drops += dropped ? 1 : 0;
+    EXPECT_EQ(g.value().AttrObserved(v), !dropped) << "node " << v;
+    if (dropped) {
+      // A dropped row's stored values are gone, not kept behind the mask.
+      EXPECT_EQ(g.value().attributes().RowNnz(v), 0) << "node " << v;
+    }
+  }
+  ASSERT_GT(expected_drops, 0) << "seed must drop at least one of 4 nodes";
+  ASSERT_LT(expected_drops, 4) << "seed must keep at least one of 4 nodes";
+  EXPECT_EQ(summary.injected_attr_drops, expected_drops);
+  EXPECT_EQ(summary.nodes_missing_attrs, 0);
+
+  // The same (rate, seed) through the in-memory degrader produces the
+  // same mask — the parity the quality harness' sweep depends on.
+  auto clean = LoadAttributedGraph(edges_, attrs_, "", strict);
+  ASSERT_TRUE(clean.ok());
+  auto degraded = WithDroppedAttributes(clean.value(), rate, seed);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(degraded.value().attr_observed(), g.value().attr_observed());
+  EXPECT_EQ(AttrMaskFingerprint(degraded.value()),
+            AttrMaskFingerprint(g.value()));
+}
+
+TEST_F(LoaderMissingTest, AttrDropArmsFromEnvSpec) {
+  WriteFile(attrs_, "0 0 1.0\n1 0 2.0\n2 0 3.0\n3 0 4.0\n");
+  ASSERT_TRUE(fault::ArmFromEnv("graph.attr_drop@p0.5s7").ok());
+  LoadOptions strict;
+  LoadSummary summary;
+  auto g = LoadAttributedGraph(edges_, attrs_, "", strict, &summary);
+  fault::Reset();
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+
+  int64_t expected_drops = 0;
+  for (NodeId v = 0; v < 4; ++v) {
+    expected_drops += fault::RateDecision(0.5, 7, v) ? 1 : 0;
+  }
+  EXPECT_EQ(summary.injected_attr_drops, expected_drops);
+  EXPECT_EQ(g.value().num_unobserved_nodes(), expected_drops);
+}
+
+TEST_F(LoaderMissingTest, BadRateSpecsAreRejected) {
+  EXPECT_FALSE(fault::ArmFromEnv("graph.attr_drop@p1.5").ok());
+  EXPECT_FALSE(fault::ArmFromEnv("graph.attr_drop@p-0.1").ok());
+  EXPECT_FALSE(fault::ArmFromEnv("graph.attr_drop@pabc").ok());
+  EXPECT_FALSE(fault::ArmFromEnv("graph.attr_drop@p0.3sxyz").ok());
+  fault::Reset();
+}
+
+}  // namespace
+}  // namespace coane

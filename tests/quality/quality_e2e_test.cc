@@ -19,6 +19,8 @@
 #include <iterator>
 #include <string>
 
+#include "common/atomic_file.h"
+
 namespace coane {
 namespace {
 
@@ -71,7 +73,7 @@ TEST(QualityE2eTest, SupervisorResumedRunMatchesBaselineBytes) {
   EXPECT_NE(json.find("\"name\": \"e2e-supervisor-resume\""),
             std::string::npos);
 
-  RunShell("rm -rf " + dir);
+  ASSERT_TRUE(RemoveTree(dir).ok());
 }
 
 }  // namespace

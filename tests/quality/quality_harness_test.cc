@@ -30,7 +30,7 @@ class QualityHarnessTest : public ::testing::Test {
   }
   void TearDown() override {
     if (!dir_.empty()) {
-      std::system(("rm -rf " + dir_).c_str());
+      ASSERT_TRUE(RemoveTree(dir_).ok());
     }
   }
   std::string dir_;

@@ -20,6 +20,8 @@
 #include <iterator>
 #include <string>
 
+#include "common/atomic_file.h"
+
 namespace coane {
 namespace {
 
@@ -74,7 +76,7 @@ class SupervisorTest : public ::testing::Test {
 
   void TearDown() override {
     if (!dir_.empty()) {
-      RunShell("rm -rf " + dir_);
+      ASSERT_TRUE(RemoveTree(dir_).ok());
     }
   }
 

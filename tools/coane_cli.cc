@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/flags.h"
 #include "common/parallel/global_pool.h"
 #include "common/retry.h"
 #include "common/run_context.h"
@@ -45,69 +46,16 @@
 #include "datasets/dataset_registry.h"
 #include "eval/clustering_task.h"
 #include "eval/node_classification.h"
+#include "graph/attr_impute.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 
 namespace coane {
 namespace {
 
-// Parsed "--key=value" flags; bare "--key" maps to "true". Malformed
-// numeric values are a usage error (exit 2) — never an abort: the repo
-// convention is no exceptions, so parsing uses std::from_chars.
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (!StartsWith(arg, "--")) continue;
-      arg = arg.substr(2);
-      const size_t eq = arg.find('=');
-      if (eq == std::string::npos) {
-        values_[arg] = "true";
-      } else {
-        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-      }
-    }
-  }
-
-  std::string Get(const std::string& key,
-                  const std::string& fallback = "") const {
-    auto it = values_.find(key);
-    return it != values_.end() ? it->second : fallback;
-  }
-  double GetDouble(const std::string& key, double fallback) const {
-    auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    double v = 0.0;
-    const char* begin = it->second.data();
-    const char* end = begin + it->second.size();
-    auto [ptr, ec] = std::from_chars(begin, end, v);
-    if (ec != std::errc() || ptr != end) BadValue(key, it->second);
-    return v;
-  }
-  int64_t GetInt(const std::string& key, int64_t fallback) const {
-    auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    int64_t v = 0;
-    const char* begin = it->second.data();
-    const char* end = begin + it->second.size();
-    auto [ptr, ec] = std::from_chars(begin, end, v);
-    if (ec != std::errc() || ptr != end) BadValue(key, it->second);
-    return v;
-  }
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
-
- private:
-  [[noreturn]] static void BadValue(const std::string& key,
-                                    const std::string& value) {
-    std::fprintf(stderr,
-                 "usage error: invalid numeric value '%s' for --%s\n",
-                 value.c_str(), key.c_str());
-    std::exit(2);
-  }
-
-  std::map<std::string, std::string> values_;
-};
+// The shared "--key=value" convention (common/flags.h): bare "--key"
+// maps to "true", malformed numeric values are a usage error (exit 2).
+using Flags = flags::FlagSet;
 
 int Usage() {
   std::fprintf(
@@ -123,6 +71,11 @@ int Usage() {
       "           [--lr=0.001] [--seed=42] [--presample]\n"
       "           [--grad-clip=0] [--checkpoint-dir=DIR]\n"
       "           [--checkpoint-every=1] [--resume]\n"
+      "           [--missing-attrs=reject|zero|mean|neighbor]\n"
+      "           imputation policy for masked attribute entries\n"
+      "           (empty/nan cells, nodes absent from --attrs); the\n"
+      "           policy is part of the config fingerprint, so resume\n"
+      "           and manifest checks pin it (default zero)\n"
       "           SIGINT/SIGTERM or an expired --deadline-sec stops at the\n"
       "           next batch, rolls back the partial epoch, checkpoints\n"
       "           (when --checkpoint-dir is set), and exits 0\n"
@@ -372,10 +325,27 @@ int RunTrain(const Flags& flags) {
   if (flags.Has("presample")) {
     config.negative_mode = NegativeSamplingMode::kPreSampled;
   }
+  {
+    auto policy =
+        ParseMissingAttrPolicy(flags.Get("missing-attrs", "zero"));
+    if (!policy.ok()) {
+      std::fprintf(stderr, "usage error: %s\n",
+                   policy.status().ToString().c_str());
+      return 2;
+    }
+    config.missing_attrs = policy.value();
+  }
   if (graph.value().num_attributes() == 0) {
     std::printf("no attributes given; training structure-only (WF mode)\n");
     config.use_attributes = false;
     config.use_attribute_loss = false;
+  } else if (graph.value().has_missing_attrs()) {
+    std::printf(
+        "incomplete attributes: %lld node(s) unobserved, %zu masked "
+        "cell(s); --missing-attrs=%s\n",
+        static_cast<long long>(graph.value().num_unobserved_nodes()),
+        graph.value().missing_attr_cells().size(),
+        MissingAttrPolicyName(config.missing_attrs));
   }
 
   const std::string checkpoint_dir = flags.Get("checkpoint-dir");

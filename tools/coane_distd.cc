@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/flags.h"
 #include "common/os_error.h"
 #include "common/parallel/global_pool.h"
 #include "common/retry.h"
@@ -39,6 +40,7 @@
 #include "common/string_utils.h"
 #include "core/coane_model.h"
 #include "dist/coordinator.h"
+#include "graph/attr_impute.h"
 #include "dist/shard_plan.h"
 #include "dist/worker.h"
 #include "graph/graph_io.h"
@@ -54,68 +56,11 @@ using dist::WorkerLauncher;
 using dist::WorkerOptions;
 using dist::WorkerReport;
 
-// Same parsing contract as coane_cli: "--key=value", bare "--key" is
+// The shared "--key=value" convention (common/flags.h): bare "--key" is
 // "true", malformed numbers are a usage error (exit 2), never an abort.
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (!StartsWith(arg, "--")) continue;
-      raw_.push_back(arg);
-      arg = arg.substr(2);
-      const size_t eq = arg.find('=');
-      if (eq == std::string::npos) {
-        values_[arg] = "true";
-      } else {
-        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-      }
-    }
-  }
-
-  std::string Get(const std::string& key,
-                  const std::string& fallback = "") const {
-    auto it = values_.find(key);
-    return it != values_.end() ? it->second : fallback;
-  }
-  double GetDouble(const std::string& key, double fallback) const {
-    auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    double v = 0.0;
-    const char* begin = it->second.data();
-    const char* end = begin + it->second.size();
-    auto [ptr, ec] = std::from_chars(begin, end, v);
-    if (ec != std::errc() || ptr != end) BadValue(key, it->second);
-    return v;
-  }
-  int64_t GetInt(const std::string& key, int64_t fallback) const {
-    auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    int64_t v = 0;
-    const char* begin = it->second.data();
-    const char* end = begin + it->second.size();
-    auto [ptr, ec] = std::from_chars(begin, end, v);
-    if (ec != std::errc() || ptr != end) BadValue(key, it->second);
-    return v;
-  }
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
-  /// The "--flag" strings exactly as given, in order — what the
-  /// coordinator forwards to worker processes so both sides build the
-  /// same plan and config from the same values.
-  const std::vector<std::string>& raw() const { return raw_; }
-
- private:
-  [[noreturn]] static void BadValue(const std::string& key,
-                                    const std::string& value) {
-    std::fprintf(stderr,
-                 "usage error: invalid numeric value '%s' for --%s\n",
-                 value.c_str(), key.c_str());
-    std::exit(2);
-  }
-
-  std::map<std::string, std::string> values_;
-  std::vector<std::string> raw_;
-};
+// FlagSet::raw() is what the coordinator forwards to worker processes so
+// both sides build the same plan and config from the same values.
+using Flags = flags::FlagSet;
 
 int Usage() {
   std::fprintf(
@@ -144,6 +89,10 @@ int Usage() {
       "    training: --dim --epochs --context --walks --walk-length\n"
       "      --negatives --gamma --lr --seed --presample --grad-clip\n"
       "      --threads (per worker)\n"
+      "      --missing-attrs=reject|zero|mean|neighbor  imputation for\n"
+      "      masked attribute entries (default zero); every shard gets\n"
+      "      the same policy and mask, enforced by the data fingerprint\n"
+      "      at merge barriers\n"
       "    prints one line per committed round and a final STATS line\n"
       "  worker  internal: train one shard for one round (fork/exec'd by\n"
       "          train); adds --shard=S --round=R to the train flags\n");
@@ -188,6 +137,16 @@ CoaneConfig ConfigFromFlags(const Flags& flags, const Graph& graph) {
       static_cast<float>(flags.GetDouble("grad-clip", 0.0));
   if (flags.Has("presample")) {
     config.negative_mode = NegativeSamplingMode::kPreSampled;
+  }
+  {
+    auto policy =
+        ParseMissingAttrPolicy(flags.Get("missing-attrs", "zero"));
+    if (!policy.ok()) {
+      std::fprintf(stderr, "usage error: %s\n",
+                   policy.status().ToString().c_str());
+      std::exit(2);
+    }
+    config.missing_attrs = policy.value();
   }
   if (graph.num_attributes() == 0) {
     config.use_attributes = false;

@@ -34,6 +34,7 @@
 
 #include "common/atomic_file.h"
 #include "common/checksum.h"
+#include "common/flags.h"
 #include "common/status.h"
 #include "dist/shard_plan.h"
 #include "eval/metric_suite.h"
@@ -256,16 +257,11 @@ int Usage() {
   return 2;
 }
 
-// Strict numeric flag parsing: the whole value must parse, or it's a
-// usage error (exit 2) — same contract as coane_cli. strtoull-style
-// silent zero for "--seed=oops" is exactly the bug this avoids.
-template <typename T>
-bool ParseWhole(const std::string& value, T* out) {
-  const char* begin = value.data();
-  const char* end = begin + value.size();
-  auto [ptr, ec] = std::from_chars(begin, end, *out);
-  return ec == std::errc() && ptr == end && !value.empty();
-}
+// Strict numeric flag parsing (common/flags.h): the whole value must
+// parse, or it's a usage error (exit 2) — same contract as coane_cli.
+// strtoull-style silent zero for "--seed=oops" is exactly the bug this
+// avoids.
+using flags::ParseWhole;
 
 int Main(int argc, char** argv) {
   QualityHarnessOptions options;

@@ -32,6 +32,7 @@
 #include <map>
 #include <string>
 
+#include "common/flags.h"
 #include "common/parallel/global_pool.h"
 #include "common/run_context.h"
 #include "common/string_utils.h"
@@ -41,49 +42,9 @@
 namespace coane {
 namespace {
 
-// Same "--key=value" convention as coane_cli: bare "--key" means "true",
-// malformed numeric values are a usage error (exit 2).
-class Flags {
- public:
-  Flags(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (!StartsWith(arg, "--")) continue;
-      arg = arg.substr(2);
-      const size_t eq = arg.find('=');
-      if (eq == std::string::npos) {
-        values_[arg] = "true";
-      } else {
-        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-      }
-    }
-  }
-
-  std::string Get(const std::string& key,
-                  const std::string& fallback = "") const {
-    auto it = values_.find(key);
-    return it != values_.end() ? it->second : fallback;
-  }
-  int64_t GetInt(const std::string& key, int64_t fallback) const {
-    auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    int64_t v = 0;
-    const char* begin = it->second.data();
-    const char* end = begin + it->second.size();
-    auto [ptr, ec] = std::from_chars(begin, end, v);
-    if (ec != std::errc() || ptr != end) {
-      std::fprintf(stderr,
-                   "usage error: invalid numeric value '%s' for --%s\n",
-                   it->second.c_str(), key.c_str());
-      std::exit(2);
-    }
-    return v;
-  }
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
-
- private:
-  std::map<std::string, std::string> values_;
-};
+// The shared "--key=value" convention (common/flags.h): bare "--key"
+// means "true", malformed numeric values are a usage error (exit 2).
+using Flags = flags::FlagSet;
 
 int Usage() {
   std::fprintf(
@@ -98,6 +59,9 @@ int Usage() {
       "  --nlist=N           IVF cells (default 16)\n"
       "  --nprobe=N          IVF cells probed per query (default 4)\n"
       "  --seed=N            IVF k-means seed (default 42)\n"
+      "  --missing-attrs=reject|zero|mean|neighbor\n"
+      "                      provenance: the imputation policy the\n"
+      "                      trainer ran with; echoed by INFO (zero)\n"
       "  --threads=N         global pool size (default: hardware)\n"
       "  --query-deadline-ms=N  per-request deadline (default: none)\n"
       "  --port=N            serve TCP on 127.0.0.1:N instead of stdin\n"
@@ -153,6 +117,13 @@ int Main(int argc, char** argv) {
       static_cast<uint64_t>(flags.GetInt("seed", 42));
   options.query_deadline_sec =
       static_cast<double>(flags.GetInt("query-deadline-ms", 0)) * 1e-3;
+  auto missing = ParseMissingAttrPolicy(flags.Get("missing-attrs", "zero"));
+  if (!missing.ok()) {
+    std::fprintf(stderr, "usage error: %s\n",
+                 missing.status().ToString().c_str());
+    return 2;
+  }
+  options.missing_attrs = missing.value();
 
   const bool tcp = flags.Has("port");
   // TCP mode decouples request cancellation from the SIGINT/SIGTERM

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "common/atomic_file.h"
+#include "common/flags.h"
 #include "common/os_error.h"
 #include "common/retry.h"
 #include "common/run_context.h"
@@ -329,17 +330,29 @@ int Main(int argc, char** argv) {
     } else if (flag_value(argv[i], "out", &value)) {
       out_path = value;
     } else if (flag_value(argv[i], "max-restarts", &value)) {
-      max_restarts = std::atoi(value.c_str());
+      if (!flags::ParseWhole(value, &max_restarts)) {
+        flags::BadNumericValue("max-restarts", value);
+      }
     } else if (flag_value(argv[i], "max-crashes-at-step", &value)) {
-      max_crashes_at_step = std::atoi(value.c_str());
+      if (!flags::ParseWhole(value, &max_crashes_at_step)) {
+        flags::BadNumericValue("max-crashes-at-step", value);
+      }
     } else if (flag_value(argv[i], "hang-sec", &value)) {
-      hang_sec = std::atof(value.c_str());
+      if (!flags::ParseWhole(value, &hang_sec)) {
+        flags::BadNumericValue("hang-sec", value);
+      }
     } else if (flag_value(argv[i], "backoff-ms", &value)) {
-      backoff_ms = std::atof(value.c_str());
+      if (!flags::ParseWhole(value, &backoff_ms)) {
+        flags::BadNumericValue("backoff-ms", value);
+      }
     } else if (flag_value(argv[i], "backoff-max-ms", &value)) {
-      backoff_max_ms = std::atof(value.c_str());
+      if (!flags::ParseWhole(value, &backoff_max_ms)) {
+        flags::BadNumericValue("backoff-max-ms", value);
+      }
     } else if (flag_value(argv[i], "seed", &value)) {
-      seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+      if (!flags::ParseWhole(value, &seed)) {
+        flags::BadNumericValue("seed", value);
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return Usage();
