@@ -91,10 +91,17 @@ Status CoaneModel::Preprocess(const RunContext* ctx) {
     // Materialize the training features through the imputation stage: a
     // complete graph passes through unchanged, a masked one has its
     // missing rows/cells filled per config_.missing_attrs (or rejected).
-    // The mask fingerprint rides along into every checkpoint.
-    auto imputed = ImputeMissingAttributes(graph_, config_.missing_attrs);
-    if (!imputed.ok()) return imputed.status();
-    features_ = std::move(imputed).ValueOrDie();
+    // The mask fingerprint rides along into every checkpoint. A caller
+    // that already holds the imputation result (the incremental pipeline)
+    // hands it in via SetPrecomputedFeatures.
+    if (has_pre_features_) {
+      features_ = std::move(pre_features_);
+      has_pre_features_ = false;
+    } else {
+      auto imputed = ImputeMissingAttributes(graph_, config_.missing_attrs);
+      if (!imputed.ok()) return imputed.status();
+      features_ = std::move(imputed).ValueOrDie();
+    }
     data_fingerprint_ = AttrMaskFingerprint(graph_);
   } else {
     features_ = IdentityFeatures(graph_.num_nodes());
@@ -102,16 +109,28 @@ Status CoaneModel::Preprocess(const RunContext* ctx) {
   }
 
   // --- Structural contexts (Sec. 3.1).
-  RandomWalkConfig walk_cfg;
-  walk_cfg.num_walks_per_node = config_.num_walks;
-  walk_cfg.walk_length = config_.walk_length;
-  auto walks = GenerateRandomWalks(graph_, walk_cfg, &rng_, ctx);
-  if (!walks.ok()) return walks.status();
+  std::vector<Walk> walk_corpus;
+  if (has_pre_walks_) {
+    // Consume the exact engine draw GenerateRandomWalks would have made
+    // (its per-walk master), so every draw after this point is
+    // bit-identical whether the walks were supplied or generated here.
+    (void)rng_.engine()();
+    walk_corpus = std::move(pre_walks_);
+    pre_walks_.clear();
+    has_pre_walks_ = false;
+  } else {
+    RandomWalkConfig walk_cfg;
+    walk_cfg.num_walks_per_node = config_.num_walks;
+    walk_cfg.walk_length = config_.walk_length;
+    auto walks = GenerateRandomWalks(graph_, walk_cfg, &rng_, ctx);
+    if (!walks.ok()) return walks.status();
+    walk_corpus = std::move(walks).ValueOrDie();
+  }
 
   ContextOptions ctx_opt;
   ctx_opt.context_size = config_.context_size;
   ctx_opt.subsample_t = config_.subsample_t;
-  auto contexts = GenerateContexts(walks.value(), graph_.num_nodes(),
+  auto contexts = GenerateContexts(walk_corpus, graph_.num_nodes(),
                                    ctx_opt, &rng_, ctx);
   if (!contexts.ok()) return contexts.status();
   contexts_ = std::make_unique<ContextSet>(std::move(contexts).ValueOrDie());
@@ -537,6 +556,53 @@ Status CoaneModel::LoadCheckpoint(const std::string& path) {
   }
   optimizer_.set_learning_rate(ckpt.learning_rate);
   epochs_done_ = static_cast<int>(ckpt.epochs_done);
+  RenewEmbeddings();
+  return Status::OK();
+}
+
+void CoaneModel::SetPrecomputedWalks(std::vector<Walk> walks) {
+  pre_walks_ = std::move(walks);
+  has_pre_walks_ = true;
+}
+
+void CoaneModel::SetPrecomputedFeatures(SparseMatrix features) {
+  pre_features_ = std::move(features);
+  has_pre_features_ = true;
+}
+
+Status CoaneModel::WarmStartFrom(const TrainingCheckpoint& ckpt) {
+  if (!preprocessed_) {
+    return Status::FailedPrecondition(
+        "call Preprocess() before WarmStartFrom()");
+  }
+  if (ckpt.has_decoder != (decoder_ != nullptr)) {
+    return Status::DataLoss("decoder presence mismatch in warm-start state");
+  }
+  // No config/data-fingerprint checks: warm-starting across a mutation
+  // batch legitimately crosses mask (and log-position) fingerprints.
+  // Shape mismatches are still caught section by section below.
+  const std::string backup = SnapshotState();
+  Status st = [&]() -> Status {
+    ByteReader encoder_reader(ckpt.encoder_blob);
+    COANE_RETURN_IF_ERROR(
+        ReadEncoderWeightsInto(&encoder_reader, encoder_.get()));
+    if (decoder_) {
+      ByteReader decoder_reader(ckpt.decoder_blob);
+      COANE_RETURN_IF_ERROR(
+          ReadMlpWeightsInto(&decoder_reader, decoder_.get()));
+    }
+    ByteReader optimizer_reader(ckpt.optimizer_blob);
+    COANE_RETURN_IF_ERROR(
+        ReadAdamStateInto(&optimizer_reader, &optimizer_));
+    return Status::OK();
+  }();
+  if (!st.ok()) {
+    const Status rollback = RestoreState(backup);
+    COANE_CHECK(rollback.ok());
+    return st;
+  }
+  optimizer_.set_learning_rate(ckpt.learning_rate);
+  epochs_done_ = 0;  // config.max_epochs now bounds the refinement budget
   RenewEmbeddings();
   return Status::OK();
 }

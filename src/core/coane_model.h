@@ -16,6 +16,7 @@
 #include "nn/mlp.h"
 #include "walk/cooccurrence.h"
 #include "walk/negative_sampler.h"
+#include "walk/random_walk.h"
 
 namespace coane {
 
@@ -51,6 +52,35 @@ class CoaneModel {
   /// the walk/context generation; a stopped run returns kCancelled /
   /// kDeadlineExceeded before any training state is created.
   Status Preprocess(const RunContext* ctx = nullptr);
+
+  /// Hands Preprocess a prebuilt walk corpus (the dynamic-graph
+  /// pipeline's incrementally maintained walks; see stream::WalkCorpus).
+  /// Must be called before Preprocess(). Preprocess still consumes the
+  /// one engine draw walk generation would have made, so every later
+  /// draw from the model RNG — context subsampling, negative pools,
+  /// Xavier init — is bit-identical to a from-scratch run. The caller
+  /// guarantees the walks equal what GenerateRandomWalks(graph, config,
+  /// seed) produces (stream::UpdateWalkCorpus maintains exactly that).
+  void SetPrecomputedWalks(std::vector<Walk> walks);
+
+  /// Hands Preprocess a prebuilt feature matrix in place of running
+  /// ImputeMissingAttributes (the pipeline's incremental re-imputation,
+  /// stream::IncrementalReimpute). Must be called before Preprocess();
+  /// ignored when config.use_attributes is false. The mask fingerprint
+  /// is still computed from the graph itself.
+  void SetPrecomputedFeatures(SparseMatrix features);
+
+  /// Adopts the *parameters* of a checkpoint trained on an earlier
+  /// version of this graph: encoder filters, decoder weights, Adam
+  /// moments/steps, and learning rate — but NOT the RNG state (this
+  /// model keeps its own deterministic stream) and NOT the epoch count
+  /// (epochs_done resets to 0, so config.max_epochs acts as the bounded
+  /// refinement budget counted from the warm start). Unlike
+  /// LoadCheckpoint, neither the config nor the data fingerprint must
+  /// match — a mutated graph legitimately carries a new mask — but the
+  /// parameter shapes must: any mismatch is rejected with the model
+  /// state unchanged. Requires Preprocess().
+  Status WarmStartFrom(const TrainingCheckpoint& ckpt);
 
   /// Trains until epochs_done() reaches config.max_epochs (calls
   /// TrainEpoch repeatedly) and refreshes all embeddings. Returns the
@@ -144,6 +174,10 @@ class CoaneModel {
   CoaneConfig config_;
   Rng rng_;
   bool preprocessed_ = false;
+  bool has_pre_walks_ = false;
+  bool has_pre_features_ = false;
+  std::vector<Walk> pre_walks_;
+  SparseMatrix pre_features_;
   int epochs_done_ = 0;
   uint64_t data_fingerprint_ = 0;
 

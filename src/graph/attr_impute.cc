@@ -69,6 +69,147 @@ Result<MissingAttrPolicy> ParseMissingAttrPolicy(const std::string& name) {
       "' (want reject, zero, mean, or neighbor)");
 }
 
+Result<ImputePlan> ImputePlan::Build(const Graph& graph,
+                                     MissingAttrPolicy policy) {
+  if (policy != MissingAttrPolicy::kMean &&
+      policy != MissingAttrPolicy::kNeighbor) {
+    return Status::InvalidArgument(
+        "an impute plan needs an imputing policy (mean or neighbor), got '" +
+        std::string(MissingAttrPolicyName(policy)) + "'");
+  }
+  ImputePlan plan;
+  plan.graph_ = &graph;
+  plan.policy_ = policy;
+
+  const SparseMatrix& x = graph.attributes();
+  const int64_t n = x.rows();
+  const int64_t d = x.cols();
+
+  // Column means over *observed* cells: the sum of stored values in a
+  // column (missing cells store nothing), divided by the number of
+  // observed cells — observed nodes minus that column's missing markers.
+  // Sequential double accumulation in node order: deterministic.
+  plan.col_mean_.assign(static_cast<size_t>(d), 0.0);
+  {
+    std::vector<int64_t> col_observed(static_cast<size_t>(d), 0);
+    int64_t observed_nodes = 0;
+    for (int64_t v = 0; v < n; ++v) {
+      if (!graph.AttrObserved(static_cast<NodeId>(v))) continue;
+      ++observed_nodes;
+      for (const SparseEntry& e : x.Row(v)) {
+        plan.col_mean_[static_cast<size_t>(e.col)] +=
+            static_cast<double>(e.value);
+      }
+    }
+    for (int64_t j = 0; j < d; ++j) {
+      col_observed[static_cast<size_t>(j)] = observed_nodes;
+    }
+    for (const MissingAttrCell& c : graph.missing_attr_cells()) {
+      col_observed[static_cast<size_t>(c.col)] -= 1;
+    }
+    for (int64_t j = 0; j < d; ++j) {
+      const int64_t cnt = col_observed[static_cast<size_t>(j)];
+      plan.col_mean_[static_cast<size_t>(j)] =
+          cnt > 0 ? plan.col_mean_[static_cast<size_t>(j)] / cnt : 0.0;
+    }
+  }
+
+  // Per-node missing columns: the fill targets of observed rows, and the
+  // kNeighbor denominators of neighbors.
+  MissingCellCursor cursor(graph.missing_attr_cells());
+  plan.missing_cols_.resize(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    plan.missing_cols_[static_cast<size_t>(v)] =
+        cursor.Take(static_cast<NodeId>(v));
+  }
+  return plan;
+}
+
+// Neighbor-mean of column j around v: mean of x(u, j) over observed
+// neighbors u that observe column j; falls back to the column mean
+// (which may be zero). Neighbors are walked in id order (the CSR is
+// sorted), values accumulate in doubles — a pure, order-fixed function
+// of the graph.
+void ImputePlan::NeighborFill(NodeId v, Scratch* scratch) const {
+  const Graph& graph = *graph_;
+  const SparseMatrix& x = graph.attributes();
+  const int64_t d = x.cols();
+  scratch->sum.assign(static_cast<size_t>(d), 0.0);
+  scratch->cnt.assign(static_cast<size_t>(d), 0);
+  int64_t observed_neighbors = 0;
+  for (const NeighborEntry& nb : graph.Neighbors(v)) {
+    if (!graph.AttrObserved(nb.node)) continue;
+    ++observed_neighbors;
+    for (const SparseEntry& e : x.Row(nb.node)) {
+      scratch->sum[static_cast<size_t>(e.col)] +=
+          static_cast<double>(e.value);
+    }
+    for (const int64_t j : missing_cols_[static_cast<size_t>(nb.node)]) {
+      scratch->cnt[static_cast<size_t>(j)] -= 1;
+    }
+  }
+  for (int64_t j = 0; j < d; ++j) {
+    scratch->cnt[static_cast<size_t>(j)] += observed_neighbors;
+  }
+}
+
+void ImputePlan::AppendRow(NodeId node, Scratch* scratch,
+                           std::vector<SparseMatrix::Triplet>* out,
+                           int64_t* filled_entries) const {
+  const Graph& graph = *graph_;
+  const SparseMatrix& x = graph.attributes();
+  const int64_t d = x.cols();
+  const auto v = static_cast<int64_t>(node);
+  if (graph.AttrObserved(node)) {
+    for (const SparseEntry& e : x.Row(v)) {
+      out->push_back({v, e.col, e.value});
+    }
+    const std::vector<int64_t>& cols =
+        missing_cols_[static_cast<size_t>(node)];
+    if (cols.empty()) return;
+    if (policy_ == MissingAttrPolicy::kNeighbor) {
+      NeighborFill(node, scratch);
+    }
+    for (const int64_t j : cols) {
+      double value = col_mean_[static_cast<size_t>(j)];
+      if (policy_ == MissingAttrPolicy::kNeighbor &&
+          scratch->cnt[static_cast<size_t>(j)] > 0) {
+        value = scratch->sum[static_cast<size_t>(j)] /
+                static_cast<double>(scratch->cnt[static_cast<size_t>(j)]);
+      }
+      if (value != 0.0) {
+        out->push_back({v, j, static_cast<float>(value)});
+        if (filled_entries != nullptr) ++*filled_entries;
+      }
+    }
+    return;
+  }
+  // Whole row missing.
+  if (policy_ == MissingAttrPolicy::kNeighbor) {
+    NeighborFill(node, scratch);
+    for (int64_t j = 0; j < d; ++j) {
+      const double value =
+          scratch->cnt[static_cast<size_t>(j)] > 0
+              ? scratch->sum[static_cast<size_t>(j)] /
+                    static_cast<double>(
+                        scratch->cnt[static_cast<size_t>(j)])
+              : col_mean_[static_cast<size_t>(j)];
+      if (value != 0.0) {
+        out->push_back({v, j, static_cast<float>(value)});
+        if (filled_entries != nullptr) ++*filled_entries;
+      }
+    }
+  } else {  // kMean
+    for (int64_t j = 0; j < d; ++j) {
+      const double value = col_mean_[static_cast<size_t>(j)];
+      if (value != 0.0) {
+        out->push_back({v, j, static_cast<float>(value)});
+        if (filled_entries != nullptr) ++*filled_entries;
+      }
+    }
+  }
+}
+
 Result<SparseMatrix> ImputeMissingAttributes(const Graph& graph,
                                              MissingAttrPolicy policy,
                                              ImputeStats* stats) {
@@ -97,124 +238,13 @@ Result<SparseMatrix> ImputeMissingAttributes(const Graph& graph,
     return x;
   }
 
-  // Column means over *observed* cells: the sum of stored values in a
-  // column (missing cells store nothing), divided by the number of
-  // observed cells — observed nodes minus that column's missing markers.
-  // Sequential double accumulation in node order: deterministic.
-  std::vector<double> col_mean(static_cast<size_t>(d), 0.0);
-  {
-    std::vector<int64_t> col_observed(static_cast<size_t>(d), 0);
-    int64_t observed_nodes = 0;
-    for (int64_t v = 0; v < n; ++v) {
-      if (!graph.AttrObserved(static_cast<NodeId>(v))) continue;
-      ++observed_nodes;
-      for (const SparseEntry& e : x.Row(v)) {
-        col_mean[static_cast<size_t>(e.col)] +=
-            static_cast<double>(e.value);
-      }
-    }
-    for (int64_t j = 0; j < d; ++j) {
-      col_observed[static_cast<size_t>(j)] = observed_nodes;
-    }
-    for (const MissingAttrCell& c : graph.missing_attr_cells()) {
-      col_observed[static_cast<size_t>(c.col)] -= 1;
-    }
-    for (int64_t j = 0; j < d; ++j) {
-      const int64_t cnt = col_observed[static_cast<size_t>(j)];
-      col_mean[static_cast<size_t>(j)] =
-          cnt > 0 ? col_mean[static_cast<size_t>(j)] / cnt : 0.0;
-    }
-  }
-
-  // Per-node missing columns, for the neighbor policy's denominators.
-  MissingCellCursor missing_cols_cursor(graph.missing_attr_cells());
-  std::vector<std::vector<int64_t>> missing_cols;
-  if (policy == MissingAttrPolicy::kNeighbor) {
-    missing_cols.resize(static_cast<size_t>(n));
-    for (int64_t v = 0; v < n; ++v) {
-      missing_cols[static_cast<size_t>(v)] =
-          missing_cols_cursor.Take(static_cast<NodeId>(v));
-    }
-  }
-
-  // Neighbor-mean of column j around v: mean of x(u, j) over observed
-  // neighbors u that observe column j; falls back to the column mean
-  // (which may be zero). Neighbors are walked in id order (the CSR is
-  // sorted), values accumulate in doubles — a pure, order-fixed function
-  // of the graph.
-  auto neighbor_fill = [&](NodeId v, std::vector<double>* row_sum,
-                           std::vector<int64_t>* row_cnt) {
-    std::fill(row_sum->begin(), row_sum->end(), 0.0);
-    int64_t observed_neighbors = 0;
-    std::fill(row_cnt->begin(), row_cnt->end(), 0);
-    for (const NeighborEntry& nb : graph.Neighbors(v)) {
-      if (!graph.AttrObserved(nb.node)) continue;
-      ++observed_neighbors;
-      for (const SparseEntry& e : x.Row(nb.node)) {
-        (*row_sum)[static_cast<size_t>(e.col)] +=
-            static_cast<double>(e.value);
-      }
-      for (const int64_t j : missing_cols[static_cast<size_t>(nb.node)]) {
-        (*row_cnt)[static_cast<size_t>(j)] -= 1;
-      }
-    }
-    for (int64_t j = 0; j < d; ++j) {
-      (*row_cnt)[static_cast<size_t>(j)] += observed_neighbors;
-    }
-  };
-
+  auto plan = ImputePlan::Build(graph, policy);
+  if (!plan.ok()) return plan.status();
+  ImputePlan::Scratch scratch;
   std::vector<SparseMatrix::Triplet> triplets;
-  std::vector<double> row_sum(static_cast<size_t>(d), 0.0);
-  std::vector<int64_t> row_cnt(static_cast<size_t>(d), 0);
-  MissingCellCursor cell_cursor(graph.missing_attr_cells());
   for (int64_t v = 0; v < n; ++v) {
-    const auto node = static_cast<NodeId>(v);
-    if (graph.AttrObserved(node)) {
-      for (const SparseEntry& e : x.Row(v)) {
-        triplets.push_back({v, e.col, e.value});
-      }
-      const std::vector<int64_t> cols = cell_cursor.Take(node);
-      if (cols.empty()) continue;
-      if (policy == MissingAttrPolicy::kNeighbor) {
-        neighbor_fill(node, &row_sum, &row_cnt);
-      }
-      for (const int64_t j : cols) {
-        double value = col_mean[static_cast<size_t>(j)];
-        if (policy == MissingAttrPolicy::kNeighbor &&
-            row_cnt[static_cast<size_t>(j)] > 0) {
-          value = row_sum[static_cast<size_t>(j)] /
-                  static_cast<double>(row_cnt[static_cast<size_t>(j)]);
-        }
-        if (value != 0.0) {
-          triplets.push_back({v, j, static_cast<float>(value)});
-          ++s->filled_entries;
-        }
-      }
-      continue;
-    }
-    // Whole row missing.
-    if (policy == MissingAttrPolicy::kNeighbor) {
-      neighbor_fill(node, &row_sum, &row_cnt);
-      for (int64_t j = 0; j < d; ++j) {
-        const double value =
-            row_cnt[static_cast<size_t>(j)] > 0
-                ? row_sum[static_cast<size_t>(j)] /
-                      static_cast<double>(row_cnt[static_cast<size_t>(j)])
-                : col_mean[static_cast<size_t>(j)];
-        if (value != 0.0) {
-          triplets.push_back({v, j, static_cast<float>(value)});
-          ++s->filled_entries;
-        }
-      }
-    } else {  // kMean
-      for (int64_t j = 0; j < d; ++j) {
-        const double value = col_mean[static_cast<size_t>(j)];
-        if (value != 0.0) {
-          triplets.push_back({v, j, static_cast<float>(value)});
-          ++s->filled_entries;
-        }
-      }
-    }
+    plan.value().AppendRow(static_cast<NodeId>(v), &scratch, &triplets,
+                           &s->filled_entries);
   }
   return SparseMatrix::FromTriplets(n, d, std::move(triplets));
 }

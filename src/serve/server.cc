@@ -10,6 +10,7 @@
 #include "common/stopwatch.h"
 #include "common/string_utils.h"
 #include "common/table_printer.h"
+#include "stream/mutation_log.h"
 
 namespace coane {
 namespace serve {
@@ -53,6 +54,19 @@ std::string FormatScore(double value) {
 
 std::string ErrReply(const Status& status) {
   return "ERR " + status.ToString();
+}
+
+// A query *for* an unobserved node answers NotFound with provenance: its
+// stored vector is pure imputation, and handing it out as if it were a
+// learned embedding would silently serve synthetic data. (Unobserved
+// nodes may still appear as *neighbors* of observed queries — the index
+// is not filtered — only direct lookups are refused.)
+Status UnobservedError(const Snapshot& snapshot, int64_t id) {
+  return Status::NotFound(
+      "unobserved node " + std::to_string(id) +
+      ": attributes were never observed, stored vector is pure "
+      "imputation (policy=" + snapshot.trained_policy +
+      ", log_seq=" + std::to_string(snapshot.log_seq) + ")");
 }
 
 std::string NeighborsReply(const std::vector<Neighbor>& neighbors) {
@@ -123,6 +137,10 @@ std::string Server::HandleLine(const std::string& line) {
       }
       auto id = ParseInt(tokens[2], "id");
       if (!id.ok()) return fail(id.status());
+      if (auto snapshot = engine_.CurrentSnapshot();
+          snapshot != nullptr && snapshot->IsUnobserved(id.value())) {
+        return fail(UnobservedError(*snapshot, id.value()));
+      }
       neighbors = engine_.KnnById(id.value(), k.value(),
                                   /*exclude_self=*/true,
                                   /*stats=*/nullptr, &ctx);
@@ -150,6 +168,13 @@ std::string Server::HandleLine(const std::string& line) {
     if (!u.ok()) return fail(u.status());
     auto v = ParseInt(tokens[2], "v");
     if (!v.ok()) return fail(v.status());
+    if (auto snapshot = engine_.CurrentSnapshot(); snapshot != nullptr) {
+      for (const int64_t id : {u.value(), v.value()}) {
+        if (snapshot->IsUnobserved(id)) {
+          return fail(UnobservedError(*snapshot, id));
+        }
+      }
+    }
     Stopwatch timer;
     auto scores = engine_.ScoreLinks({{u.value(), v.value()}}, &ctx);
     score_latency_.Record(timer.ElapsedSeconds());
@@ -163,6 +188,10 @@ std::string Server::HandleLine(const std::string& line) {
     }
     auto id = ParseInt(tokens[1], "id");
     if (!id.ok()) return fail(id.status());
+    if (auto snapshot = engine_.CurrentSnapshot();
+        snapshot != nullptr && snapshot->IsUnobserved(id.value())) {
+      return fail(UnobservedError(*snapshot, id.value()));
+    }
     Stopwatch timer;
     auto row = engine_.Fetch(id.value());
     get_latency_.Record(timer.ElapsedSeconds());
@@ -182,13 +211,26 @@ std::string Server::HandleLine(const std::string& line) {
       return fail(
           Status::FailedPrecondition("no snapshot has been published yet"));
     }
-    return "OK count=" + std::to_string(snapshot->store->count()) +
-           " dim=" + std::to_string(snapshot->store->dim()) +
-           " metric=" + MetricName(snapshot->index->metric()) +
-           " index=" + snapshot->index->name() +
-           " seq=" + std::to_string(snapshot->sequence) +
-           " missing_attrs=" + MissingAttrPolicyName(options_.missing_attrs) +
-           " source=" + snapshot->source_path;
+    std::string reply =
+        "OK count=" + std::to_string(snapshot->store->count()) +
+        " dim=" + std::to_string(snapshot->store->dim()) +
+        " metric=" + MetricName(snapshot->index->metric()) +
+        " index=" + snapshot->index->name() +
+        " seq=" + std::to_string(snapshot->sequence);
+    if (snapshot->has_provenance) {
+      reply += " log_pos=" + std::to_string(snapshot->log_seq) +
+               " unobserved=" + std::to_string(snapshot->unobserved.size());
+    }
+    // The provenance sidecar knows the policy the artifact was actually
+    // trained under; without one, fall back to the operator-declared
+    // --missing-attrs flag.
+    reply += " missing_attrs=" +
+             (snapshot->has_provenance
+                  ? snapshot->trained_policy
+                  : std::string(
+                        MissingAttrPolicyName(options_.missing_attrs))) +
+             " source=" + snapshot->source_path;
+    return reply;
   }
 
   if (cmd == "STATS") {
@@ -242,6 +284,24 @@ std::string Server::StatsReport() const {
             "  idle_timeouts " + count(ov.idle_timeouts) +
             "  oversized " + count(ov.oversized) +
             "  conns_drained " + count(ov.conns_drained);
+  // Freshness: where the served generation sits on the mutation log and
+  // how long ago it was published. Zeros before the first
+  // provenance-bearing snapshot, so the report keeps one stable shape.
+  auto snapshot = registry_.Current();
+  const bool fresh = snapshot != nullptr && snapshot->has_provenance;
+  double age_sec = 0.0;
+  if (fresh) {
+    age_sec = static_cast<double>(stream::NowUnixMs() -
+                                  snapshot->published_unix_ms) /
+              1000.0;
+    if (age_sec < 0.0) age_sec = 0.0;
+  }
+  char age_buf[32];
+  std::snprintf(age_buf, sizeof(age_buf), "%.3f", age_sec);
+  report += "\nsnapshot_seq " +
+            std::to_string(snapshot != nullptr ? snapshot->sequence : 0) +
+            "  log_pos " + std::to_string(fresh ? snapshot->log_seq : 0) +
+            "  snapshot_age_sec " + age_buf;
   return report;
 }
 

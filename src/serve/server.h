@@ -71,8 +71,12 @@ struct ServerOptions {
 ///   "KNNV" k v1 .. vd     k nearest rows to a free vector
 ///   "SCORE" u v           pairwise link score of rows u and v
 ///   "GET" id              the stored embedding of row `id`
-///   "INFO"                snapshot metadata (count, dim, index, seq)
-///   "STATS"               latency histogram table + swap count
+///   "INFO"                snapshot metadata (count, dim, index, seq;
+///                         plus log_pos/unobserved when the artifact
+///                         carries stream provenance)
+///   "STATS"               latency histogram table + swap count +
+///                         freshness line (snapshot_seq, log_pos,
+///                         snapshot_age_sec)
 ///   "PUBLISH" path        build a snapshot from `path` (text embeddings
 ///                         or compiled store; manifest-verified when the
 ///                         server was configured with one) and hot-swap
@@ -81,6 +85,10 @@ struct ServerOptions {
 ///
 /// Replies: "OK ..." on one line ("OK" + table lines for STATS), or
 /// "ERR <Code>: <message>". k-NN replies are "OK n id:score ...".
+/// Queries addressing a node that was *unobserved* at train time (per
+/// the provenance sidecar) answer "ERR NotFound: unobserved node ..."
+/// with the imputation policy and log position — a pure-imputation
+/// vector is never served as if it were learned.
 ///
 /// Thread-safety: HandleLine may be called concurrently from any number
 /// of threads, including a PUBLISH racing queries — the snapshot swap is

@@ -1,5 +1,6 @@
 #include "serve/snapshot.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <utility>
@@ -7,11 +8,21 @@
 #include "common/fault_injection.h"
 #include "core/artifact_manifest.h"
 #include "serve/brute_force_index.h"
+#include "stream/provenance.h"
 
 namespace coane {
 namespace serve {
 
 namespace {
+
+// True when `path` exists (the provenance sidecar is optional; a static
+// pipeline's artifact has none).
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
 
 // True when `path` starts with the EmbeddingStore magic (i.e. is already
 // a compiled store file rather than text embeddings).
@@ -26,6 +37,10 @@ bool LooksLikeStoreFile(const std::string& path) {
 }
 
 }  // namespace
+
+bool Snapshot::IsUnobserved(int64_t id) const {
+  return std::binary_search(unobserved.begin(), unobserved.end(), id);
+}
 
 Result<std::shared_ptr<const Snapshot>> BuildSnapshot(
     const std::string& embeddings_path, const SnapshotOptions& options,
@@ -58,6 +73,25 @@ Result<std::shared_ptr<const Snapshot>> BuildSnapshot(
   snapshot->store = store;
   snapshot->sequence = sequence;
   snapshot->source_path = embeddings_path;
+
+  // Stream provenance rides next to the artifact. A *corrupt* sidecar
+  // rejects the snapshot — provenance that fails its CRC must not be
+  // silently dropped (the artifact would serve with its unobserved set
+  // and log position erased); a merely absent sidecar is a static
+  // pipeline and serves without provenance.
+  const std::string pub_path =
+      stream::PublishInfoPathFor(embeddings_path);
+  if (FileExists(pub_path)) {
+    auto info = stream::LoadPublishInfo(pub_path);
+    if (!info.ok()) return info.status();
+    snapshot->has_provenance = true;
+    snapshot->log_seq = info.value().log_seq;
+    snapshot->published_unix_ms = info.value().created_unix_ms;
+    snapshot->trained_policy =
+        MissingAttrPolicyName(info.value().missing_attrs);
+    snapshot->unobserved.assign(info.value().unobserved.begin(),
+                                info.value().unobserved.end());
+  }
   if (options.index_kind == "exact") {
     snapshot->index =
         std::make_shared<const BruteForceIndex>(store, options.metric);
@@ -98,6 +132,19 @@ Status SnapshotRegistry::Install(std::shared_ptr<const Snapshot> snapshot) {
           "snapshot sequence " + std::to_string(snapshot->sequence) +
           " is stale: generation " + std::to_string(current_->sequence) +
           " is already live");
+    }
+    // Freshness gate on the mutation-log axis: a publisher replaying an
+    // old artifact (or a lagging publisher racing a fresh one) must not
+    // roll served embeddings back to an earlier log position. Equal
+    // positions pass — republishing the same generation is idempotent.
+    if (current_ != nullptr && current_->has_provenance &&
+        snapshot->has_provenance &&
+        snapshot->log_seq < current_->log_seq) {
+      return Status::FailedPrecondition(
+          "snapshot log position " + std::to_string(snapshot->log_seq) +
+          " is behind the live generation's " +
+          std::to_string(current_->log_seq) +
+          " — stale artifact rejected");
     }
     current_ = std::move(snapshot);
   }

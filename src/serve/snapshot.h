@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/run_context.h"
 #include "common/status.h"
@@ -41,6 +42,27 @@ struct Snapshot {
   std::shared_ptr<const KnnIndex> index;
   uint64_t sequence = 0;
   std::string source_path;
+
+  /// Stream provenance, loaded from the `<source>.pub` sidecar a
+  /// dynamic-graph publisher writes (stream/provenance.h). Artifacts
+  /// published without a sidecar (static pipelines) serve exactly as
+  /// before with has_provenance = false.
+  bool has_provenance = false;
+  /// Mutation-log position the artifact was trained at; gates installs
+  /// (see Install) and is surfaced in INFO/STATS.
+  uint64_t log_seq = 0;
+  /// Publish wall-clock time; INFO/STATS report the derived snapshot age.
+  int64_t published_unix_ms = 0;
+  /// Imputation policy the publisher trained under.
+  std::string trained_policy;
+  /// Node ids whose attribute rows were unobserved at train time, sorted
+  /// ascending. Queries *for* these ids answer NotFound (their stored
+  /// vectors are pure imputation); they may still appear as neighbors of
+  /// observed nodes.
+  std::vector<int64_t> unobserved;
+
+  /// True when `id` was unobserved at train time (binary search).
+  bool IsUnobserved(int64_t id) const;
 };
 
 /// Builds a snapshot from `embeddings_path` — either a text embedding
@@ -70,7 +92,11 @@ class SnapshotRegistry {
   /// IoError on an injected "serve.swap" fault, and FailedPrecondition
   /// when `snapshot->sequence` is not newer than the live generation's —
   /// concurrent publishes that finish out of order can never roll the
-  /// registry backwards (registry unchanged in both cases).
+  /// registry backwards (registry unchanged in both cases). When both
+  /// generations carry stream provenance, the mutation-log position is
+  /// gated the same way: a snapshot whose log_seq is *behind* the live
+  /// one is rejected (equal is allowed — an idempotent republish of the
+  /// same log position is legitimate).
   Status Install(std::shared_ptr<const Snapshot> snapshot);
 
   /// Monotonic sequence numbers for new generations (1, 2, ...).

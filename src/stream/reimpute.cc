@@ -1,0 +1,113 @@
+#include "stream/reimpute.h"
+
+#include <utility>
+
+namespace coane {
+namespace stream {
+
+Result<SparseMatrix> IncrementalReimpute(
+    const Graph& old_graph, const SparseMatrix& old_features,
+    const Graph& new_graph, MissingAttrPolicy policy,
+    const std::vector<NodeId>& structure_changed,
+    const std::vector<NodeId>& attrs_changed, ReimputeStats* stats) {
+  ReimputeStats local;
+  ReimputeStats* s = stats != nullptr ? stats : &local;
+  *s = ReimputeStats();
+
+  const int64_t new_n = new_graph.num_nodes();
+  const int64_t old_n = old_graph.num_nodes();
+  const int64_t d = new_graph.num_attributes();
+  s->total_rows = new_n;
+
+  // The policies with no per-row work reuse nothing — delegate so error
+  // messages and short-circuits stay identical to the from-scratch path.
+  // Stats count the delegate as a full recompute: nothing was reused.
+  if (d == 0 || !new_graph.has_missing_attrs() ||
+      policy == MissingAttrPolicy::kReject ||
+      policy == MissingAttrPolicy::kZero) {
+    s->recomputed_rows = new_n;
+    return ImputeMissingAttributes(new_graph, policy);
+  }
+
+  if (old_n > new_n) {
+    return Status::InvalidArgument("nodes never shrink: old graph has " +
+                                   std::to_string(old_n) +
+                                   " nodes, new graph " +
+                                   std::to_string(new_n));
+  }
+  if (old_features.rows() != old_n || old_features.cols() != d) {
+    return Status::InvalidArgument(
+        "old feature matrix is " + std::to_string(old_features.rows()) +
+        "x" + std::to_string(old_features.cols()) + ", want " +
+        std::to_string(old_n) + "x" + std::to_string(d));
+  }
+
+  auto old_plan = ImputePlan::Build(old_graph, policy);
+  if (!old_plan.ok()) return old_plan.status();
+  auto new_plan = ImputePlan::Build(new_graph, policy);
+  if (!new_plan.ok()) return new_plan.status();
+
+  // Columns whose observed mean moved. Bitwise comparison: AppendRow uses
+  // the exact double, so any bit difference can change output.
+  std::vector<uint8_t> col_changed(static_cast<size_t>(d), 0);
+  bool any_col_changed = false;
+  for (int64_t j = 0; j < d; ++j) {
+    if (old_plan.value().col_means()[static_cast<size_t>(j)] !=
+        new_plan.value().col_means()[static_cast<size_t>(j)]) {
+      col_changed[static_cast<size_t>(j)] = 1;
+      any_col_changed = true;
+      ++s->changed_cols;
+    }
+  }
+
+  std::vector<uint8_t> affected(static_cast<size_t>(new_n), 0);
+  for (int64_t v = old_n; v < new_n; ++v) {
+    affected[static_cast<size_t>(v)] = 1;
+  }
+  for (const NodeId v : attrs_changed) {
+    affected[static_cast<size_t>(v)] = 1;
+  }
+  if (policy == MissingAttrPolicy::kNeighbor) {
+    for (const NodeId v : structure_changed) {
+      affected[static_cast<size_t>(v)] = 1;
+    }
+    for (const NodeId u : attrs_changed) {
+      for (const NeighborEntry& nb : new_graph.Neighbors(u)) {
+        affected[static_cast<size_t>(nb.node)] = 1;
+      }
+    }
+  }
+  for (const MissingAttrCell& c : new_graph.missing_attr_cells()) {
+    if (col_changed[static_cast<size_t>(c.col)] != 0) {
+      affected[static_cast<size_t>(c.node)] = 1;
+    }
+  }
+  if (any_col_changed) {
+    // Unobserved rows read every column's mean (kMean directly, kNeighbor
+    // as the empty-neighborhood fallback).
+    for (int64_t v = 0; v < new_n; ++v) {
+      if (!new_graph.AttrObserved(static_cast<NodeId>(v))) {
+        affected[static_cast<size_t>(v)] = 1;
+      }
+    }
+  }
+
+  ImputePlan::Scratch scratch;
+  std::vector<SparseMatrix::Triplet> triplets;
+  for (int64_t v = 0; v < new_n; ++v) {
+    if (affected[static_cast<size_t>(v)] != 0) {
+      new_plan.value().AppendRow(static_cast<NodeId>(v), &scratch,
+                                 &triplets, &s->filled_entries);
+      ++s->recomputed_rows;
+    } else {
+      for (const SparseEntry& e : old_features.Row(v)) {
+        triplets.push_back({v, e.col, e.value});
+      }
+      ++s->copied_rows;
+    }
+  }
+  return SparseMatrix::FromTriplets(new_n, d, std::move(triplets));
+}
+
+}  // namespace stream
+}  // namespace coane

@@ -1,0 +1,57 @@
+#ifndef COANE_STREAM_REIMPUTE_H_
+#define COANE_STREAM_REIMPUTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/attr_impute.h"
+#include "graph/graph.h"
+#include "la/sparse_matrix.h"
+
+namespace coane {
+namespace stream {
+
+/// Accounting for one incremental re-imputation (the bench_stream
+/// attribute-reuse numbers).
+struct ReimputeStats {
+  int64_t total_rows = 0;
+  int64_t copied_rows = 0;      ///< taken verbatim from the old features
+  int64_t recomputed_rows = 0;  ///< re-run through ImputePlan::AppendRow
+  int64_t changed_cols = 0;     ///< columns whose observed mean moved
+  int64_t filled_entries = 0;   ///< imputed nonzeros among recomputed rows
+};
+
+/// Re-imputes only the attribute rows a mutation batch could have
+/// changed, copying every other row from `old_features` — and returns a
+/// matrix byte-identical to ImputeMissingAttributes(new_graph, policy).
+///
+/// `old_features` must be the (imputed) feature matrix of `old_graph`
+/// under the same policy; `structure_changed` / `attrs_changed` are the
+/// ApplyDelta change sets of the batch that turned old_graph into
+/// new_graph (new-graph ids; nodes only ever grow, ids never move).
+///
+/// A row must be recomputed when any input of its AppendRow changed:
+///  - new rows (id >= old node count) and rows in `attrs_changed`;
+///  - rows with a missing cell in a column whose observed mean moved
+///    (fill values read col_means), and — when any column mean moved —
+///    every unobserved row (those read all d means);
+///  - under kNeighbor additionally `structure_changed` rows (their
+///    neighbor set changed) and new-graph neighbors of `attrs_changed`
+///    rows (their neighborhood's values or masks changed).
+/// Everything else is provably untouched: AppendRow is a pure function
+/// of the row's stored entries, its missing columns, the column means,
+/// and (kNeighbor) its neighbors' rows and masks.
+///
+/// kZero and kReject short-circuit exactly like ImputeMissingAttributes
+/// (no per-row work exists to reuse). `stats` may be null.
+Result<SparseMatrix> IncrementalReimpute(
+    const Graph& old_graph, const SparseMatrix& old_features,
+    const Graph& new_graph, MissingAttrPolicy policy,
+    const std::vector<NodeId>& structure_changed,
+    const std::vector<NodeId>& attrs_changed, ReimputeStats* stats = nullptr);
+
+}  // namespace stream
+}  // namespace coane
+
+#endif  // COANE_STREAM_REIMPUTE_H_

@@ -27,6 +27,21 @@ NodeId StepFrom(const Graph& graph, NodeId v, Rng* rng) {
 
 }  // namespace
 
+Walk GenerateSingleWalk(const Graph& graph, NodeId start, int walk_length,
+                        uint64_t master, uint64_t walk_id) {
+  Rng walk_rng = MakeStreamRng(master, walk_id);
+  Walk walk;
+  walk.reserve(static_cast<size_t>(walk_length));
+  walk.push_back(start);
+  NodeId cur = start;
+  while (static_cast<int>(walk.size()) < walk_length) {
+    if (graph.Degree(cur) == 0) break;
+    cur = StepFrom(graph, cur, &walk_rng);
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
 Status GenerateRandomWalksInto(const Graph& graph,
                                const RandomWalkConfig& config, Rng* rng,
                                const RunContext* ctx,
@@ -69,17 +84,9 @@ Status GenerateRandomWalksInto(const Graph& graph,
             return Status::Cancelled("injected cancel at walk.generate");
           }
           const NodeId start = static_cast<NodeId>(w / r);
-          Rng walk_rng = MakeStreamRng(master, static_cast<uint64_t>(w));
-          Walk walk;
-          walk.reserve(static_cast<size_t>(config.walk_length));
-          walk.push_back(start);
-          NodeId cur = start;
-          while (static_cast<int>(walk.size()) < config.walk_length) {
-            if (graph.Degree(cur) == 0) break;
-            cur = StepFrom(graph, cur, &walk_rng);
-            walk.push_back(cur);
-          }
-          sw.walks.push_back(std::move(walk));
+          sw.walks.push_back(GenerateSingleWalk(graph, start,
+                                                config.walk_length, master,
+                                                static_cast<uint64_t>(w)));
           if (ctx != nullptr) ctx->ChargeWork(1);
         }
         sw.complete = true;

@@ -44,6 +44,17 @@ Status GenerateRandomWalksInto(const Graph& graph,
                                const RunContext* ctx,
                                std::vector<Walk>* out);
 
+/// Regenerates exactly walk `walk_id` of the corpus GenerateRandomWalks
+/// produces from `master` (the one engine draw it makes from `rng`):
+/// starts at node walk_id / r, steps from MakeStreamRng(master, walk_id).
+/// This is the primitive of the dynamic-graph walk store (src/stream):
+/// a stored walk whose visited nodes all kept their neighborhoods is
+/// byte-identical to this call on the mutated graph, so only walks that
+/// touched a changed vertex need re-walking. GenerateRandomWalksInto is
+/// implemented on top of this function — the two can never drift apart.
+Walk GenerateSingleWalk(const Graph& graph, NodeId start, int walk_length,
+                        uint64_t master, uint64_t walk_id);
+
 /// Generates node2vec-style second-order biased walks with return parameter
 /// p and in-out parameter q (Grover & Leskovec 2016). With p = q = 1 the
 /// distribution matches the plain walk above (used for the node2vec

@@ -1,0 +1,224 @@
+// Churn-driven re-imputation (ctest tier `stream`): IncrementalReimpute
+// must return a matrix byte-identical to running ImputeMissingAttributes
+// from scratch on the mutated graph, for every imputing policy and every
+// churn shape — edge-only, attribute sets and masks, node growth — while
+// copying rows the batch provably could not have touched.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/attr_impute.h"
+#include "graph/graph_builder.h"
+#include "stream/graph_apply.h"
+#include "stream/mutation_log.h"
+#include "stream/reimpute.h"
+
+namespace coane {
+namespace stream {
+namespace {
+
+constexpr int kN = 12;
+constexpr int kD = 4;
+
+// Masked attributed ring-with-chords: two fully unobserved rows (4, 9)
+// and two individually missing cells, so both the row mask and the cell
+// mask paths of the impute plan are live.
+Graph MakeBase() {
+  GraphBuilder b(kN);
+  for (int i = 0; i < kN; ++i) b.AddEdge(i, (i + 1) % kN);
+  b.AddEdge(0, 6).AddEdge(2, 8, 2.0f);
+  std::vector<SparseMatrix::Triplet> t;
+  for (int i = 0; i < kN; ++i) {
+    if (i == 4 || i == 9) continue;  // unobserved rows stay empty
+    t.push_back({i, i % kD, 1.0f + 0.25f * static_cast<float>(i)});
+    t.push_back({i, (i + 1) % kD, 0.5f});
+  }
+  b.SetAttributes(SparseMatrix::FromTriplets(kN, kD, t));
+  std::vector<uint8_t> observed(kN, 1);
+  observed[4] = observed[9] = 0;
+  b.SetAttrObserved(observed);
+  b.SetMissingAttrCells({{1, 2}, {6, 0}});
+  return std::move(b).Build().ValueOrDie();
+}
+
+Mutation Mut(MutationOp op, uint64_t seq, NodeId u, NodeId v = 0,
+             float value = 1.0f) {
+  Mutation m;
+  m.op = op;
+  m.seq = seq;
+  m.u = u;
+  m.v = v;
+  m.value = value;
+  return m;
+}
+
+void ExpectSameMatrix(const SparseMatrix& a, const SparseMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    auto ra = a.Row(r);
+    auto rb = b.Row(r);
+    ASSERT_EQ(ra.size(), rb.size()) << "row " << r;
+    for (size_t i = 0; i < ra.size(); ++i) {
+      // Bit-exact, not approximately equal: the incremental path must
+      // reproduce the from-scratch floats, or warm-start determinism dies.
+      EXPECT_EQ(ra[i], rb[i]) << "row " << r << " entry " << i;
+    }
+  }
+}
+
+// Applies `batch` to the base graph, runs the incremental path against
+// the from-scratch path under `policy`, and asserts byte-identity.
+ReimputeStats RunBoth(const Graph& base, const std::vector<Mutation>& batch,
+                      MissingAttrPolicy policy) {
+  auto old_features = ImputeMissingAttributes(base, policy);
+  EXPECT_TRUE(old_features.ok()) << old_features.status().ToString();
+  ApplyDelta delta;
+  auto mutated =
+      ApplyMutations(base, batch, 1, GraphFingerprint(base), &delta);
+  EXPECT_TRUE(mutated.ok()) << mutated.status().ToString();
+
+  ReimputeStats stats;
+  auto incremental = IncrementalReimpute(
+      base, old_features.value(), mutated.value(), policy,
+      delta.structure_changed, delta.attrs_changed, &stats);
+  EXPECT_TRUE(incremental.ok()) << incremental.status().ToString();
+  auto scratch = ImputeMissingAttributes(mutated.value(), policy);
+  EXPECT_TRUE(scratch.ok()) << scratch.status().ToString();
+  ExpectSameMatrix(incremental.value(), scratch.value());
+  EXPECT_EQ(stats.copied_rows + stats.recomputed_rows, stats.total_rows);
+  return stats;
+}
+
+TEST(ReimputeTest, EdgeChurnUnderMeanCopiesEveryRow) {
+  // Column means don't read the adjacency: a pure-structure batch leaves
+  // every kMean row untouched, and the incremental path must know that.
+  const Graph base = MakeBase();
+  const std::vector<Mutation> batch = {Mut(MutationOp::kAddEdge, 1, 0, 5),
+                                       Mut(MutationOp::kRemoveEdge, 2, 2, 8)};
+  const ReimputeStats stats =
+      RunBoth(base, batch, MissingAttrPolicy::kMean);
+  EXPECT_EQ(stats.copied_rows, kN);
+  EXPECT_EQ(stats.recomputed_rows, 0);
+}
+
+TEST(ReimputeTest, EdgeChurnUnderNeighborRecomputesOnlyTouchedRows) {
+  const Graph base = MakeBase();
+  const std::vector<Mutation> batch = {Mut(MutationOp::kAddEdge, 1, 0, 5)};
+  const ReimputeStats stats =
+      RunBoth(base, batch, MissingAttrPolicy::kNeighbor);
+  // Endpoints changed neighborhoods; far rows are copied verbatim.
+  EXPECT_GT(stats.recomputed_rows, 0);
+  EXPECT_GT(stats.copied_rows, 0);
+}
+
+TEST(ReimputeTest, AttrSetMatchesFromScratchUnderBothPolicies) {
+  const Graph base = MakeBase();
+  Mutation set = Mut(MutationOp::kSetAttr, 1, 3);
+  set.col = 1;
+  set.value = 9.0f;  // moves column 1's observed mean
+  for (const MissingAttrPolicy policy :
+       {MissingAttrPolicy::kMean, MissingAttrPolicy::kNeighbor}) {
+    RunBoth(base, {set}, policy);
+  }
+}
+
+TEST(ReimputeTest, MaskWithdrawalMatchesFromScratch) {
+  const Graph base = MakeBase();
+  Mutation mask = Mut(MutationOp::kSetAttr, 1, 7);
+  mask.col = 3;
+  mask.masked = true;
+  for (const MissingAttrPolicy policy :
+       {MissingAttrPolicy::kMean, MissingAttrPolicy::kNeighbor}) {
+    RunBoth(base, {mask}, policy);
+  }
+}
+
+TEST(ReimputeTest, FirstAttrOnUnobservedRowMatchesFromScratch) {
+  // The first set flips row 4 to observed-with-missing-cells; its fills
+  // and every mean-reader must agree with the from-scratch plan.
+  const Graph base = MakeBase();
+  Mutation set = Mut(MutationOp::kSetAttr, 1, 4);
+  set.col = 2;
+  set.value = 3.5f;
+  for (const MissingAttrPolicy policy :
+       {MissingAttrPolicy::kMean, MissingAttrPolicy::kNeighbor}) {
+    const ReimputeStats stats = RunBoth(base, {set}, policy);
+    EXPECT_GT(stats.filled_entries, 0);
+  }
+}
+
+TEST(ReimputeTest, NodeGrowthMatchesFromScratch) {
+  const Graph base = MakeBase();
+  std::vector<Mutation> batch = {Mut(MutationOp::kAddNode, 1, kN),
+                                 Mut(MutationOp::kAddEdge, 2, kN, 4)};
+  batch[0].label = -1;
+  Mutation set = Mut(MutationOp::kSetAttr, 3, kN);
+  set.col = 0;
+  set.value = 2.0f;
+  batch.push_back(set);
+  for (const MissingAttrPolicy policy :
+       {MissingAttrPolicy::kMean, MissingAttrPolicy::kNeighbor}) {
+    RunBoth(base, batch, policy);
+  }
+}
+
+TEST(ReimputeTest, MixedChurnOverChainedGenerationsStaysIdentical) {
+  // Fold three heterogeneous batches generation by generation, feeding
+  // each incremental result in as the next old_features — drift anywhere
+  // in the chain would compound, so this is the test the pipeline relies
+  // on for unbounded streams.
+  for (const MissingAttrPolicy policy :
+       {MissingAttrPolicy::kMean, MissingAttrPolicy::kNeighbor}) {
+    Graph g = MakeBase();
+    auto features = ImputeMissingAttributes(g, policy);
+    ASSERT_TRUE(features.ok());
+    SparseMatrix current = features.value();
+    uint64_t chain = GraphFingerprint(g);
+    uint64_t next_seq = 1;
+
+    std::vector<std::vector<Mutation>> rounds;
+    rounds.push_back({Mut(MutationOp::kAddEdge, 0, 3, 9)});
+    {
+      Mutation set = Mut(MutationOp::kSetAttr, 0, 9);
+      set.col = 1;
+      set.value = 4.0f;
+      Mutation mask = Mut(MutationOp::kSetAttr, 0, 0);
+      mask.col = 0;
+      mask.masked = true;
+      rounds.push_back({set, mask});
+    }
+    rounds.push_back({Mut(MutationOp::kRemoveEdge, 0, 3, 9),
+                      Mut(MutationOp::kAddEdge, 0, 1, 10, 3.0f)});
+
+    for (auto& batch : rounds) {
+      for (Mutation& m : batch) m.seq = next_seq++;
+      ApplyDelta delta;
+      auto mutated = ApplyMutations(g, batch, batch.front().seq, chain,
+                                    &delta);
+      ASSERT_TRUE(mutated.ok()) << mutated.status().ToString();
+      auto incremental = IncrementalReimpute(
+          g, current, mutated.value(), policy, delta.structure_changed,
+          delta.attrs_changed, nullptr);
+      ASSERT_TRUE(incremental.ok()) << incremental.status().ToString();
+      auto scratch = ImputeMissingAttributes(mutated.value(), policy);
+      ASSERT_TRUE(scratch.ok());
+      ExpectSameMatrix(incremental.value(), scratch.value());
+      g = std::move(mutated).ValueOrDie();
+      current = std::move(incremental).ValueOrDie();
+      chain = delta.chain_fingerprint;
+    }
+  }
+}
+
+TEST(ReimputeTest, ZeroPolicyShortCircuits) {
+  const Graph base = MakeBase();
+  const std::vector<Mutation> batch = {Mut(MutationOp::kAddEdge, 1, 0, 5)};
+  RunBoth(base, batch, MissingAttrPolicy::kZero);
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace coane

@@ -1,0 +1,247 @@
+// The dynamic-graph quality gate (ctest tier `stream`), PR-8 style: on
+// the fast quality substrate, a stream that starts from a partial graph
+// and re-adds the withheld edges through the mutation log must land
+// within calibrated metric tolerances of training from scratch on the
+// final graph — and the incremental path itself must be bit-identical
+// across thread counts and across a kill+resume at the commit point.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.h"
+#include "common/fault_injection.h"
+#include "common/parallel/global_pool.h"
+#include "core/coane_model.h"
+#include "eval/metric_suite.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "quality/quality_harness.h"
+#include "quality/substrate.h"
+#include "quality/tolerance_gate.h"
+#include "stream/mutation_log.h"
+#include "stream/pipeline.h"
+
+namespace coane {
+namespace stream {
+namespace {
+
+constexpr uint64_t kSeed = 42;
+// Edges withheld from the initial build and streamed back through the
+// log. Two incremental generations at batch_max = 6.
+constexpr int kWithheld = 12;
+
+// Tolerances for incremental-vs-from-scratch on the fast substrate.
+//
+// Calibration (fast substrate, HarnessBaseConfig(fast), refine 2
+// epochs/batch, batch_max 6, substrate+training seeds {42, 7, 99}):
+//   d macro_f1 in {+0.037, +0.192, +0.190}  -> bound 0.30 (~1.6x max)
+//   d micro_f1 in {+0.033, +0.167, +0.192}  -> bound 0.30 (~1.6x max)
+//   d link_auc in {-0.035, +0.033, +0.072}  -> bound 0.12 (~1.7x max)
+//   d nmi      in {+0.036, +0.121, +0.105}  -> bound 0.20 (~1.7x max)
+// The incremental run legitimately differs from the from-scratch run —
+// it trains 4 epochs on the partial graph plus 2x2 refinement epochs on
+// the growing graph, a different (and usually longer) optimization
+// trajectory by construction; the deltas above skew positive because of
+// the extra refinement epochs. So this is a kTolerance gate (like the
+// sharded rows of the quality harness), bounded at roughly 1.6x the
+// observed envelope. Drift past these bounds means warm-start refinement
+// is no longer tracking from-scratch quality, which is the property the
+// freshness pipeline sells.
+quality::MetricTolerance StreamTolerance() {
+  quality::MetricTolerance tolerance;
+  tolerance.macro_f1 = 0.30;
+  tolerance.micro_f1 = 0.30;
+  tolerance.link_auc = 0.12;
+  tolerance.nmi = 0.20;
+  return tolerance;
+}
+
+class StreamQualityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::Reset();
+    SetGlobalParallelism(1);
+    char tmpl[] = "/tmp/coane_squal_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    fault::Reset();
+    SetGlobalParallelism(1);
+    ASSERT_TRUE(RemoveTree(dir_).ok());
+  }
+
+  // Rebuilds `final_graph` minus its last kWithheld undirected edges,
+  // keeping attributes and labels (the withheld edges stream in later).
+  static Graph BuildInitGraph(const Graph& final_graph,
+                              std::vector<Edge>* withheld) {
+    const std::vector<Edge> edges = final_graph.UndirectedEdges();
+    GraphBuilder b(final_graph.num_nodes());
+    for (size_t i = 0; i + kWithheld < edges.size(); ++i) {
+      b.AddEdge(edges[i].src, edges[i].dst, edges[i].weight);
+    }
+    withheld->assign(edges.end() - kWithheld, edges.end());
+    b.SetAttributes(final_graph.attributes());
+    b.SetLabels(final_graph.labels());
+    return std::move(b).Build().ValueOrDie();
+  }
+
+  // Lays out init files + a mutation log re-adding the withheld edges
+  // under `sub`, returning ready pipeline options.
+  PipelineOptions MakeOptions(const std::string& sub, const Graph& init,
+                              const std::vector<Edge>& withheld) {
+    const std::string base = dir_ + "/" + sub;
+    PipelineOptions options;
+    options.init_edges = base + "/g.edges";
+    options.init_attrs = base + "/g.attrs";
+    options.init_labels = base + "/g.labels";
+    options.log_path = base + "/g.mlog";
+    options.work_dir = base + "/work";
+    [&] {
+      ASSERT_EQ(::mkdir(base.c_str(), 0755), 0);
+      ASSERT_TRUE(SaveAttributedGraph(init, options.init_edges,
+                                      options.init_attrs,
+                                      options.init_labels)
+                      .ok());
+      auto writer = MutationLogWriter::Open(options.log_path);
+      ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+      for (const Edge& e : withheld) {
+        Mutation m;
+        m.op = MutationOp::kAddEdge;
+        m.u = e.src;
+        m.v = e.dst;
+        m.value = e.weight;
+        ASSERT_TRUE(writer.value().Append(m).ok());
+      }
+    }();
+    options.config = quality::HarnessBaseConfig(/*full=*/false, kSeed);
+    options.refine_epochs = 2;
+    options.batch_max = 6;
+    return options;
+  }
+
+  // Initial build + incremental steps until the log is drained; returns
+  // the final published embedding path.
+  static std::string Drain(const PipelineOptions& options) {
+    auto pipeline = StreamPipeline::Open(options);
+    EXPECT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    std::string last;
+    for (;;) {
+      auto step = pipeline.value()->Step();
+      EXPECT_TRUE(step.ok()) << step.status().ToString();
+      if (!step.ok() || !step.value().published) break;
+      last = step.value().embeddings_path;
+    }
+    return last;
+  }
+
+  static std::string Slurp(const std::string& path) {
+    auto blob = ReadFileToString(path);
+    EXPECT_TRUE(blob.ok()) << path << ": " << blob.status().ToString();
+    return blob.ok() ? blob.value() : std::string();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(StreamQualityTest, IncrementalTracksFromScratchAndStaysDeterministic) {
+  auto substrate =
+      quality::MakeQualitySubstrate(quality::SubstrateScale::kFast, kSeed);
+  ASSERT_TRUE(substrate.ok()) << substrate.status().ToString();
+  // Both pipelines train on the LP residual graph, so the suite's link
+  // AUC keeps the paper's protocol (test edges unseen by both).
+  const Graph& final_graph = substrate.value().split.train_graph;
+  std::vector<Edge> withheld;
+  const Graph init = BuildInitGraph(final_graph, &withheld);
+  ASSERT_EQ(static_cast<int>(withheld.size()), kWithheld);
+
+  // --- Incremental: initial build on the partial graph, two refinement
+  // generations as the log drains.
+  const PipelineOptions control =
+      MakeOptions("control", init, withheld);
+  const std::string inc_path = Drain(control);
+  ASSERT_FALSE(inc_path.empty());
+  auto inc_emb = LoadEmbeddings(inc_path);
+  ASSERT_TRUE(inc_emb.ok()) << inc_emb.status().ToString();
+
+  // --- From-scratch reference on the final graph, same config. Metrics
+  // are computed from saved artifacts on both sides (the file is the unit
+  // the determinism contract is stated in).
+  CoaneModel model(final_graph, control.config);
+  ASSERT_TRUE(model.Preprocess().ok());
+  ASSERT_TRUE(model.Train().ok());
+  const std::string scratch_path = dir_ + "/scratch.emb";
+  ASSERT_TRUE(SaveEmbeddings(model.embeddings(), scratch_path).ok());
+  auto scratch_emb = LoadEmbeddings(scratch_path);
+  ASSERT_TRUE(scratch_emb.ok());
+
+  MetricSuiteOptions eval_options;
+  eval_options.seed = kSeed;
+  auto inc_suite = ComputeMetricSuite(
+      inc_emb.value(), inc_emb.value(), final_graph.labels(),
+      final_graph.num_classes(), substrate.value().split, eval_options);
+  ASSERT_TRUE(inc_suite.ok()) << inc_suite.status().ToString();
+  auto scratch_suite = ComputeMetricSuite(
+      scratch_emb.value(), scratch_emb.value(), final_graph.labels(),
+      final_graph.num_classes(), substrate.value().split, eval_options);
+  ASSERT_TRUE(scratch_suite.ok()) << scratch_suite.status().ToString();
+
+  const quality::GateVerdict verdict = quality::CheckGate(
+      quality::GateClass::kTolerance, scratch_suite.value(),
+      inc_suite.value(), StreamTolerance(), {}, {});
+  EXPECT_TRUE(verdict.pass) << [&] {
+    std::string all;
+    for (const auto& f : verdict.failures) all += f + "; ";
+    return all;
+  }();
+  // Floors: tolerance-vs-baseline alone would pass if *both* runs
+  // collapsed; the substrate is engineered to be learnable, so a healthy
+  // incremental run clears these (measured: auc 0.610, micro 0.575 at
+  // seed 42 — the floors leave drift headroom below those points).
+  EXPECT_GT(inc_suite.value().link_auc, 0.55);
+  EXPECT_GT(inc_suite.value().micro_f1, 0.5);
+
+  // --- Determinism, thread axis: the whole drain at 8 threads emits the
+  // same bytes as the single-threaded control, generation for generation.
+  SetGlobalParallelism(8);
+  const PipelineOptions threads8 =
+      MakeOptions("threads8", init, withheld);
+  const std::string inc_path8 = Drain(threads8);
+  SetGlobalParallelism(1);
+  ASSERT_FALSE(inc_path8.empty());
+  EXPECT_EQ(Slurp(inc_path), Slurp(inc_path8));
+  EXPECT_EQ(Slurp(control.work_dir + "/gen_0.emb"),
+            Slurp(threads8.work_dir + "/gen_0.emb"));
+
+  // --- Determinism, crash axis: kill the publisher at the commit point
+  // of the first incremental step, reopen, and finish — byte-identical
+  // artifacts to the uninterrupted control run.
+  const PipelineOptions resume = MakeOptions("resume", init, withheld);
+  {
+    auto pipeline = StreamPipeline::Open(resume);
+    ASSERT_TRUE(pipeline.ok());
+    ASSERT_TRUE(pipeline.value()->Step().ok());  // initial build
+    fault::Arm("stream.state_save", 1);
+    auto step = pipeline.value()->Step();
+    fault::Reset();
+    ASSERT_FALSE(step.ok());
+  }
+  const std::string inc_path_resumed = Drain(resume);
+  ASSERT_FALSE(inc_path_resumed.empty());
+  EXPECT_EQ(Slurp(inc_path), Slurp(inc_path_resumed));
+  auto final_ckpt = [](const PipelineOptions& options) {
+    auto pipeline = StreamPipeline::Open(options);
+    EXPECT_TRUE(pipeline.ok());
+    return pipeline.value()->checkpoint_path();
+  };
+  EXPECT_EQ(Slurp(final_ckpt(control)), Slurp(final_ckpt(resume)));
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace coane
